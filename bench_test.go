@@ -1,0 +1,518 @@
+// Benchmarks: one testing.B entry per experiment family (E2–E23). These are
+// the micro-benchmark counterparts of cmd/experiments — the harness prints
+// the full tables, these give per-operation costs under `go test -bench`.
+package dex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"dex"
+	"dex/internal/adaptstore"
+	"dex/internal/aqp"
+	"dex/internal/crack"
+	"dex/internal/diversify"
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/gesture"
+	"dex/internal/olap"
+	"dex/internal/onlineagg"
+	"dex/internal/prefetch"
+	"dex/internal/qbe"
+	"dex/internal/rawload"
+	"dex/internal/recommend"
+	"dex/internal/sample"
+	"dex/internal/seedb"
+	"dex/internal/steer"
+	"dex/internal/storage"
+	"dex/internal/tsindex"
+	"dex/internal/viz"
+	"dex/internal/workload"
+)
+
+const benchN = 100_000
+
+func benchCol(b *testing.B) []int64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return workload.UniformInts(rng, benchN, benchN)
+}
+
+func benchSales(b *testing.B, n int) *storage.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	t, err := workload.Sales(rng, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// E2: per-query cost of range counting under each index regime.
+func BenchmarkE2CrackingQuery(b *testing.B) {
+	col := benchCol(b)
+	rng := rand.New(rand.NewSource(3))
+	for _, v := range []struct {
+		name string
+		idx  crack.RangeIndex[int64]
+	}{
+		{"full-scan", crack.NewFullScan(col)},
+		{"full-sort", crack.NewSorted(col)},
+		{"cracking", crack.New(col, crack.Options{})},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lo := int64(rng.Intn(benchN))
+				v.idx.Count(lo, lo+1000)
+			}
+		})
+	}
+}
+
+// E3: sequential-workload cracking by variant.
+func BenchmarkE3SequentialWorkload(b *testing.B) {
+	col := benchCol(b)
+	for _, variant := range []crack.Variant{crack.Standard, crack.Stochastic} {
+		b.Run(variant.String(), func(b *testing.B) {
+			ix := crack.New(col, crack.Options{Variant: variant, Seed: 4})
+			step := int64(benchN / 1000)
+			for i := 0; i < b.N; i++ {
+				lo := (int64(i) % 1000) * step
+				ix.Count(lo, lo+step)
+			}
+		})
+	}
+}
+
+// E4: insert cost into a cracked index (ripple merge amortized).
+func BenchmarkE4CrackInsert(b *testing.B) {
+	col := benchCol(b)
+	ix := crack.New(col, crack.Options{MaxPending: 1024})
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 50; q++ { // pre-crack
+		lo := int64(rng.Intn(benchN))
+		ix.Count(lo, lo+500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(int64(rng.Intn(benchN)))
+	}
+}
+
+// E5: concurrent range counts on a shared cracker.
+func BenchmarkE5ConcurrentCrackQuery(b *testing.B) {
+	col := benchCol(b)
+	ix := crack.New(col, crack.Options{Variant: crack.Stochastic, Seed: 6})
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(7))
+		for pb.Next() {
+			lo := int64(rng.Intn(benchN))
+			ix.Count(lo, lo+500)
+		}
+	})
+}
+
+// E6: in-situ query vs re-parsing the file.
+func BenchmarkE6InSituQuery(b *testing.B) {
+	dir := b.TempDir()
+	rng := rand.New(rand.NewSource(8))
+	ticks, err := workload.Ticks(rng, 20_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "t.csv")
+	if err := storage.WriteCSVFile(ticks, path); err != nil {
+		b.Fatal(err)
+	}
+	q := rawload.SelectivityProbe("price", 0, 200)
+	b.Run("nodb-warm", func(b *testing.B) {
+		raw, err := rawload.Open("t", path, ticks.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := raw.Query(q); err != nil { // warm the column cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := raw.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("external-scan", func(b *testing.B) {
+		ext := rawload.NewExternalScan("t", path)
+		for i := 0; i < b.N; i++ {
+			if _, err := ext.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E7: single-column scan cost under row vs columnar physical layout.
+func BenchmarkE7LayoutScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	cols := make([][]float64, 8)
+	for c := range cols {
+		cols[c] = make([]float64, 50_000)
+		for r := range cols[c] {
+			cols[c][r] = rng.Float64()
+		}
+	}
+	for _, l := range []struct {
+		name   string
+		layout func(int) [][]int
+	}{
+		{"row-layout", func(k int) [][]int { return adaptRow(k) }},
+		{"column-layout", func(k int) [][]int { return adaptCol(k) }},
+	} {
+		b.Run(l.name, func(b *testing.B) {
+			s, err := newStore(cols, l.layout(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ScanSum([]int{i % 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E8/E9: approximate aggregate on a 1% sample vs exact.
+func BenchmarkE8ApproxAggregate(b *testing.B) {
+	sales := benchSales(b, benchN)
+	rng := rand.New(rand.NewSource(10))
+	q := aqp.Query{Agg: exec.AggAvg, Col: "amount", GroupBy: "product"}
+	s, err := sample.UniformFrac(rng, sales.NumRows(), 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := sales.Gather(s.Rows)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := aqp.Exact(sales, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sample-1pct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := aqp.OnView(view, s.Weights, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E10: one online-aggregation step.
+func BenchmarkE10OnlineStep(b *testing.B) {
+	sales := benchSales(b, benchN)
+	q := aqp.Query{Agg: exec.AggAvg, Col: "amount"}
+	r, err := onlineagg.New(sales, q, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Done() {
+			b.StopTimer()
+			r, err = onlineagg.New(sales, q, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if _, err := r.Step(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11: weighted sample draw.
+func BenchmarkE11WeightedSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	weights := make([]float64, benchN)
+	for i := range weights {
+		weights[i] = rng.Float64() + 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sample.Weighted(rng, weights, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12: one viewport request through the prefetching fetcher.
+func BenchmarkE12PrefetchRequest(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	sky, err := workload.SkyCatalog(rng, 50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := prefetch.NewGrid(sky, "ra", "dec", "mag", 40, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := prefetch.NewFetcher(g, 1600, 8, prefetch.Momentum{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := prefetch.Window{X0: 0, Y0: 0, X1: 2, Y1: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win = win.Shift(1, 0).Clamp(40, 40)
+		if win.X1 >= 39 {
+			win = prefetch.Window{X0: 0, Y0: (win.Y0 + 1) % 37, X1: 2, Y1: (win.Y0+1)%37 + 2}
+		}
+		f.Request(win)
+	}
+}
+
+// E13: cube view aggregation (the operation speculation hides).
+func BenchmarkE13CubeView(b *testing.B) {
+	sales := benchSales(b, benchN)
+	cube, err := olap.Build(sales, []string{"region", "product", "quarter"}, "amount")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Aggregate([]string{"product"}, map[string]string{"region": "east"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E14: adaptive time-series k-NN query on a converged index.
+func BenchmarkE14SeriesKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	series := workload.SeriesCollection(rng, 5000, 64)
+	q := workload.SeriesCollection(rng, 1, 64)[0]
+	b.Run("adaptive-converged", func(b *testing.B) {
+		db, err := tsindex.NewFullIndex(series, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.KNN(q, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seq-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tsindex.SeqScanKNN(series, q, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E15: exception detection on a cube view grid.
+func BenchmarkE15Exceptions(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	grid := make([][]float64, 20)
+	for i := range grid {
+		grid[i] = make([]float64, 30)
+		for j := range grid[i] {
+			grid[i][j] = float64(i) + 2*float64(j) + rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		olap.Exceptions(grid, 2.5)
+	}
+}
+
+// E16: greedy MMR diversification.
+func BenchmarkE16MMR(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	items := make([]diversify.Item, 2000)
+	for i := range items {
+		items[i] = diversify.Item{
+			ID:       i,
+			Rel:      rng.Float64(),
+			Features: []float64{rng.Float64() * 10, rng.Float64() * 10},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diversify.MMR(items, 20, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E17: a full steering session.
+func BenchmarkE17SteeringSession(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	sky, err := workload.SkyCatalog(rng, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := func(x []float64) bool {
+		return x[0] >= 24 && x[0] < 36 && x[1] >= 4 && x[1] < 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := steer.New(sky, []string{"ra", "dec"}, oracle, steer.Options{Seed: int64(i), MaxIters: 6, TargetF1: 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E18: conjunctive query discovery from 100 examples.
+func BenchmarkE18QueryDiscovery(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	sky, err := workload.SkyCatalog(rng, 20_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := expr.And(
+		expr.Cmp("mag", expr.GE, storage.Float(16)),
+		expr.Cmp("mag", expr.LT, storage.Float(19)),
+	)
+	all, err := expr.Filter(sky, truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := all[:100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qbe.DiscoverConjunctive(sky, ex, []string{"ra", "dec", "mag", "z"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E19: next-query recommendation against a 300-session history.
+func BenchmarkE19Recommend(b *testing.B) {
+	var history []recommend.Session
+	for i := 0; i < 300; i++ {
+		history = append(history, recommend.Session{
+			{"select:a", fmt.Sprintf("where:w%d", i%5)},
+			{"agg:SUM(a)", "groupby:g", fmt.Sprintf("where:w%d", i%5)},
+		})
+	}
+	r, err := recommend.New(history)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefix := recommend.Session{{"select:a", "where:w2"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SuggestNextQuery(prefix, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E20: SeeDB recommendation by strategy.
+func BenchmarkE20SeeDB(b *testing.B) {
+	sales := benchSales(b, 20_000)
+	target := expr.Cmp("region", expr.EQ, storage.String_("east"))
+	views := seedb.Candidates([]string{"product", "quarter"}, []string{"amount", "qty"},
+		[]exec.AggFunc{exec.AggSum, exec.AggAvg})
+	for _, strat := range []seedb.Strategy{seedb.Exhaustive, seedb.SharedScan, seedb.Pruned} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := seedb.Recommend(sales, target, views, seedb.Options{K: 3, Strategy: strat}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E21: M4 reduction of a 100k-point series.
+func BenchmarkE21M4(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	ys := workload.RandomWalk(rng, benchN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := viz.M4(ys, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E22: order-preserving sampling over 6 well-separated groups.
+func BenchmarkE22OrderSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	groups := make([][]float64, 6)
+	for g := range groups {
+		groups[g] = make([]float64, 10_000)
+		for i := range groups[g] {
+			groups[g][i] = float64(g)*5 + rng.NormFloat64()*3
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := viz.OrderSample(groups, 50, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E23: gesture trace synthesis.
+func BenchmarkE23GestureSynthesis(b *testing.B) {
+	schema := storage.Schema{
+		{Name: "region", Type: storage.TString},
+		{Name: "amount", Type: storage.TFloat},
+		{Name: "qty", Type: storage.TInt},
+	}
+	trace := gesture.Trace{
+		{Kind: gesture.Hold, Column: "region"},
+		{Kind: gesture.SwipeRange, Column: "qty", Lo: 1, Hi: 5},
+		{Kind: gesture.Pinch, Column: "amount", Agg: exec.AggAvg},
+		{Kind: gesture.FlickDown, Column: "region"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gesture.Synthesize(schema, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSQL measures the end-to-end facade.
+func BenchmarkEngineSQL(b *testing.B) {
+	e := dex.New(dex.Options{Seed: 23})
+	if err := e.Register(benchSales(b, benchN)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exact-groupby", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SQL("SELECT region, sum(amount) FROM sales GROUP BY region", dex.Exact); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cracked-range", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SQL("SELECT count(*) FROM sales WHERE qty >= 2 AND qty < 6", dex.Cracked); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Thin wrappers keep the E7 benchmark readable.
+func adaptRow(k int) [][]int { return adaptstore.RowLayout(k) }
+func adaptCol(k int) [][]int { return adaptstore.ColumnLayout(k) }
+
+func newStore(cols [][]float64, layout [][]int) (*adaptstore.Store, error) {
+	return adaptstore.New(cols, layout)
+}

@@ -1,0 +1,117 @@
+package dex_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dex"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	e := dex.New(dex.Options{Seed: 7})
+	tbl, err := dex.NewTable("orders", dex.Schema{
+		{Name: "item", Type: dex.TString},
+		{Name: "price", Type: dex.TFloat},
+		{Name: "n", Type: dex.TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []string{"apple", "pear", "plum"}
+	for i := 0; i < 3000; i++ {
+		err := tbl.AppendRow(
+			dex.Str(items[i%3]),
+			dex.Float(float64(10+i%50)),
+			dex.Int(int64(i%9)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := e.SQL("SELECT item, avg(price) FROM orders GROUP BY item ORDER BY item", dex.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.NumRows() != 3 {
+		t.Fatalf("groups = %d", exact.NumRows())
+	}
+
+	cracked, err := e.SQL("SELECT count(*) FROM orders WHERE n >= 2 AND n < 5", dex.Cracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := e.SQL("SELECT count(*) FROM orders WHERE n >= 2 AND n < 5", dex.Exact)
+	if cracked.Row(0)[0].I != want.Row(0)[0].I {
+		t.Error("cracked != exact")
+	}
+
+	approx, err := e.SQL("SELECT avg(price) FROM orders", dex.Approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := e.SQL("SELECT avg(price) FROM orders", dex.Exact)
+	if rel := math.Abs(approx.Row(0)[0].F-truth.Row(0)[0].F) / truth.Row(0)[0].F; rel > 0.1 {
+		t.Errorf("approx rel err = %.4f", rel)
+	}
+
+	online, err := e.SQL("SELECT sum(price) FROM orders", dex.Online)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.NumRows() != 1 {
+		t.Error("online result shape")
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	e := dex.New(dex.Options{})
+	tbl, _ := dex.NewTable("t", dex.Schema{{Name: "x", Type: dex.TInt}})
+	for i := int64(0); i < 10; i++ {
+		_ = tbl.AppendRow(dex.Int(i))
+	}
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := dex.WriteCSVFile(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCSV("t", path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SQL("SELECT sum(x) FROM t", dex.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row(0)[0].F != 45 {
+		t.Errorf("sum = %v", res.Row(0)[0])
+	}
+	// In-situ attach of the same file under another name.
+	if err := e.AttachCSV("t2", path, tbl.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.SQL("SELECT max(x) FROM t2", dex.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Row(0)[0].I != 9 {
+		t.Errorf("max = %v", res2.Row(0)[0])
+	}
+}
+
+func TestSessionAPI(t *testing.T) {
+	e := dex.New(dex.Options{})
+	tbl, _ := dex.NewTable("t", dex.Schema{{Name: "x", Type: dex.TInt}})
+	_ = tbl.AppendRow(dex.Int(1))
+	_ = e.Register(tbl)
+	s := e.NewSession()
+	if _, err := s.Query("SELECT x FROM t", dex.Exact); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	s.End()
+}

@@ -1,0 +1,98 @@
+// Finance: exploring a tick stream. Online aggregation delivers running
+// per-symbol averages with shrinking confidence intervals long before the
+// full scan ends; adaptive indexing (cracking) accelerates ad-hoc volume
+// range queries; the time-series index finds historically similar price
+// windows without a full index build.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dex/internal/aqp"
+	"dex/internal/crack"
+	"dex/internal/exec"
+	"dex/internal/onlineagg"
+	"dex/internal/storage"
+	"dex/internal/tsindex"
+	"dex/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	ticks, err := workload.Ticks(rng, 500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tick table: %d rows\n", ticks.NumRows())
+
+	// 1. Online aggregation: watch avg(price) per symbol converge.
+	fmt.Println("\n[online aggregation] avg(price) per symbol while scanning:")
+	runner, err := onlineagg.New(ticks, aqp.Query{Agg: exec.AggAvg, Col: "price", GroupBy: "symbol"}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pct := range []int{1, 5, 25} {
+		for runner.Processed() < ticks.NumRows()*pct/100 {
+			if _, err := runner.Step(10_000); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("  after %2d%% of the scan:\n", pct)
+		for _, g := range runner.Estimates() {
+			fmt.Printf("    %s: %8.2f ± %.2f\n", g.Group.S, g.Est, g.CI)
+		}
+	}
+
+	// 2. Cracking: ad-hoc volume range queries self-index the column.
+	fmt.Println("\n[adaptive indexing] ad-hoc volume range queries:")
+	vc, err := ticks.ColumnByName("volume")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix := crack.New(vc.(*storage.IntColumn).V, crack.Options{Variant: crack.Stochastic, Seed: 7})
+	for q := 0; q < 5; q++ {
+		lo := int64(rng.Intn(400))
+		n := ix.Count(lo, lo+50)
+		fmt.Printf("  volume in [%d,%d): %d ticks (index now has %d pieces)\n",
+			lo, lo+50, n, ix.NumPieces())
+	}
+
+	// 3. Similar price windows: adaptive series index over sliding windows
+	//    of one symbol's price path.
+	fmt.Println("\n[time-series exploration] windows most similar to the last hour:")
+	pc, _ := ticks.ColumnByName("price")
+	sc, _ := ticks.ColumnByName("symbol")
+	var path []float64
+	for i := 0; i < ticks.NumRows(); i++ {
+		if sc.Value(i).S == "AAA" {
+			path = append(path, pc.Value(i).AsFloat())
+		}
+	}
+	const win = 64
+	var windows [][]float64
+	for i := 0; i+win <= len(path)-win; i += win / 2 {
+		w := make([]float64, win)
+		copy(w, path[i:i+win])
+		windows = append(windows, w)
+	}
+	if len(windows) < 10 {
+		log.Fatal("not enough AAA ticks")
+	}
+	db, err := tsindex.New(windows, 8, len(windows)/4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := make([]float64, win)
+	copy(query, path[len(path)-win:])
+	matches, err := db.KNN(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("  window #%d at distance %.2f\n", m.ID, m.Dist)
+	}
+	fmt.Printf("  (index built adaptively: %.0f%% summarized after one query)\n",
+		db.IndexedFraction()*100)
+}

@@ -1,0 +1,3 @@
+module dex
+
+go 1.22

@@ -1,0 +1,267 @@
+// Integration tests spanning the layers: they chain the UI, middleware and
+// engine modules the way the example binaries do, asserting cross-module
+// agreement rather than per-module behaviour.
+package dex_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dex"
+	"dex/internal/aqp"
+	"dex/internal/diversify"
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/olap"
+	"dex/internal/onlineagg"
+	"dex/internal/prefetch"
+	"dex/internal/qbe"
+	"dex/internal/seedb"
+	"dex/internal/steer"
+	"dex/internal/storage"
+	"dex/internal/workload"
+)
+
+// TestSteeringToExecutionPipeline drives the astronomer scenario end to
+// end: steer → extract query → execute → diversify → recommend views.
+func TestSteeringToExecutionPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	sky, err := workload.SkyCatalog(rng, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(x []float64) bool {
+		return x[0] >= 24 && x[0] < 36 && x[1] >= 4 && x[1] < 16
+	}
+	explorer, err := steer.New(sky, []string{"ra", "dec"}, oracle, steer.Options{
+		Seed: 92, MaxIters: 12, TargetF1: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explorer.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pred := explorer.Query()
+	if pred == nil {
+		t.Fatal("steering produced no query")
+	}
+
+	// The extracted predicate executes on the engine substrate.
+	res, err := exec.Execute(sky, exec.Query{
+		Select: []exec.SelectItem{{Col: "ra"}, {Col: "dec"}, {Col: "z"}},
+		Where:  pred,
+	})
+	if err != nil {
+		t.Fatalf("extracted query does not execute: %v", err)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("extracted query returns nothing")
+	}
+
+	// Diversification over the result set picks distinct representatives.
+	items := make([]diversify.Item, res.NumRows())
+	ra, _ := res.ColumnByName("ra")
+	dec, _ := res.ColumnByName("dec")
+	for i := range items {
+		items[i] = diversify.Item{
+			ID:       i,
+			Rel:      1,
+			Features: []float64{ra.Value(i).AsFloat(), dec.Value(i).AsFloat()},
+		}
+	}
+	k := 5
+	if k > len(items) {
+		k = len(items)
+	}
+	div, err := diversify.MMR(items, k, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(div.Picked) != k {
+		t.Fatalf("diversified picks = %d", len(div.Picked))
+	}
+
+	// SeeDB over the steered subset returns a ranked, finite utility list.
+	views := seedb.Candidates([]string{"class"}, []string{"z"}, []exec.AggFunc{exec.AggAvg, exec.AggCount})
+	top, _, err := seedb.Recommend(sky, pred, views, seedb.Options{K: 2, Strategy: seedb.SharedScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || math.IsNaN(top[0].Utility) || top[0].Utility < top[1].Utility {
+		t.Fatalf("seedb top = %+v", top)
+	}
+}
+
+// TestApproximationLanesAgree cross-checks the three answer lanes — exact,
+// sampled AQP, online aggregation — on the same query.
+func TestApproximationLanesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	sales, err := workload.Sales(rng, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := aqp.Query{Agg: exec.AggAvg, Col: "amount", GroupBy: "region"}
+	exact, err := aqp.Exact(sales, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := aqp.NewCatalog(sales, rng, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := cat.Approx(q, aqp.Bound{RelErr: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := onlineagg.New(sales, q, 94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.RunUntil(0.01, 4096); err != nil {
+		t.Fatal(err)
+	}
+	online := runner.Estimates()
+
+	byGroup := func(ests []aqp.GroupEstimate) map[string]float64 {
+		m := map[string]float64{}
+		for _, g := range ests {
+			m[g.Group.String()] = g.Est
+		}
+		return m
+	}
+	ex, ap, on := byGroup(exact), byGroup(approx.Groups), byGroup(online)
+	for g, truth := range ex {
+		if rel := math.Abs(ap[g]-truth) / truth; rel > 0.05 {
+			t.Errorf("approx %s rel err %.4f", g, rel)
+		}
+		if rel := math.Abs(on[g]-truth) / truth; rel > 0.05 {
+			t.Errorf("online %s rel err %.4f", g, rel)
+		}
+	}
+}
+
+// TestCubeAndEngineAgree cross-checks olap cuboids against engine group-by.
+func TestCubeAndEngineAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	sales, err := workload.Sales(rng, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := olap.Build(sales, []string{"region", "quarter"}, "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := cube.Aggregate([]string{"region"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(sales, exec.Query{
+		Select:  []exec.SelectItem{{Col: "region"}, {Col: "amount", Agg: exec.AggSum}},
+		GroupBy: []string{"region"},
+		OrderBy: []exec.OrderKey{{Col: "region"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != res.NumRows() {
+		t.Fatalf("groups %d vs %d", len(cells), res.NumRows())
+	}
+	for i, c := range cells {
+		if c.Coords[0] != res.Row(i)[0].S || math.Abs(c.Sum-res.Row(i)[1].F) > 1e-6 {
+			t.Errorf("cell %v vs row %v", c, res.Row(i))
+		}
+	}
+}
+
+// TestQBERoundTripThroughEngine: a hidden query's output, fed back as
+// examples, reproduces the query through the engine SQL layer.
+func TestQBERoundTripThroughEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	sales, err := workload.Sales(rng, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := expr.And(
+		expr.Cmp("qty", expr.GE, storage.Int(3)),
+		expr.Cmp("qty", expr.LE, storage.Int(6)),
+	)
+	rows, err := expr.Filter(sales, hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := qbe.DiscoverConjunctive(sales, rows, []string{"qty", "amount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec, f1, err := qbe.Score(sales, d.Pred, hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != 1 || f1 < 0.99 {
+		t.Errorf("round trip recall=%v f1=%v (pred=%s)", rec, f1, d.Pred)
+	}
+}
+
+// TestEngineWithPrefetchingGrid: in-memory engine tables feed the
+// prefetching grid without copying surprises.
+func TestEngineWithPrefetchingGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	sky, err := workload.SkyCatalog(rng, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dex.New(dex.Options{Seed: 98})
+	if err := e.Register(sky); err != nil {
+		t.Fatal(err)
+	}
+	// Select via engine, then build a grid over the same table.
+	res, err := e.SQL("SELECT count(*) FROM sky WHERE z > 2", dex.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highZ := res.Row(0)[0].I
+	if highZ == 0 {
+		t.Fatal("no high-z objects")
+	}
+	g, err := prefetch.NewGrid(sky, "ra", "dec", "z", 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			total += g.Fetch(prefetch.TileKey{X: x, Y: y}).Count
+		}
+	}
+	if total != sky.NumRows() {
+		t.Errorf("grid covers %d of %d rows", total, sky.NumRows())
+	}
+}
+
+// TestEngineSQLDialect exercises the extended dialect end to end.
+func TestEngineSQLDialect(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sales, err := workload.Sales(rng, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dex.New(dex.Options{})
+	if err := e.Register(sales); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SQL(
+		"SELECT region, sum(amount) FROM sales WHERE region IN ('east','west') AND product LIKE 'p0%' "+
+			"GROUP BY region HAVING sum(amount) > 0 ORDER BY region",
+		dex.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d\n%s", res.NumRows(), res.Format(10))
+	}
+	if res.Row(0)[0].S != "east" || res.Row(1)[0].S != "west" {
+		t.Errorf("groups = %v, %v", res.Row(0)[0], res.Row(1)[0])
+	}
+}

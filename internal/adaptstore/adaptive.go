@@ -1,0 +1,180 @@
+package adaptstore
+
+import "sort"
+
+// AccessKind distinguishes the two access patterns the monitor tracks.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Scan   AccessKind = iota // full-column scan (analytical)
+	Lookup                   // point row access (transactional)
+)
+
+// Access describes one executed query for the monitor.
+type Access struct {
+	Cols []int
+	Kind AccessKind
+}
+
+// Monitor keeps a sliding window of recent column accesses and computes
+// pairwise affinities (how often two columns are requested together).
+type Monitor struct {
+	window []Access
+	cap    int
+}
+
+// NewMonitor creates a monitor remembering the last cap accesses.
+func NewMonitor(cap int) *Monitor {
+	if cap <= 0 {
+		cap = 64
+	}
+	return &Monitor{cap: cap}
+}
+
+// Record appends an access, evicting the oldest beyond capacity.
+func (m *Monitor) Record(a Access) {
+	cols := append([]int(nil), a.Cols...)
+	m.window = append(m.window, Access{Cols: cols, Kind: a.Kind})
+	if len(m.window) > m.cap {
+		m.window = m.window[len(m.window)-m.cap:]
+	}
+}
+
+// Len returns the number of recorded accesses.
+func (m *Monitor) Len() int { return len(m.window) }
+
+// Advise computes a layout for k columns by greedy affinity clustering:
+// two column groups are merged while the fraction of recent queries that
+// co-access them exceeds tau. With per-column scans this degenerates to the
+// columnar layout; with whole-row lookups it converges to the row layout.
+func (m *Monitor) Advise(k int, tau float64) Layout {
+	if len(m.window) == 0 {
+		return ColumnLayout(k)
+	}
+	// touch[c] = queries touching c; co[c][d] = queries touching both.
+	touch := make([]float64, k)
+	co := make([][]float64, k)
+	for i := range co {
+		co[i] = make([]float64, k)
+	}
+	for _, a := range m.window {
+		for _, c := range a.Cols {
+			if c < 0 || c >= k {
+				continue
+			}
+			touch[c]++
+			for _, d := range a.Cols {
+				if d >= 0 && d < k && d != c {
+					co[c][d]++
+				}
+			}
+		}
+	}
+	// Start with singleton groups; greedily merge the best pair while its
+	// normalized affinity exceeds tau.
+	groups := make([][]int, k)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	affinity := func(a, b []int) float64 {
+		var sum, norm float64
+		for _, c := range a {
+			for _, d := range b {
+				sum += co[c][d]
+				if t := touch[c] + touch[d]; t > 0 {
+					norm += t / 2
+				}
+			}
+		}
+		if norm == 0 {
+			return 0
+		}
+		return sum / norm
+	}
+	for {
+		bi, bj, best := -1, -1, tau
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if a := affinity(groups[i], groups[j]); a > best {
+					bi, bj, best = i, j, a
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		groups[bi] = append(groups[bi], groups[bj]...)
+		groups = append(groups[:bj], groups[bj+1:]...)
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return Layout(groups)
+}
+
+// Adaptive wraps a Store with the monitor/advisor loop: every Interval
+// queries it recomputes the advised layout and reorganizes when it differs
+// from the current one.
+type Adaptive struct {
+	Store    *Store
+	mon      *Monitor
+	Interval int
+	Tau      float64
+	since    int
+	reorgs   int
+}
+
+// NewAdaptive builds an adaptive store starting from the columnar layout.
+func NewAdaptive(cols [][]float64, windowCap, interval int, tau float64) (*Adaptive, error) {
+	st, err := New(cols, ColumnLayout(len(cols)))
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = 32
+	}
+	if tau <= 0 {
+		tau = 0.4
+	}
+	return &Adaptive{Store: st, mon: NewMonitor(windowCap), Interval: interval, Tau: tau}, nil
+}
+
+// Reorganizations returns how many physical reorganizations have happened.
+func (a *Adaptive) Reorganizations() int { return a.reorgs }
+
+// ScanSum executes an analytical scan and feeds the adaptation loop.
+func (a *Adaptive) ScanSum(cols []int) ([]float64, error) {
+	out, err := a.Store.ScanSum(cols)
+	if err != nil {
+		return nil, err
+	}
+	a.observe(Access{Cols: cols, Kind: Scan})
+	return out, nil
+}
+
+// ReadRows executes a point access and feeds the adaptation loop.
+func (a *Adaptive) ReadRows(rows, cols []int) ([][]float64, error) {
+	out, err := a.Store.ReadRows(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	a.observe(Access{Cols: cols, Kind: Lookup})
+	return out, nil
+}
+
+func (a *Adaptive) observe(acc Access) {
+	a.mon.Record(acc)
+	a.since++
+	if a.since < a.Interval {
+		return
+	}
+	a.since = 0
+	want := a.mon.Advise(a.Store.ncols, a.Tau)
+	if !want.Equal(a.Store.Layout()) {
+		if err := a.Store.Reorganize(want); err == nil {
+			a.reorgs++
+		}
+	}
+}

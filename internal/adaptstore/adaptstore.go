@@ -1,0 +1,255 @@
+// Package adaptstore implements adaptive storage layouts in the spirit of
+// H2O [9] and the "one size fits all" re-examination [19]: a numeric table
+// is physically organized as column groups (from pure columnar — every
+// column its own group — to pure row store — one interleaved group), a
+// workload monitor tracks which columns queries co-access, and an advisor
+// periodically re-partitions the columns so the physical layout follows the
+// observed access pattern.
+//
+// Costs are physical, not simulated: scans stride through the interleaved
+// group buffers, so a wide group really does waste memory bandwidth when
+// only one of its columns is needed, and row lookups really do benefit from
+// locality when all requested columns share a group.
+package adaptstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadLayout = errors.New("adaptstore: layout is not a partition of the columns")
+	ErrBadColumn = errors.New("adaptstore: column index out of range")
+	ErrBadRow    = errors.New("adaptstore: row index out of range")
+)
+
+// Layout partitions column indexes into physical groups.
+type Layout [][]int
+
+// ColumnLayout returns the pure columnar layout for k columns.
+func ColumnLayout(k int) Layout {
+	l := make(Layout, k)
+	for i := range l {
+		l[i] = []int{i}
+	}
+	return l
+}
+
+// RowLayout returns the pure row-store layout (one group) for k columns.
+func RowLayout(k int) Layout {
+	g := make([]int, k)
+	for i := range g {
+		g[i] = i
+	}
+	return Layout{g}
+}
+
+// Validate checks that the layout is a partition of 0..k-1.
+func (l Layout) Validate(k int) error {
+	seen := make([]bool, k)
+	n := 0
+	for _, g := range l {
+		for _, c := range g {
+			if c < 0 || c >= k {
+				return fmt.Errorf("column %d: %w", c, ErrBadLayout)
+			}
+			if seen[c] {
+				return fmt.Errorf("column %d repeated: %w", c, ErrBadLayout)
+			}
+			seen[c] = true
+			n++
+		}
+	}
+	if n != k {
+		return fmt.Errorf("%d of %d columns covered: %w", n, k, ErrBadLayout)
+	}
+	return nil
+}
+
+// String renders the layout as e.g. "[0 2][1][3]".
+func (l Layout) String() string {
+	s := ""
+	for _, g := range l {
+		s += fmt.Sprint(g)
+	}
+	return s
+}
+
+// Equal reports whether two layouts define the same partition
+// (group and in-group order insensitive).
+func (l Layout) Equal(o Layout) bool {
+	return l.canon() == o.canon()
+}
+
+func (l Layout) canon() string {
+	groups := make([]string, len(l))
+	for i, g := range l {
+		gg := append([]int(nil), g...)
+		sort.Ints(gg)
+		groups[i] = fmt.Sprint(gg)
+	}
+	sort.Strings(groups)
+	return fmt.Sprint(groups)
+}
+
+// group is one physical column group: an interleaved row-major buffer.
+type group struct {
+	cols []int // logical column ids, in buffer order
+	buf  []float64
+}
+
+// Store is a numeric table physically organized by a Layout.
+type Store struct {
+	nrows   int
+	ncols   int
+	groups  []group
+	where   []int // column id -> group index
+	slot    []int // column id -> offset within its group
+	touched int64 // float64 slots read since creation
+}
+
+// New materializes the store from logical columns under the given layout.
+func New(cols [][]float64, layout Layout) (*Store, error) {
+	k := len(cols)
+	if err := layout.Validate(k); err != nil {
+		return nil, err
+	}
+	n := 0
+	if k > 0 {
+		n = len(cols[0])
+		for _, c := range cols {
+			if len(c) != n {
+				return nil, fmt.Errorf("ragged columns: %w", ErrBadLayout)
+			}
+		}
+	}
+	s := &Store{nrows: n, ncols: k, where: make([]int, k), slot: make([]int, k)}
+	for gi, gcols := range layout {
+		g := group{cols: append([]int(nil), gcols...), buf: make([]float64, n*len(gcols))}
+		w := len(gcols)
+		for off, c := range gcols {
+			s.where[c] = gi
+			s.slot[c] = off
+			src := cols[c]
+			for r := 0; r < n; r++ {
+				g.buf[r*w+off] = src[r]
+			}
+		}
+		s.groups = append(s.groups, g)
+	}
+	return s, nil
+}
+
+// NumRows returns the row count.
+func (s *Store) NumRows() int { return s.nrows }
+
+// Layout returns the current physical layout.
+func (s *Store) Layout() Layout {
+	l := make(Layout, len(s.groups))
+	for i, g := range s.groups {
+		l[i] = append([]int(nil), g.cols...)
+	}
+	return l
+}
+
+// SlotsTouched returns how many float64 slots have been read so far; the
+// experiments report it as the physical-work proxy alongside wall time.
+func (s *Store) SlotsTouched() int64 { return s.touched }
+
+// ScanSum scans the requested columns end to end and returns each column's
+// sum. Physically it walks each group containing a requested column with
+// the group's full stride — the columnar-vs-row bandwidth effect.
+func (s *Store) ScanSum(cols []int) ([]float64, error) {
+	out := make([]float64, len(cols))
+	// Group the requested columns by physical group, so each group buffer
+	// is walked once regardless of how many of its columns are needed.
+	type want struct {
+		outIdx int
+		off    int
+	}
+	byGroup := map[int][]want{}
+	for i, c := range cols {
+		if c < 0 || c >= s.ncols {
+			return nil, fmt.Errorf("column %d: %w", c, ErrBadColumn)
+		}
+		gi := s.where[c]
+		byGroup[gi] = append(byGroup[gi], want{outIdx: i, off: s.slot[c]})
+	}
+	for gi, wants := range byGroup {
+		g := &s.groups[gi]
+		w := len(g.cols)
+		s.touched += int64(len(g.buf))
+		for r := 0; r < s.nrows; r++ {
+			base := r * w
+			for _, wa := range wants {
+				out[wa.outIdx] += g.buf[base+wa.off]
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReadRows fetches the requested columns for the given rows (point access,
+// the OLTP-ish pattern). Each distinct (row, group) pair touches that
+// group's full row stride, modelling the cache-line granularity of row
+// access.
+func (s *Store) ReadRows(rows []int, cols []int) ([][]float64, error) {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		if r < 0 || r >= s.nrows {
+			return nil, fmt.Errorf("row %d: %w", r, ErrBadRow)
+		}
+		vals := make([]float64, len(cols))
+		seenGroup := map[int]bool{}
+		for j, c := range cols {
+			if c < 0 || c >= s.ncols {
+				return nil, fmt.Errorf("column %d: %w", c, ErrBadColumn)
+			}
+			gi := s.where[c]
+			g := &s.groups[gi]
+			w := len(g.cols)
+			if !seenGroup[gi] {
+				seenGroup[gi] = true
+				s.touched += int64(w) // one stride per touched group per row
+				// Touch the whole stride, as a real row fetch would.
+				base := r * w
+				var sink float64
+				for p := 0; p < w; p++ {
+					sink += g.buf[base+p]
+				}
+				_ = sink
+			}
+			vals[j] = g.buf[r*w+s.slot[c]]
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// Reorganize rewrites the store into the new layout (paying the full data
+// movement cost, which the adaptive experiments account for).
+func (s *Store) Reorganize(layout Layout) error {
+	if err := layout.Validate(s.ncols); err != nil {
+		return err
+	}
+	cols := make([][]float64, s.ncols)
+	for c := 0; c < s.ncols; c++ {
+		g := &s.groups[s.where[c]]
+		w := len(g.cols)
+		off := s.slot[c]
+		col := make([]float64, s.nrows)
+		for r := 0; r < s.nrows; r++ {
+			col[r] = g.buf[r*w+off]
+		}
+		cols[c] = col
+	}
+	s.touched += int64(s.nrows * s.ncols * 2) // read + write
+	ns, err := New(cols, layout)
+	if err != nil {
+		return err
+	}
+	s.groups, s.where, s.slot = ns.groups, ns.where, ns.slot
+	return nil
+}

@@ -1,0 +1,222 @@
+// Package aqp implements approximate query processing in the style the
+// tutorial's middleware section surveys (Aqua [5], BlinkDB [6,7]):
+// aggregate queries run against pre-built uniform or stratified samples and
+// return estimates with confidence intervals, and a planner picks the
+// cheapest sample that satisfies a user error bound or row budget — the
+// "queries with bounded errors and bounded response times" contract.
+package aqp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/metrics"
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrUnsupportedAgg = errors.New("aqp: unsupported aggregate")
+	ErrNoSample       = errors.New("aqp: no sample satisfies the bound")
+	ErrBadQuery       = errors.New("aqp: malformed query")
+)
+
+// Query is the aggregate query shape the AQP layer accepts: one aggregate
+// over one measure column, an optional predicate, an optional single
+// grouping column.
+type Query struct {
+	Agg     exec.AggFunc
+	Col     string // measure column; "" or "*" for COUNT
+	Where   *expr.Pred
+	GroupBy string // optional
+}
+
+// String renders the query.
+func (q Query) String() string {
+	s := fmt.Sprintf("%s(%s)", q.Agg, q.Col)
+	if q.Where != nil {
+		s += " WHERE " + q.Where.String()
+	}
+	if q.GroupBy != "" {
+		s += " GROUP BY " + q.GroupBy
+	}
+	return s
+}
+
+// GroupEstimate is one output row: the group key (zero Value when the query
+// has no GROUP BY), the estimate, and the 95% confidence half-width
+// (0 for exact execution, +Inf when the aggregate is not estimable from a
+// sample, e.g. MIN/MAX).
+type GroupEstimate struct {
+	Group storage.Value
+	Est   float64
+	CI    float64
+	N     int // contributing sample (or base) rows
+}
+
+// RelCI returns CI/|Est| (the relative error bound), or +Inf for Est==0.
+func (g GroupEstimate) RelCI() float64 {
+	if g.Est == 0 {
+		if g.CI == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return g.CI / math.Abs(g.Est)
+}
+
+// Exact computes the query on the full table; CIs are zero.
+func Exact(t *storage.Table, q Query) ([]GroupEstimate, error) {
+	weights := make([]float64, t.NumRows())
+	for i := range weights {
+		weights[i] = 1
+	}
+	res, err := estimate(t, weights, q, true)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res {
+		res[i].CI = 0
+	}
+	return res, nil
+}
+
+// OnView computes estimates from a sampled view: view must hold the sampled
+// rows and weights[i] the expansion weight of view row i.
+func OnView(view *storage.Table, weights []float64, q Query) ([]GroupEstimate, error) {
+	return estimate(view, weights, q, false)
+}
+
+// estimate runs the shared estimation pipeline. With exact=true weights are
+// all 1 and CLT noise terms are still produced (the caller zeroes them).
+//
+// The estimator treats each sampled row i as one of k draws with per-draw
+// expansion estimate t_i = k * w_i * z_i (z_i is the measure for SUM, 1 for
+// COUNT, and 0 when row i fails the predicate or group). Estimates are
+// mean(t_i) with a CLT confidence interval — the Hansen-Hurwitz form, which
+// reduces to the classic N*mean(z) estimator for uniform samples. For AVG
+// the estimate is the weighted mean within the group with a per-group CLT
+// interval. MIN/MAX report the sample extreme with CI = +Inf.
+func estimate(view *storage.Table, weights []float64, q Query, exact bool) ([]GroupEstimate, error) {
+	if q.Agg == exec.AggNone {
+		return nil, fmt.Errorf("missing aggregate: %w", ErrBadQuery)
+	}
+	needCol := q.Agg != exec.AggCount
+	var mcol storage.Column
+	if needCol {
+		c, err := view.ColumnByName(q.Col)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() == storage.TString && (q.Agg == exec.AggSum || q.Agg == exec.AggAvg) {
+			return nil, fmt.Errorf("%s over TEXT: %w", q.Agg, ErrUnsupportedAgg)
+		}
+		mcol = c
+	}
+	var gcol storage.Column
+	if q.GroupBy != "" {
+		c, err := view.ColumnByName(q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		gcol = c
+	}
+	sel, err := expr.Filter(view, q.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	k := float64(len(weights))
+	type acc struct {
+		group  storage.Value
+		sumY   float64 // sum of w_i * z_i
+		sumY2  float64 // sum of (w_i * z_i)^2
+		n      int
+		wsum   float64 // sum of weights (for AVG denominator)
+		xw     float64 // sum of w_i * x_i (AVG numerator)
+		stream metrics.Stream
+		min    float64
+		max    float64
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, row := range sel {
+		key := ""
+		var gv storage.Value
+		if gcol != nil {
+			gv = gcol.Value(row)
+			key = gv.String()
+		}
+		a, ok := groups[key]
+		if !ok {
+			a = &acc{group: gv, min: math.Inf(1), max: math.Inf(-1)}
+			groups[key] = a
+			order = append(order, key)
+		}
+		w := weights[row]
+		z := 1.0
+		x := 0.0
+		if mcol != nil {
+			x = mcol.Value(row).AsFloat()
+		}
+		if q.Agg == exec.AggSum {
+			z = x
+		}
+		y := w * z
+		a.sumY += y
+		a.sumY2 += y * y
+		a.n++
+		a.wsum += w
+		a.xw += w * x
+		a.stream.Add(x)
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	sort.Strings(order)
+	out := make([]GroupEstimate, 0, len(order))
+	for _, key := range order {
+		a := groups[key]
+		ge := GroupEstimate{Group: a.group, N: a.n}
+		switch q.Agg {
+		case exec.AggCount, exec.AggSum:
+			ge.Est = a.sumY
+			if !exact && a.n > 1 {
+				// s^2 of the per-draw estimates, zeros included:
+				// sum(t^2) = k^2 * sumY2, mean(t) = sumY.
+				s2 := (k*k*a.sumY2 - k*a.sumY*a.sumY) / (k - 1)
+				ge.CI = metrics.Z95 * math.Sqrt(math.Max(s2, 0)/k)
+			}
+		case exec.AggAvg:
+			if a.wsum > 0 {
+				ge.Est = a.xw / a.wsum
+			} else {
+				ge.Est = math.NaN()
+			}
+			if !exact {
+				ge.CI = a.stream.MeanCI(metrics.Z95)
+			}
+		case exec.AggMin:
+			ge.Est = a.min
+			if !exact {
+				ge.CI = math.Inf(1)
+			}
+		case exec.AggMax:
+			ge.Est = a.max
+			if !exact {
+				ge.CI = math.Inf(1)
+			}
+		default:
+			return nil, fmt.Errorf("%v: %w", q.Agg, ErrUnsupportedAgg)
+		}
+		out = append(out, ge)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"dex/internal/crack"
+	"dex/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E25",
+		Title:  "Cracking design-choice ablation: variant × threshold",
+		Source: "design choices called out in DESIGN.md (cf. [23,33,56])",
+		Run:    runE25,
+	})
+}
+
+// runE25 sweeps the cracker's design knobs on both a random and a
+// sequential workload: the Stochastic variant's piece-size floor
+// (StochasticMin) trades extra first-touch partitioning work for robustness,
+// and HybridSort's SortMin trades sort effort for free cuts later.
+func runE25(w io.Writer, cfg Config) error {
+	n := cfg.Scale(500_000, 20, 20_000)
+	nq := cfg.Scale(400, 4, 60)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	col := workload.UniformInts(rng, n, n)
+	random := workload.RandomRanges(rng, nq, n, int64(n/200))
+	sequential := workload.SequentialRanges(nq, n)
+	zoom := workload.ZoomRanges(rng, nq, n)
+
+	type config struct {
+		name string
+		opt  crack.Options
+	}
+	configs := []config{
+		{"standard", crack.Options{Variant: crack.Standard}},
+		{"stochastic min=256", crack.Options{Variant: crack.Stochastic, StochasticMin: 256, Seed: cfg.Seed}},
+		{"stochastic min=4096", crack.Options{Variant: crack.Stochastic, StochasticMin: 4096, Seed: cfg.Seed}},
+		{"stochastic min=65536", crack.Options{Variant: crack.Stochastic, StochasticMin: 65536, Seed: cfg.Seed}},
+		{"hybrid-sort min=256", crack.Options{Variant: crack.HybridSort, SortMin: 256}},
+		{"hybrid-sort min=4096", crack.Options{Variant: crack.HybridSort, SortMin: 4096}},
+	}
+	t := NewTable("config", "workload", "q1", "total", "pieces", "cracks")
+	for _, c := range configs {
+		for _, wl := range []struct {
+			name    string
+			queries []workload.Range
+		}{{"random", random}, {"sequential", sequential}, {"zoom", zoom}} {
+			ix := crack.New(col, c.opt)
+			var q1, total time.Duration
+			for i, q := range wl.queries {
+				d := Timed(func() { ix.Count(q.Lo, q.Hi) })
+				if i == 0 {
+					q1 = d
+				}
+				total += d
+			}
+			t.Row(c.name, wl.name, q1, total, ix.NumPieces(), ix.Cracks())
+		}
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: on random workloads all variants converge similarly (extra")
+	fmt.Fprintln(w, "stochastic cracks buy little); on the sequential sweep a smaller StochasticMin")
+	fmt.Fprintln(w, "floor keeps pieces bounded and slashes total cost, while standard cracking")
+	fmt.Fprintln(w, "pays a near-scan on every query; zoom (drill-down) workloads converge fastest")
+	fmt.Fprintln(w, "of all since locality concentrates cracks — the trade-offs of [23,33,56].")
+	return nil
+}

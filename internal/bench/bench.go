@@ -1,0 +1,142 @@
+// Package bench is the experiment harness: it regenerates, for every
+// technique family the tutorial surveys, the canonical headline experiment
+// of the surveyed system(s) — cracking convergence curves, AQP
+// error/latency trade-offs, steering convergence, SeeDB speedups and so on.
+// DESIGN.md maps each experiment id (E1–E23) to its sources and modules;
+// cmd/experiments runs them and EXPERIMENTS.md records the results.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Quick shrinks data sizes so the whole suite runs in seconds
+	// (used by tests); the default sizes are the reported ones.
+	Quick bool
+	// Seed drives all generators.
+	Seed int64
+}
+
+// Scale returns n, or n/denom (at least min) in quick mode.
+func (c Config) Scale(n, denom, min int) int {
+	if !c.Quick {
+		return n
+	}
+	s := n / denom
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// Experiment is one runnable reproduction.
+type Experiment struct {
+	ID     string
+	Title  string
+	Source string
+	Run    func(w io.Writer, cfg Config) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(a, b int) bool { return idNum(out[a].ID) < idNum(out[b].ID) })
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Table accumulates rows for aligned text output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v (floats with %.4g).
+func (t *Table) Row(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case time.Duration:
+			row[i] = x.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// Section prints an experiment banner.
+func Section(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "\n### %s — %s\n(source: %s)\n\n", e.ID, e.Title, e.Source)
+}
+
+// Timed measures fn.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

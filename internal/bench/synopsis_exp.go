@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"dex/internal/metrics"
+	"dex/internal/synopsis"
+	"dex/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E24",
+		Title:  "Synopses: histogram/wavelet/sketch accuracy vs footprint",
+		Source: "synopses for massive data [16]",
+		Run:    runE24,
+	})
+}
+
+func runE24(w io.Writer, cfg Config) error {
+	n := cfg.Scale(500_000, 20, 20_000)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Skewed numeric column (exponential) for selectivity estimation.
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+	}
+	truthRange := func(lo, hi float64) float64 {
+		c := 0.0
+		for _, x := range xs {
+			if x >= lo && x < hi {
+				c++
+			}
+		}
+		return c
+	}
+
+	t := NewTable("synopsis", "footprint", "task", "mean rel-err")
+	queries := make([][2]float64, 40)
+	for i := range queries {
+		lo := rng.Float64() * 300
+		queries[i] = [2]float64{lo, lo + 20 + rng.Float64()*80}
+	}
+	for _, buckets := range []int{16, 64, 256} {
+		hw, err := synopsis.NewEquiWidth(xs, buckets)
+		if err != nil {
+			return err
+		}
+		hd, err := synopsis.NewEquiDepth(xs, buckets)
+		if err != nil {
+			return err
+		}
+		var ewErr, edErr float64
+		valid := 0
+		for _, q := range queries {
+			tr := truthRange(q[0], q[1])
+			if tr < 10 {
+				continue
+			}
+			valid++
+			ewErr += metrics.RelErr(hw.EstimateRange(q[0], q[1]), tr)
+			edErr += metrics.RelErr(hd.EstimateRange(q[0], q[1]), tr)
+		}
+		t.Row(fmt.Sprintf("equi-width-%d", buckets), hw.Size(), "range count", ewErr/float64(valid))
+		t.Row(fmt.Sprintf("equi-depth-%d", buckets), hd.Size(), "range count", edErr/float64(valid))
+	}
+
+	// Wavelet synopsis of a frequency vector (histogram of a smooth signal).
+	freq, _ := metrics.Histogram(workload.RandomWalk(rng, n, 1), 512)
+	norm := metrics.L2(freq, make([]float64, len(freq)))
+	for _, b := range []int{16, 64, 256} {
+		wv, err := synopsis.NewWavelet(freq, b)
+		if err != nil {
+			return err
+		}
+		err2 := metrics.L2(wv.Reconstruct(), freq) / norm
+		t.Row(fmt.Sprintf("haar-wavelet-%d", b), wv.Size(), "distribution L2", err2)
+	}
+
+	// Count-Min sketch on a Zipf stream of item frequencies.
+	items := workload.ZipfInts(rng, n, 10_000, 1.3)
+	truthFreq := map[int64]uint64{}
+	for _, it := range items {
+		truthFreq[it]++
+	}
+	for _, eps := range []float64{0.01, 0.001} {
+		cm, err := synopsis.NewCountMin(eps, 0.01)
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			cm.Add(fmt.Sprint(it), 1)
+		}
+		var relErr float64
+		probes := 0
+		for it, tf := range truthFreq {
+			if tf < 100 {
+				continue
+			}
+			probes++
+			relErr += metrics.RelErr(float64(cm.Estimate(fmt.Sprint(it))), float64(tf))
+		}
+		t.Row(fmt.Sprintf("count-min eps=%.3g", eps), cm.Size(), "heavy-hitter freq", relErr/float64(probes))
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "\nshape check: error falls as the synopsis budget grows; equi-depth beats")
+	fmt.Fprintln(w, "equi-width under skew at equal buckets; the sketch never underestimates and")
+	fmt.Fprintln(w, "its overestimate shrinks with width — the classic accuracy/footprint ladder.")
+	return nil
+}

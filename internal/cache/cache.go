@@ -1,0 +1,139 @@
+// Package cache provides the generic LRU cache the middleware layer builds
+// on: result prefetching [36,63], speculative cube execution [37,35] and
+// diversification/result reuse [41] all need a bounded store with
+// recency-based eviction and hit accounting.
+package cache
+
+import (
+	"container/list"
+	"errors"
+)
+
+// ErrBadCapacity is returned for non-positive capacities.
+var ErrBadCapacity = errors.New("cache: capacity must be positive")
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Puts      int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 if nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int64
+}
+
+// LRU is a cost-bounded least-recently-used cache. Each value carries a
+// cost (e.g. rows or bytes); the total cost is kept at or below the budget
+// by evicting the least recently used entries. LRU is not safe for
+// concurrent use; callers that share one wrap it in a mutex.
+type LRU[K comparable, V any] struct {
+	budget int64
+	used   int64
+	ll     *list.List
+	items  map[K]*list.Element
+	stats  Stats
+}
+
+// New creates an LRU with the given total cost budget.
+func New[K comparable, V any](budget int64) (*LRU[K, V], error) {
+	if budget <= 0 {
+		return nil, ErrBadCapacity
+	}
+	return &LRU[K, V]{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[K]*list.Element),
+	}, nil
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence without touching recency or stats.
+func (c *LRU[K, V]) Contains(key K) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or refreshes a value with the given cost. Values costing more
+// than the whole budget are rejected (returns false).
+func (c *LRU[K, V]) Put(key K, val V, cost int64) bool {
+	if cost < 0 || cost > c.budget {
+		return false
+	}
+	c.stats.Puts++
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.used += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
+		c.items[key] = el
+		c.used += cost
+	}
+	for c.used > c.budget {
+		c.evictOldest()
+	}
+	return true
+}
+
+// Remove drops a key if present.
+func (c *LRU[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+
+// Used returns the total cost of cached entries.
+func (c *LRU[K, V]) Used() int64 { return c.used }
+
+// Stats returns a snapshot of the counters.
+func (c *LRU[K, V]) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (entries are kept).
+func (c *LRU[K, V]) ResetStats() { c.stats = Stats{} }
+
+func (c *LRU[K, V]) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.stats.Evictions++
+	c.removeElement(el)
+}
+
+func (c *LRU[K, V]) removeElement(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.cost
+}

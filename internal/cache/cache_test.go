@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	c, err := New[string, int](10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Put("a", 1, 3) {
+		t.Fatal("put rejected")
+	}
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Errorf("get = %v,%v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("phantom hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v", got)
+	}
+}
+
+func TestEvictionByCost(t *testing.T) {
+	c, _ := New[int, string](10)
+	c.Put(1, "a", 4)
+	c.Put(2, "b", 4)
+	c.Put(3, "c", 4) // must evict key 1
+	if c.Contains(1) {
+		t.Error("oldest not evicted")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Error("wrong eviction")
+	}
+	if c.Used() != 8 || c.Len() != 2 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestRecencyOrder(t *testing.T) {
+	c, _ := New[int, int](3)
+	c.Put(1, 1, 1)
+	c.Put(2, 2, 1)
+	c.Put(3, 3, 1)
+	c.Get(1)       // refresh 1
+	c.Put(4, 4, 1) // evicts 2 (LRU)
+	if c.Contains(2) {
+		t.Error("2 should be evicted")
+	}
+	if !c.Contains(1) {
+		t.Error("1 was refreshed, must stay")
+	}
+}
+
+func TestUpdateCost(t *testing.T) {
+	c, _ := New[int, int](10)
+	c.Put(1, 1, 2)
+	c.Put(1, 10, 6)
+	if c.Used() != 6 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	v, _ := c.Get(1)
+	if v != 10 {
+		t.Errorf("updated value = %v", v)
+	}
+	// Updating to a cost that overflows evicts others, keeps itself.
+	c.Put(2, 2, 3)
+	c.Put(1, 1, 9)
+	if c.Contains(2) || !c.Contains(1) {
+		t.Error("cost growth eviction wrong")
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c, _ := New[int, int](5)
+	if c.Put(1, 1, 6) {
+		t.Error("oversized accepted")
+	}
+	if c.Put(1, 1, -1) {
+		t.Error("negative cost accepted")
+	}
+	if c.Len() != 0 {
+		t.Error("cache should be empty")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, _ := New[int, int](5)
+	c.Put(1, 1, 2)
+	if !c.Remove(1) {
+		t.Error("remove existing")
+	}
+	if c.Remove(1) {
+		t.Error("remove missing should be false")
+	}
+	if c.Used() != 0 {
+		t.Errorf("used = %d", c.Used())
+	}
+}
+
+func TestBadCapacity(t *testing.T) {
+	if _, err := New[int, int](0); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, _ := New[int, int](5)
+	c.Put(1, 1, 1)
+	c.Get(1)
+	c.ResetStats()
+	if s := c.Stats(); s.Hits != 0 || s.Puts != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !c.Contains(1) {
+		t.Error("entries must survive ResetStats")
+	}
+}
+
+func TestZeroCostEntries(t *testing.T) {
+	c, _ := New[int, int](1)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i, 0)
+	}
+	if c.Len() != 100 {
+		t.Errorf("len = %d, zero-cost entries should all fit", c.Len())
+	}
+}

@@ -1,0 +1,88 @@
+// Package catalog is the engine's table registry: a concurrency-safe map
+// from table names to storage tables, with list/drop/replace operations.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrNotFound = errors.New("catalog: table not found")
+	ErrExists   = errors.New("catalog: table already exists")
+)
+
+// Catalog maps table names to tables. The zero value is not usable; call New.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*storage.Table)}
+}
+
+// Register adds a table under its own name. It fails if the name is taken.
+func (c *Catalog) Register(t *storage.Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name()]; ok {
+		return fmt.Errorf("%q: %w", t.Name(), ErrExists)
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// Replace adds or overwrites a table under its own name.
+func (c *Catalog) Replace(t *storage.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name()] = t
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*storage.Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	return t, nil
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}

@@ -1,0 +1,73 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dex/internal/storage"
+)
+
+func mk(name string) *storage.Table {
+	t, _ := storage.NewTable(name, storage.Schema{{Name: "x", Type: storage.TInt}})
+	return t
+}
+
+func TestRegisterGetDrop(t *testing.T) {
+	c := New()
+	if err := c.Register(mk("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(mk("a")); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate register err = %v", err)
+	}
+	got, err := c.Get("a")
+	if err != nil || got.Name() != "a" {
+		t.Errorf("get = %v, %v", got, err)
+	}
+	if _, err := c.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing get err = %v", err)
+	}
+	if err := c.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double drop err = %v", err)
+	}
+}
+
+func TestReplaceAndNames(t *testing.T) {
+	c := New()
+	c.Replace(mk("b"))
+	c.Replace(mk("a"))
+	c.Replace(mk("a"))
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			c.Replace(mk(name))
+			if _, err := c.Get(name); err != nil {
+				t.Error(err)
+			}
+			c.Names()
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 16 {
+		t.Errorf("len = %d, want 16", c.Len())
+	}
+}

@@ -1,0 +1,615 @@
+// Package core is the engine facade: it wires the storage catalog, the
+// adaptive cracking indexes, the AQP sample catalog, online aggregation and
+// in-situ raw tables behind one query entry point with selectable execution
+// modes — the "exploration-ready database system" the tutorial's future
+// section calls for, in miniature.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"dex/internal/aqp"
+	"dex/internal/catalog"
+	"dex/internal/crack"
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/onlineagg"
+	"dex/internal/rawload"
+	"dex/internal/recommend"
+	"dex/internal/sqlparse"
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadMode     = errors.New("core: unknown execution mode")
+	ErrNotApprox   = errors.New("core: query shape not supported by approximate modes (need exactly one aggregate, at most one GROUP BY column)")
+	ErrNoSuchTable = errors.New("core: no such table")
+)
+
+// Mode selects how a query executes.
+type Mode uint8
+
+// Execution modes.
+const (
+	// Exact executes the query fully.
+	Exact Mode = iota
+	// Cracked routes eligible range predicates through the adaptive
+	// cracker index, building it as a side effect (adaptive indexing).
+	Cracked
+	// Approx answers aggregate queries from pre-built samples with
+	// confidence intervals (AQP).
+	Approx
+	// Online runs online aggregation until the relative CI target is met.
+	Online
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Cracked:
+		return "cracked"
+	case Approx:
+		return "approx"
+	case Online:
+		return "online"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	Seed int64
+	// SampleFracs are the uniform sample fractions built lazily per table
+	// for Approx mode. Default {0.01, 0.1}.
+	SampleFracs []float64
+	// ApproxRelErr is the default relative-error bound for Approx mode.
+	// Default 0.05.
+	ApproxRelErr float64
+	// OnlineRelCI is the stopping criterion for Online mode. Default 0.01.
+	OnlineRelCI float64
+	// OnlineBatch is the online-aggregation batch size. Default 4096.
+	OnlineBatch int
+	// CrackOptions configures the adaptive indexes.
+	CrackOptions crack.Options
+}
+
+func (o *Options) fill() {
+	if len(o.SampleFracs) == 0 {
+		o.SampleFracs = []float64{0.01, 0.1}
+	}
+	if o.ApproxRelErr <= 0 {
+		o.ApproxRelErr = 0.05
+	}
+	if o.OnlineRelCI <= 0 {
+		o.OnlineRelCI = 0.01
+	}
+	if o.OnlineBatch <= 0 {
+		o.OnlineBatch = 4096
+	}
+}
+
+// Engine is the exploration engine.
+type Engine struct {
+	mu       sync.Mutex
+	opt      Options
+	cat      *catalog.Catalog
+	rng      *rand.Rand
+	cracked  map[string]map[string]*crack.IntIndex
+	crackedF map[string]map[string]*crack.Index[float64]
+	samples  map[string]*aqp.Catalog
+	raw      map[string]*rawload.RawTable
+	// pastSessions archives ended sessions for query recommendation.
+	pastSessions []recommend.Session
+}
+
+// New creates an engine.
+func New(opt Options) *Engine {
+	opt.fill()
+	return &Engine{
+		opt:      opt,
+		cat:      catalog.New(),
+		rng:      rand.New(rand.NewSource(opt.Seed)),
+		cracked:  map[string]map[string]*crack.IntIndex{},
+		crackedF: map[string]map[string]*crack.Index[float64]{},
+		samples:  map[string]*aqp.Catalog{},
+		raw:      map[string]*rawload.RawTable{},
+	}
+}
+
+// Register adds an in-memory table.
+func (e *Engine) Register(t *storage.Table) error {
+	return e.cat.Register(t)
+}
+
+// LoadCSV loads a CSV file eagerly into the catalog.
+func (e *Engine) LoadCSV(name, path string) error {
+	t, err := storage.ReadCSVFile(name, path)
+	if err != nil {
+		return err
+	}
+	return e.cat.Register(t)
+}
+
+// AttachCSV registers a CSV file for in-situ (NoDB-style) querying: no
+// bytes are read until a query touches the table, and only touched columns
+// are ever parsed.
+func (e *Engine) AttachCSV(name, path string, schema storage.Schema) error {
+	r, err := rawload.Open(name, path, schema)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.raw[name] = r
+	return nil
+}
+
+// Tables lists registered table names (in-memory and in-situ).
+func (e *Engine) Tables() []string {
+	names := e.cat.Names()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for n := range e.raw {
+		names = append(names, n+" (in-situ)")
+	}
+	return names
+}
+
+// table resolves a name to an in-memory table, materializing the needed
+// columns of an in-situ table when necessary.
+func (e *Engine) table(name string, q exec.Query) (*storage.Table, error) {
+	if t, err := e.cat.Get(name); err == nil {
+		return t, nil
+	}
+	e.mu.Lock()
+	r, ok := e.raw[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoSuchTable)
+	}
+	cols := columnsOf(q, r.Schema())
+	return r.Materialize(cols...)
+}
+
+// schemaOf returns the schema for star expansion.
+func (e *Engine) schemaOf(name string) (storage.Schema, error) {
+	if t, err := e.cat.Get(name); err == nil {
+		return t.Schema(), nil
+	}
+	e.mu.Lock()
+	r, ok := e.raw[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoSuchTable)
+	}
+	return r.Schema(), nil
+}
+
+func columnsOf(q exec.Query, schema storage.Schema) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(c string) {
+		if c == "" || c == "*" || seen[c] || schema.Index(c) < 0 {
+			return
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	for _, s := range q.Select {
+		add(s.Col)
+	}
+	if q.Where != nil {
+		for _, c := range q.Where.Columns() {
+			add(c)
+		}
+	}
+	for _, g := range q.GroupBy {
+		add(g)
+	}
+	for _, o := range q.OrderBy {
+		add(o.Col)
+	}
+	if len(out) == 0 && len(schema) > 0 {
+		out = append(out, schema[0].Name)
+	}
+	return out
+}
+
+// SQL parses and executes a statement under the given mode. Joins are
+// executed eagerly (hash join), then the rest of the query runs against the
+// joined table in Exact mode; the adaptive/approximate modes apply to
+// single-table statements.
+func (e *Engine) SQL(sql string, mode Mode) (*storage.Table, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if st.JoinTable != "" {
+		return e.executeJoin(st)
+	}
+	return e.Execute(st.Table, st.Query, mode)
+}
+
+// executeJoin runs a two-table statement: hash-join then query.
+func (e *Engine) executeJoin(st *sqlparse.Statement) (*storage.Table, error) {
+	// Joins need the whole tables materialized.
+	lschema, err := e.schemaOf(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rschema, err := e.schemaOf(st.JoinTable)
+	if err != nil {
+		return nil, err
+	}
+	left, err := e.table(st.Table, allColumnsQuery(lschema))
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.table(st.JoinTable, allColumnsQuery(rschema))
+	if err != nil {
+		return nil, err
+	}
+	joined, err := exec.Join(left, right, st.LeftKey, st.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	q := sqlparse.ExpandStar(st.Query, joined.Schema())
+	return exec.Execute(joined, q)
+}
+
+func allColumnsQuery(schema storage.Schema) exec.Query {
+	var q exec.Query
+	for _, f := range schema {
+		q.Select = append(q.Select, exec.SelectItem{Col: f.Name})
+	}
+	return q
+}
+
+// Execute runs a parsed query against a named table under the given mode.
+func (e *Engine) Execute(table string, q exec.Query, mode Mode) (*storage.Table, error) {
+	schema, err := e.schemaOf(table)
+	if err != nil {
+		return nil, err
+	}
+	q = sqlparse.ExpandStar(q, schema)
+	switch mode {
+	case Exact:
+		t, err := e.table(table, q)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Execute(t, q)
+	case Cracked:
+		return e.executeCracked(table, q)
+	case Approx:
+		return e.executeApprox(table, q)
+	case Online:
+		return e.executeOnline(table, q)
+	default:
+		return nil, fmt.Errorf("%v: %w", mode, ErrBadMode)
+	}
+}
+
+// rangePred recognizes WHERE shapes the cracker can serve: a single
+// comparison or a conjunction of comparisons on one numeric column with
+// numeric constants. It normalizes the predicate into half-open bounds:
+// integer [iLo, iHi) for INT columns, float [fLo, fHi) for FLOAT columns.
+func rangePred(q exec.Query, schema storage.Schema) (col string, isFloat bool, iLo, iHi int64, fLo, fHi float64, ok bool) {
+	w := q.Where
+	if w == nil {
+		return "", false, 0, 0, 0, 0, false
+	}
+	var cmps []*expr.Pred
+	switch w.Kind {
+	case expr.KCmp:
+		cmps = []*expr.Pred{w}
+	case expr.KAnd:
+		for _, k := range w.Kids {
+			if k.Kind != expr.KCmp {
+				return "", false, 0, 0, 0, 0, false
+			}
+			cmps = append(cmps, k)
+		}
+	default:
+		return "", false, 0, 0, 0, 0, false
+	}
+	iLo, iHi = math.MinInt64, math.MaxInt64
+	fLo, fHi = math.Inf(-1), math.Inf(1)
+	for _, c := range cmps {
+		if col == "" {
+			col = c.Col
+			i := schema.Index(c.Col)
+			if i < 0 {
+				return "", false, 0, 0, 0, 0, false
+			}
+			switch schema[i].Type {
+			case storage.TInt:
+				isFloat = false
+			case storage.TFloat:
+				isFloat = true
+			default:
+				return "", false, 0, 0, 0, 0, false
+			}
+		} else if col != c.Col {
+			return "", false, 0, 0, 0, 0, false
+		}
+		if !c.Val.IsNumeric() {
+			return "", false, 0, 0, 0, 0, false
+		}
+		if isFloat {
+			v := c.Val.AsFloat()
+			switch c.Op {
+			case expr.GE:
+				fLo = math.Max(fLo, v)
+			case expr.GT:
+				fLo = math.Max(fLo, math.Nextafter(v, math.Inf(1)))
+			case expr.LT:
+				fHi = math.Min(fHi, v)
+			case expr.LE:
+				fHi = math.Min(fHi, math.Nextafter(v, math.Inf(1)))
+			case expr.EQ:
+				fLo = math.Max(fLo, v)
+				fHi = math.Min(fHi, math.Nextafter(v, math.Inf(1)))
+			default:
+				return "", false, 0, 0, 0, 0, false
+			}
+			continue
+		}
+		// Integer column: translate possibly fractional constants into
+		// integer half-open bounds. Constants beyond the int64 range would
+		// overflow the conversion and flip the range, so fall back to the
+		// exact path for them.
+		v := c.Val.AsFloat()
+		if v >= math.MaxInt64 || v <= math.MinInt64 {
+			return "", false, 0, 0, 0, 0, false
+		}
+		switch c.Op {
+		case expr.GE:
+			iLo = maxI(iLo, int64(math.Ceil(v)))
+		case expr.GT:
+			iLo = maxI(iLo, int64(math.Floor(v))+1)
+		case expr.LT:
+			iHi = minI(iHi, int64(math.Ceil(v)))
+		case expr.LE:
+			iHi = minI(iHi, int64(math.Floor(v))+1)
+		case expr.EQ:
+			if v != math.Trunc(v) {
+				return "", false, 0, 0, 0, 0, false // x = 2.5 over INT: empty, fall back
+			}
+			iLo = maxI(iLo, int64(v))
+			iHi = minI(iHi, int64(v)+1)
+		default:
+			return "", false, 0, 0, 0, 0, false
+		}
+	}
+	return col, isFloat, iLo, iHi, fLo, fHi, col != ""
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (e *Engine) executeCracked(table string, q exec.Query) (*storage.Table, error) {
+	t, err := e.table(table, q)
+	if err != nil {
+		return nil, err
+	}
+	col, isFloat, iLo, iHi, fLo, fHi, ok := rangePred(q, t.Schema())
+	if !ok {
+		return exec.Execute(t, q) // fallback: not a crackable shape
+	}
+	var rows []int
+	if isFloat {
+		ix, ferr := e.crackIndexFloat(table, t, col)
+		if ferr != nil {
+			return nil, ferr
+		}
+		rows = ix.Query(fLo, fHi)
+	} else {
+		ix, ierr := e.crackIndex(table, t, col)
+		if ierr != nil {
+			return nil, ierr
+		}
+		rows = ix.Query(iLo, iHi)
+	}
+	sub := t.Gather(rows)
+	q.Where = nil
+	return exec.Execute(sub, q)
+}
+
+// crackIndexFloat returns (building on demand) the float cracker index.
+func (e *Engine) crackIndexFloat(table string, t *storage.Table, col string) (*crack.Index[float64], error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byCol, ok := e.crackedF[table]
+	if !ok {
+		byCol = map[string]*crack.Index[float64]{}
+		e.crackedF[table] = byCol
+	}
+	if ix, ok := byCol[col]; ok {
+		return ix, nil
+	}
+	c, err := t.ColumnByName(col)
+	if err != nil {
+		return nil, err
+	}
+	fc, ok := c.(*storage.FloatColumn)
+	if !ok {
+		return nil, fmt.Errorf("core: float cracking needs a FLOAT column, %q is %v", col, c.Type())
+	}
+	ix := crack.New(fc.V, e.opt.CrackOptions)
+	byCol[col] = ix
+	return ix, nil
+}
+
+// crackIndex returns (building on demand) the cracker index for a column.
+func (e *Engine) crackIndex(table string, t *storage.Table, col string) (*crack.IntIndex, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byCol, ok := e.cracked[table]
+	if !ok {
+		byCol = map[string]*crack.IntIndex{}
+		e.cracked[table] = byCol
+	}
+	if ix, ok := byCol[col]; ok {
+		return ix, nil
+	}
+	c, err := t.ColumnByName(col)
+	if err != nil {
+		return nil, err
+	}
+	ic, ok := c.(*storage.IntColumn)
+	if !ok {
+		return nil, fmt.Errorf("core: cracking needs an INT column, %q is %v", col, c.Type())
+	}
+	ix := crack.New(ic.V, e.opt.CrackOptions)
+	byCol[col] = ix
+	return ix, nil
+}
+
+// CrackStats reports (pieces, cracks) for a table's column index, or ok
+// false when no index exists yet.
+func (e *Engine) CrackStats(table, col string) (pieces, cracks int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if byCol, have := e.cracked[table]; have {
+		if ix, have := byCol[col]; have {
+			return ix.NumPieces(), ix.Cracks(), true
+		}
+	}
+	if byCol, have := e.crackedF[table]; have {
+		if ix, have := byCol[col]; have {
+			return ix.NumPieces(), ix.Cracks(), true
+		}
+	}
+	return 0, 0, false
+}
+
+// approxShape converts an exec.Query into the single-aggregate aqp.Query
+// the approximate modes support.
+func approxShape(q exec.Query) (aqp.Query, string, error) {
+	var agg *exec.SelectItem
+	groupCols := map[string]bool{}
+	for _, g := range q.GroupBy {
+		groupCols[g] = true
+	}
+	groupName := ""
+	for i := range q.Select {
+		s := &q.Select[i]
+		if s.Agg != exec.AggNone {
+			if agg != nil {
+				return aqp.Query{}, "", ErrNotApprox
+			}
+			agg = s
+			continue
+		}
+		if !groupCols[s.Col] {
+			return aqp.Query{}, "", ErrNotApprox
+		}
+	}
+	if agg == nil || len(q.GroupBy) > 1 {
+		return aqp.Query{}, "", ErrNotApprox
+	}
+	if len(q.GroupBy) == 1 {
+		groupName = q.GroupBy[0]
+	}
+	return aqp.Query{Agg: agg.Agg, Col: agg.Col, Where: q.Where, GroupBy: groupName}, agg.Name(), nil
+}
+
+// estimatesTable renders group estimates as a result table with estimate,
+// ci95 and sample_n columns.
+func estimatesTable(name, groupCol, aggName string, ests []aqp.GroupEstimate) (*storage.Table, error) {
+	schema := storage.Schema{}
+	if groupCol != "" {
+		typ := storage.TString
+		if len(ests) > 0 {
+			typ = ests[0].Group.Typ
+		}
+		schema = append(schema, storage.Field{Name: groupCol, Type: typ})
+	}
+	schema = append(schema,
+		storage.Field{Name: aggName, Type: storage.TFloat},
+		storage.Field{Name: "ci95", Type: storage.TFloat},
+		storage.Field{Name: "sample_n", Type: storage.TInt},
+	)
+	out, err := storage.NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range ests {
+		row := []storage.Value{}
+		if groupCol != "" {
+			row = append(row, g.Group)
+		}
+		row = append(row, storage.Float(g.Est), storage.Float(g.CI), storage.Int(int64(g.N)))
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) executeApprox(table string, q exec.Query) (*storage.Table, error) {
+	aq, aggName, err := approxShape(q)
+	if err != nil {
+		return nil, err
+	}
+	t, err := e.table(table, q)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	cat, ok := e.samples[table]
+	if !ok {
+		cat, err = aqp.NewCatalog(t, e.rng, e.opt.SampleFracs...)
+		if err == nil {
+			e.samples[table] = cat
+		}
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	res, err := cat.Approx(aq, aqp.Bound{RelErr: e.opt.ApproxRelErr})
+	if err != nil && res == nil {
+		return nil, err
+	}
+	return estimatesTable(table, aq.GroupBy, aggName, res.Groups)
+}
+
+func (e *Engine) executeOnline(table string, q exec.Query) (*storage.Table, error) {
+	aq, aggName, err := approxShape(q)
+	if err != nil {
+		return nil, err
+	}
+	t, err := e.table(table, q)
+	if err != nil {
+		return nil, err
+	}
+	r, err := onlineagg.New(t, aq, e.rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.RunUntil(e.opt.OnlineRelCI, e.opt.OnlineBatch); err != nil {
+		return nil, err
+	}
+	return estimatesTable(table, aq.GroupBy, aggName, r.Estimates())
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"dex/internal/recommend"
+	"dex/internal/sqlparse"
+	"dex/internal/storage"
+)
+
+// Session tracks one user's exploration: every executed query is
+// fingerprinted into the session history, which powers next-query
+// recommendation against the engine's archive of past sessions.
+type Session struct {
+	engine  *Engine
+	history recommend.Session
+}
+
+// NewSession starts a session on the engine.
+func (e *Engine) NewSession() *Session {
+	return &Session{engine: e}
+}
+
+// Query parses, executes and records a statement.
+func (s *Session) Query(sql string, mode Mode) (*storage.Table, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.engine.Execute(st.Table, st.Query, mode)
+	if err != nil {
+		return nil, err
+	}
+	s.history = append(s.history, recommend.Fingerprint(st.Query))
+	return res, nil
+}
+
+// History returns the session's query fingerprints.
+func (s *Session) History() recommend.Session {
+	return append(recommend.Session(nil), s.history...)
+}
+
+// Len returns the number of recorded queries.
+func (s *Session) Len() int { return len(s.history) }
+
+// End archives the session into the engine's log, making it available to
+// future recommendations.
+func (s *Session) End() {
+	if len(s.history) == 0 {
+		return
+	}
+	e := s.engine
+	e.mu.Lock()
+	e.pastSessions = append(e.pastSessions, s.History())
+	e.mu.Unlock()
+	s.history = nil
+}
+
+// SuggestNext recommends likely next queries for the session from the
+// engine's archived sessions. It returns nil (no error) when there is no
+// history to learn from.
+func (s *Session) SuggestNext(k int) ([]recommend.QuerySuggestion, error) {
+	e := s.engine
+	e.mu.Lock()
+	hist := append([]recommend.Session(nil), e.pastSessions...)
+	e.mu.Unlock()
+	if len(hist) == 0 {
+		return nil, nil
+	}
+	r, err := recommend.New(hist)
+	if err != nil {
+		return nil, err
+	}
+	return r.SuggestNextQuery(s.history, k)
+}

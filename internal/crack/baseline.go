@@ -1,0 +1,97 @@
+package crack
+
+import (
+	"cmp"
+	"sort"
+)
+
+// RangeIndex is the common interface of the cracker index and its two
+// baselines, so benchmarks and the engine can swap them freely.
+type RangeIndex[T cmp.Ordered] interface {
+	// Query returns row ids with lo <= value < hi.
+	Query(lo, hi T) []int
+	// Count returns the number of values with lo <= value < hi.
+	Count(lo, hi T) int
+}
+
+// FullScan is the no-index baseline: every query scans the whole column.
+type FullScan[T cmp.Ordered] struct {
+	vals []T
+}
+
+// NewFullScan wraps a column (not copied) as a scan-only index.
+func NewFullScan[T cmp.Ordered](col []T) *FullScan[T] { return &FullScan[T]{vals: col} }
+
+// Query implements RangeIndex by scanning.
+func (f *FullScan[T]) Query(lo, hi T) []int {
+	if lo >= hi {
+		return nil
+	}
+	var out []int
+	for i, v := range f.vals {
+		if v >= lo && v < hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Count implements RangeIndex by scanning.
+func (f *FullScan[T]) Count(lo, hi T) int {
+	if lo >= hi {
+		return 0
+	}
+	n := 0
+	for _, v := range f.vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedIndex is the full-index baseline: it pays the complete sort upfront
+// (the "tuning phase" traditional systems assume time for) and then answers
+// every range query with two binary searches.
+type SortedIndex[T cmp.Ordered] struct {
+	vals []T
+	rows []int
+}
+
+// NewSorted builds the full index by sorting a copy of col.
+func NewSorted[T cmp.Ordered](col []T) *SortedIndex[T] {
+	idx := make([]int, len(col))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
+	vals := make([]T, len(col))
+	rows := make([]int, len(col))
+	for i, p := range idx {
+		vals[i] = col[p]
+		rows[i] = p
+	}
+	return &SortedIndex[T]{vals: vals, rows: rows}
+}
+
+// Query implements RangeIndex via binary search.
+func (s *SortedIndex[T]) Query(lo, hi T) []int {
+	if lo >= hi {
+		return nil
+	}
+	a := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= lo })
+	b := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= hi })
+	out := make([]int, b-a)
+	copy(out, s.rows[a:b])
+	return out
+}
+
+// Count implements RangeIndex via binary search.
+func (s *SortedIndex[T]) Count(lo, hi T) int {
+	if lo >= hi {
+		return 0
+	}
+	a := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= lo })
+	b := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= hi })
+	return b - a
+}

@@ -1,0 +1,367 @@
+// Package crack implements adaptive indexing by database cracking, the
+// engine-layer technique the tutorial surveys in depth [26,29]: the first
+// queries on a column physically reorganize ("crack") a copy of it around
+// the requested value ranges, so the index is built incrementally as a side
+// effect of query processing, with no upfront tuning.
+//
+// Three variants are provided:
+//
+//   - Standard cracking [29]: crack exactly at the query bounds.
+//   - Stochastic cracking [23] (DDR-style): additionally crack large pieces
+//     at random pivots so skewed/sequential workloads cannot starve
+//     convergence.
+//   - Hybrid crack-sort [33]: pieces that shrink below a threshold are
+//     sorted in place, after which cracks inside them are free binary
+//     searches.
+//
+// Updates are absorbed adaptively [30] with a pending-insert buffer that is
+// ripple-merged into the cracked array, and tombstone deletes. The index is
+// safe for concurrent readers; cracking steps take the write lock, so as
+// the index converges queries increasingly run lock-shared [22].
+package crack
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Variant selects the cracking algorithm.
+type Variant uint8
+
+// Cracking variants.
+const (
+	Standard Variant = iota
+	Stochastic
+	HybridSort
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Standard:
+		return "standard"
+	case Stochastic:
+		return "stochastic"
+	case HybridSort:
+		return "hybrid-sort"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Options configures an Index.
+type Options struct {
+	Variant Variant
+	// StochasticMin is the piece size above which the Stochastic variant
+	// introduces random pivot cracks before cracking at the query bound.
+	StochasticMin int
+	// SortMin is the piece size at or below which the HybridSort variant
+	// sorts a piece on first touch.
+	SortMin int
+	// MaxPending is the pending-update buffer size that triggers a merge.
+	MaxPending int
+	// Seed seeds the random pivot generator (Stochastic variant).
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.StochasticMin <= 0 {
+		o.StochasticMin = 1 << 10
+	}
+	if o.SortMin <= 0 {
+		o.SortMin = 1 << 10
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 1 << 12
+	}
+}
+
+// cut is a crack boundary: rows at positions < pos have value < val,
+// rows at positions >= pos have value >= val.
+type cut[T cmp.Ordered] struct {
+	val T
+	pos int
+}
+
+// Index is a cracker index over a column of any ordered type (integers in
+// the classic experiments, but floats and strings crack identically). It
+// owns a reordered copy of the values plus the aligned original row
+// identifiers. IntIndex aliases the common instantiation.
+type Index[T cmp.Ordered] struct {
+	mu      sync.RWMutex
+	vals    []T
+	rows    []int
+	cuts    []cut[T] // sorted by val (and pos)
+	sorted  []span
+	opt     Options
+	rng     *rand.Rand
+	nextRow int
+	pending []pendingIns[T]
+	dead    map[int]bool // tombstoned row ids
+	// stats
+	cracksDone int
+	mergesDone int
+}
+
+// IntIndex is the classic integer-column cracker.
+type IntIndex = Index[int64]
+
+type pendingIns[T cmp.Ordered] struct {
+	val T
+	row int
+}
+
+// span marks a [lo,hi) position range that is known to be sorted.
+type span struct{ lo, hi int }
+
+// New builds a cracker index over col. The slice is copied; original row
+// ids are the positions in col.
+func New[T cmp.Ordered](col []T, opt Options) *Index[T] {
+	opt.fill()
+	vals := make([]T, len(col))
+	copy(vals, col)
+	rows := make([]int, len(col))
+	for i := range rows {
+		rows[i] = i
+	}
+	return &Index[T]{
+		vals:    vals,
+		rows:    rows,
+		opt:     opt,
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		nextRow: len(col),
+		dead:    make(map[int]bool),
+	}
+}
+
+// Len returns the number of live values (cracked array plus pending,
+// minus tombstones).
+func (ix *Index[T]) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.vals) + len(ix.pending) - len(ix.dead)
+}
+
+// NumPieces returns the number of pieces the column is currently cracked
+// into (cuts + 1).
+func (ix *Index[T]) NumPieces() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.cuts) + 1
+}
+
+// Cracks returns how many physical partition steps have been performed.
+func (ix *Index[T]) Cracks() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.cracksDone
+}
+
+// Merges returns how many pending-buffer merges have been performed.
+func (ix *Index[T]) Merges() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.mergesDone
+}
+
+// Query returns the row ids whose value v satisfies lo <= v < hi.
+// As a side effect it cracks the underlying column at lo and hi.
+func (ix *Index[T]) Query(lo, hi T) []int {
+	if lo >= hi {
+		return nil
+	}
+	pa, pb := ix.bounds(lo, hi)
+	ix.mu.RLock()
+	out := make([]int, 0, pb-pa+len(ix.pending)/4)
+	for i := pa; i < pb; i++ {
+		if !ix.dead[ix.rows[i]] {
+			out = append(out, ix.rows[i])
+		}
+	}
+	for _, p := range ix.pending {
+		if p.val >= lo && p.val < hi && !ix.dead[p.row] {
+			out = append(out, p.row)
+		}
+	}
+	ix.mu.RUnlock()
+	return out
+}
+
+// Count returns how many values satisfy lo <= v < hi, cracking as a side
+// effect but without materializing row ids.
+func (ix *Index[T]) Count(lo, hi T) int {
+	if lo >= hi {
+		return 0
+	}
+	pa, pb := ix.bounds(lo, hi)
+	ix.mu.RLock()
+	n := 0
+	if len(ix.dead) == 0 {
+		n = pb - pa
+	} else {
+		for i := pa; i < pb; i++ {
+			if !ix.dead[ix.rows[i]] {
+				n++
+			}
+		}
+	}
+	for _, p := range ix.pending {
+		if p.val >= lo && p.val < hi && !ix.dead[p.row] {
+			n++
+		}
+	}
+	ix.mu.RUnlock()
+	return n
+}
+
+// bounds cracks at lo and hi and returns their positions. It first tries
+// under the read lock (both cuts already known: the converged fast path the
+// concurrency-control work [22] exploits), then falls back to the write lock.
+func (ix *Index[T]) bounds(lo, hi T) (int, int) {
+	ix.mu.RLock()
+	pa, oka := ix.lookupCut(lo)
+	pb, okb := ix.lookupCut(hi)
+	ix.mu.RUnlock()
+	if oka && okb {
+		return pa, pb
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	pa = ix.crackAt(lo)
+	pb = ix.crackAt(hi)
+	return pa, pb
+}
+
+// lookupCut returns the position of an existing cut at v, or where a fully
+// sorted piece makes the position derivable without physical work.
+func (ix *Index[T]) lookupCut(v T) (int, bool) {
+	i := sort.Search(len(ix.cuts), func(i int) bool { return ix.cuts[i].val >= v })
+	if i < len(ix.cuts) && ix.cuts[i].val == v {
+		return ix.cuts[i].pos, true
+	}
+	return 0, false
+}
+
+// pieceAt returns the piece [plo,phi) that value v falls into, given cuts.
+func (ix *Index[T]) pieceAt(v T) (plo, phi int) {
+	plo, phi = 0, len(ix.vals)
+	i := sort.Search(len(ix.cuts), func(i int) bool { return ix.cuts[i].val > v })
+	// cuts[i-1].val <= v < cuts[i].val
+	if i > 0 {
+		plo = ix.cuts[i-1].pos
+	}
+	if i < len(ix.cuts) {
+		phi = ix.cuts[i].pos
+	}
+	return plo, phi
+}
+
+// insertCut records a new crack boundary.
+func (ix *Index[T]) insertCut(v T, pos int) {
+	i := sort.Search(len(ix.cuts), func(i int) bool { return ix.cuts[i].val >= v })
+	if i < len(ix.cuts) && ix.cuts[i].val == v {
+		return
+	}
+	ix.cuts = append(ix.cuts, cut[T]{})
+	copy(ix.cuts[i+1:], ix.cuts[i:])
+	ix.cuts[i] = cut[T]{val: v, pos: pos}
+}
+
+// crackAt ensures a cut exists at value v and returns its position.
+// Caller holds the write lock.
+func (ix *Index[T]) crackAt(v T) int {
+	if p, ok := ix.lookupCut(v); ok {
+		return p
+	}
+	plo, phi := ix.pieceAt(v)
+
+	if ix.isSorted(plo, phi) {
+		// Free crack: binary search inside the sorted piece.
+		pos := plo + sort.Search(phi-plo, func(i int) bool { return ix.vals[plo+i] >= v })
+		ix.insertCut(v, pos)
+		return pos
+	}
+
+	if ix.opt.Variant == Stochastic {
+		// DDR-style: split oversized pieces at random pivots first, then
+		// crack at the query bound inside the shrunken piece.
+		for phi-plo > ix.opt.StochasticMin {
+			pivot := ix.vals[plo+ix.rng.Intn(phi-plo)]
+			mid := ix.partition(plo, phi, pivot)
+			if mid == plo || mid == phi {
+				break // degenerate pivot (all equal); stop splitting
+			}
+			ix.insertCut(pivot, mid)
+			if v < pivot {
+				phi = mid
+			} else {
+				plo = mid
+			}
+		}
+	}
+
+	if ix.opt.Variant == HybridSort && phi-plo <= ix.opt.SortMin && phi > plo {
+		ix.sortPiece(plo, phi)
+		pos := plo + sort.Search(phi-plo, func(i int) bool { return ix.vals[plo+i] >= v })
+		ix.insertCut(v, pos)
+		return pos
+	}
+
+	pos := ix.partition(plo, phi, v)
+	ix.insertCut(v, pos)
+	return pos
+}
+
+// partition reorders positions [lo,hi) so values < pivot precede values
+// >= pivot, returning the split position.
+func (ix *Index[T]) partition(lo, hi int, pivot T) int {
+	ix.cracksDone++
+	vals, rows := ix.vals, ix.rows
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && vals[i] < pivot {
+			i++
+		}
+		for i <= j && vals[j] >= pivot {
+			j--
+		}
+		if i < j {
+			vals[i], vals[j] = vals[j], vals[i]
+			rows[i], rows[j] = rows[j], rows[i]
+			i++
+			j--
+		}
+	}
+	return i
+}
+
+// sortPiece sorts positions [lo,hi) and records the span as sorted.
+func (ix *Index[T]) sortPiece(lo, hi int) {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ix.vals[idx[a]] < ix.vals[idx[b]] })
+	vtmp := make([]T, hi-lo)
+	rtmp := make([]int, hi-lo)
+	for i, p := range idx {
+		vtmp[i] = ix.vals[p]
+		rtmp[i] = ix.rows[p]
+	}
+	copy(ix.vals[lo:hi], vtmp)
+	copy(ix.rows[lo:hi], rtmp)
+	ix.sorted = append(ix.sorted, span{lo, hi})
+}
+
+// isSorted reports whether [lo,hi) lies inside a span previously sorted.
+func (ix *Index[T]) isSorted(lo, hi int) bool {
+	for _, s := range ix.sorted {
+		if s.lo <= lo && hi <= s.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,272 @@
+// Package diversify implements the query-result diversification techniques
+// the tutorial's middleware section covers (DivIDE [41], result
+// diversification [65]): selecting k results that trade relevance against
+// pairwise diversity so an exploring user sees the breadth of the answer
+// space instead of k near-duplicates.
+package diversify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dex/internal/metrics"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadK      = errors.New("diversify: k out of range")
+	ErrBadLambda = errors.New("diversify: lambda must be in [0,1]")
+	ErrRagged    = errors.New("diversify: feature vectors must share a length")
+)
+
+// Item is one candidate result: a relevance score plus a feature vector in
+// the diversification space.
+type Item struct {
+	ID       int
+	Rel      float64
+	Features []float64
+}
+
+// Result is a selected subset with its quality metrics.
+type Result struct {
+	Picked []int // indexes into the candidate slice
+	// AvgRel is the mean relevance of the picked items.
+	AvgRel float64
+	// MinDist is the smallest pairwise distance among picked items.
+	MinDist float64
+	// SumDist is the total pairwise distance (the MaxSum diversity
+	// objective).
+	SumDist float64
+}
+
+// Objective returns the MaxSum bi-criteria objective lambda*avgRel +
+// (1-lambda)*avgPairwiseDist — the objective Swap optimizes.
+func (r Result) Objective(lambda float64) float64 {
+	k := float64(len(r.Picked))
+	if k < 2 {
+		return lambda * r.AvgRel
+	}
+	pairs := k * (k - 1) / 2
+	return lambda*r.AvgRel + (1-lambda)*r.SumDist/pairs
+}
+
+// ObjectiveMaxMin returns the MaxMin bi-criteria objective lambda*avgRel +
+// (1-lambda)*minPairwiseDist — the objective greedy MMR approximates.
+func (r Result) ObjectiveMaxMin(lambda float64) float64 {
+	if len(r.Picked) < 2 {
+		return lambda * r.AvgRel
+	}
+	return lambda*r.AvgRel + (1-lambda)*r.MinDist
+}
+
+func validate(items []Item, k int, lambda float64) error {
+	if k <= 0 || k > len(items) {
+		return fmt.Errorf("k=%d n=%d: %w", k, len(items), ErrBadK)
+	}
+	if lambda < 0 || lambda > 1 {
+		return fmt.Errorf("lambda=%v: %w", lambda, ErrBadLambda)
+	}
+	if len(items) > 0 {
+		d := len(items[0].Features)
+		for _, it := range items {
+			if len(it.Features) != d {
+				return ErrRagged
+			}
+		}
+	}
+	return nil
+}
+
+func dist(a, b Item) float64 { return metrics.L2(a.Features, b.Features) }
+
+func finish(items []Item, picked []int) Result {
+	r := Result{Picked: picked, MinDist: math.Inf(1)}
+	for _, p := range picked {
+		r.AvgRel += items[p].Rel
+	}
+	if len(picked) > 0 {
+		r.AvgRel /= float64(len(picked))
+	}
+	for i := 0; i < len(picked); i++ {
+		for j := i + 1; j < len(picked); j++ {
+			d := dist(items[picked[i]], items[picked[j]])
+			r.SumDist += d
+			if d < r.MinDist {
+				r.MinDist = d
+			}
+		}
+	}
+	if math.IsInf(r.MinDist, 1) {
+		r.MinDist = 0
+	}
+	return r
+}
+
+// TopK is the relevance-only baseline: the k highest-relevance items.
+func TopK(items []Item, k int) (Result, error) {
+	if err := validate(items, k, 0.5); err != nil {
+		return Result{}, err
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return items[idx[a]].Rel > items[idx[b]].Rel })
+	return finish(items, idx[:k]), nil
+}
+
+// Random is the diversity-only-by-accident baseline.
+func Random(items []Item, k int, rng *rand.Rand) (Result, error) {
+	if err := validate(items, k, 0.5); err != nil {
+		return Result{}, err
+	}
+	idx := rng.Perm(len(items))[:k]
+	return finish(items, idx), nil
+}
+
+// MMR greedily selects items by maximal marginal relevance: each step picks
+// the item maximizing lambda*rel + (1-lambda)*minDistToSelected.
+// Runtime is O(k*n).
+func MMR(items []Item, k int, lambda float64) (Result, error) {
+	if err := validate(items, k, lambda); err != nil {
+		return Result{}, err
+	}
+	n := len(items)
+	picked := make([]int, 0, k)
+	inSet := make([]bool, n)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	// Seed with the most relevant item.
+	best := 0
+	for i := 1; i < n; i++ {
+		if items[i].Rel > items[best].Rel {
+			best = i
+		}
+	}
+	for len(picked) < k {
+		picked = append(picked, best)
+		inSet[best] = true
+		for i := 0; i < n; i++ {
+			if inSet[i] {
+				continue
+			}
+			if d := dist(items[i], items[best]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+		best = -1
+		bestScore := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if inSet[i] {
+				continue
+			}
+			score := lambda*items[i].Rel + (1-lambda)*minDist[i]
+			if score > bestScore {
+				bestScore, best = score, i
+			}
+		}
+		if best < 0 {
+			break
+		}
+	}
+	return finish(items, picked), nil
+}
+
+// Swap starts from the top-k by relevance and performs best-improvement
+// local search on the MaxSum objective: each iteration evaluates every
+// (member, outside-candidate) exchange incrementally and applies the best
+// one, until no exchange improves (the classic Swap heuristic for MaxSum
+// diversification). Each iteration costs O(k·n).
+func Swap(items []Item, k int, lambda float64, maxIters int) (Result, error) {
+	if err := validate(items, k, lambda); err != nil {
+		return Result{}, err
+	}
+	if maxIters <= 0 {
+		maxIters = 4 * k
+	}
+	top, err := TopK(items, k)
+	if err != nil {
+		return Result{}, err
+	}
+	cur := append([]int(nil), top.Picked...)
+	inSet := make(map[int]bool, k)
+	for _, p := range cur {
+		inSet[p] = true
+	}
+	pairs := float64(k*(k-1)) / 2
+	if pairs == 0 {
+		pairs = 1
+	}
+	// distToSet[i] = sum of distances from cur member slot i to the others.
+	distToSet := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j {
+				distToSet[i] += dist(items[cur[i]], items[cur[j]])
+			}
+		}
+	}
+	relGain := lambda / float64(k)
+	divGain := (1 - lambda) / pairs
+	for iter := 0; iter < maxIters; iter++ {
+		bestSlot, bestCand := -1, -1
+		bestDelta := 1e-12
+		for cand := range items {
+			if inSet[cand] {
+				continue
+			}
+			// Distance from cand to every current member, computed once.
+			var candToSet float64
+			candDists := make([]float64, k)
+			for i := 0; i < k; i++ {
+				d := dist(items[cand], items[cur[i]])
+				candDists[i] = d
+				candToSet += d
+			}
+			for slot := 0; slot < k; slot++ {
+				// Replacing cur[slot] by cand changes SumDist by
+				// (candToSet - candDists[slot]) - distToSet[slot].
+				dDiv := candToSet - candDists[slot] - distToSet[slot]
+				dRel := items[cand].Rel - items[cur[slot]].Rel
+				delta := relGain*dRel + divGain*dDiv
+				if delta > bestDelta {
+					bestDelta, bestSlot, bestCand = delta, slot, cand
+				}
+			}
+		}
+		if bestSlot < 0 {
+			break
+		}
+		old := cur[bestSlot]
+		delete(inSet, old)
+		inSet[bestCand] = true
+		cur[bestSlot] = bestCand
+		// Refresh distToSet.
+		for i := 0; i < k; i++ {
+			distToSet[i] = 0
+			for j := 0; j < k; j++ {
+				if i != j {
+					distToSet[i] += dist(items[cur[i]], items[cur[j]])
+				}
+			}
+		}
+	}
+	return finish(items, cur), nil
+}
+
+// FromScores is a convenience constructing items from parallel slices.
+func FromScores(rel []float64, features [][]float64) ([]Item, error) {
+	if len(rel) != len(features) {
+		return nil, ErrRagged
+	}
+	out := make([]Item, len(rel))
+	for i := range rel {
+		out[i] = Item{ID: i, Rel: rel[i], Features: features[i]}
+	}
+	return out, nil
+}

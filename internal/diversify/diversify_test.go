@@ -1,0 +1,199 @@
+package diversify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkClusters builds items in c tight clusters; relevance is highest in
+// cluster 0, so a relevance-only top-k collapses onto one cluster.
+func mkClusters(n, c int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		cl := i % c
+		items[i] = Item{
+			ID:  i,
+			Rel: 1 - float64(cl)*0.1 + rng.Float64()*0.05,
+			Features: []float64{
+				float64(cl)*10 + rng.NormFloat64()*0.3,
+				float64(cl)*10 + rng.NormFloat64()*0.3,
+			},
+		}
+	}
+	return items
+}
+
+func TestTopKPicksHighestRel(t *testing.T) {
+	items := mkClusters(100, 5, 1)
+	r, err := TopK(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Picked) != 10 {
+		t.Fatalf("picked = %d", len(r.Picked))
+	}
+	// All picks should come from cluster 0 (highest relevance).
+	for _, p := range r.Picked {
+		if items[p].ID%5 != 0 {
+			t.Errorf("top-k picked cluster %d item", items[p].ID%5)
+		}
+	}
+	if r.MinDist > 2 {
+		t.Errorf("top-k min dist = %v, expected tight cluster", r.MinDist)
+	}
+}
+
+func TestMMRSpansClusters(t *testing.T) {
+	items := mkClusters(100, 5, 2)
+	r, err := MMR(items, 10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := map[int]bool{}
+	for _, p := range r.Picked {
+		clusters[items[p].ID%5] = true
+	}
+	if len(clusters) != 5 {
+		t.Errorf("MMR covered %d/5 clusters", len(clusters))
+	}
+	top, _ := TopK(items, 10)
+	if r.MinDist <= top.MinDist {
+		t.Errorf("MMR min dist %v <= topk %v", r.MinDist, top.MinDist)
+	}
+}
+
+func TestMMRLambdaOneEqualsTopK(t *testing.T) {
+	items := mkClusters(60, 3, 3)
+	mmr, err := MMR(items, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := TopK(items, 8)
+	gotRel := mmr.AvgRel
+	if math.Abs(gotRel-top.AvgRel) > 1e-9 {
+		t.Errorf("lambda=1 MMR avgRel %v != topk %v", gotRel, top.AvgRel)
+	}
+}
+
+func TestSwapImprovesObjective(t *testing.T) {
+	items := mkClusters(80, 4, 4)
+	lambda := 0.4
+	top, _ := TopK(items, 8)
+	sw, err := Swap(items, 8, lambda, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Objective(lambda) < top.Objective(lambda) {
+		t.Errorf("swap objective %v < topk %v", sw.Objective(lambda), top.Objective(lambda))
+	}
+}
+
+func TestDiversityMethodsBeatTopKOnClusters(t *testing.T) {
+	items := mkClusters(100, 5, 5)
+	lambda := 0.3
+	top, _ := TopK(items, 10)
+	for name, run := range map[string]func() (Result, error){
+		"mmr":  func() (Result, error) { return MMR(items, 10, lambda) },
+		"swap": func() (Result, error) { return Swap(items, 10, lambda, 0) },
+	} {
+		r, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Objective(lambda) <= top.Objective(lambda) {
+			t.Errorf("%s objective %.4f <= topk %.4f", name, r.Objective(lambda), top.Objective(lambda))
+		}
+		// Relevance loss should be modest.
+		if r.AvgRel < top.AvgRel*0.5 {
+			t.Errorf("%s sacrificed too much relevance: %v vs %v", name, r.AvgRel, top.AvgRel)
+		}
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	items := mkClusters(50, 5, 6)
+	rng := rand.New(rand.NewSource(7))
+	r, err := Random(items, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Picked) != 10 {
+		t.Errorf("picked = %d", len(r.Picked))
+	}
+	seen := map[int]bool{}
+	for _, p := range r.Picked {
+		if seen[p] {
+			t.Error("duplicate pick")
+		}
+		seen[p] = true
+	}
+}
+
+func TestValidation(t *testing.T) {
+	items := mkClusters(10, 2, 8)
+	if _, err := TopK(items, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := TopK(items, 11); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := MMR(items, 3, 1.5); !errors.Is(err, ErrBadLambda) {
+		t.Errorf("lambda err = %v", err)
+	}
+	bad := append(items, Item{Features: []float64{1}})
+	if _, err := MMR(bad, 3, 0.5); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestFromScores(t *testing.T) {
+	items, err := FromScores([]float64{1, 2}, [][]float64{{0}, {1}})
+	if err != nil || len(items) != 2 || items[1].Rel != 2 {
+		t.Errorf("items = %v, err = %v", items, err)
+	}
+	if _, err := FromScores([]float64{1}, [][]float64{{0}, {1}}); !errors.Is(err, ErrRagged) {
+		t.Errorf("len mismatch err = %v", err)
+	}
+}
+
+func TestPickedAlwaysDistinctProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		items := mkClusters(n, 1+rng.Intn(6), seed)
+		k := 1 + rng.Intn(n)
+		r, err := MMR(items, k, rng.Float64())
+		if err != nil || len(r.Picked) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, p := range r.Picked {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectiveSingleItem(t *testing.T) {
+	items := mkClusters(5, 1, 9)
+	r, err := MMR(items, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinDist != 0 || r.SumDist != 0 {
+		t.Errorf("single item dists = %v/%v", r.MinDist, r.SumDist)
+	}
+	if r.Objective(0.5) != 0.5*r.AvgRel {
+		t.Error("single-item objective")
+	}
+}

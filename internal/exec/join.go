@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"fmt"
+
+	"dex/internal/storage"
+)
+
+// Join computes the inner equi-join of left and right on
+// left.leftCol = right.rightCol using a classic build/probe hash join
+// (build on the smaller input). Output columns are the left columns followed
+// by the right columns; a right column whose name collides with a left
+// column is prefixed with the right table's name and a dot.
+func Join(left, right *storage.Table, leftCol, rightCol string) (*storage.Table, error) {
+	lc, err := left.ColumnByName(leftCol)
+	if err != nil {
+		return nil, fmt.Errorf("exec: join left key: %w", err)
+	}
+	rc, err := right.ColumnByName(rightCol)
+	if err != nil {
+		return nil, fmt.Errorf("exec: join right key: %w", err)
+	}
+
+	buildLeft := left.NumRows() <= right.NumRows()
+	buildCol, probeCol := lc, rc
+	if !buildLeft {
+		buildCol, probeCol = rc, lc
+	}
+	ht := make(map[string][]int, buildCol.Len())
+	for i := 0; i < buildCol.Len(); i++ {
+		k := buildCol.Value(i).String()
+		ht[k] = append(ht[k], i)
+	}
+	var lsel, rsel []int
+	for i := 0; i < probeCol.Len(); i++ {
+		matches := ht[probeCol.Value(i).String()]
+		for _, m := range matches {
+			if buildLeft {
+				lsel = append(lsel, m)
+				rsel = append(rsel, i)
+			} else {
+				lsel = append(lsel, i)
+				rsel = append(rsel, m)
+			}
+		}
+	}
+
+	lt := left.Gather(lsel)
+	rt := right.Gather(rsel)
+	schema := make(storage.Schema, 0, lt.NumCols()+rt.NumCols())
+	cols := make([]storage.Column, 0, lt.NumCols()+rt.NumCols())
+	for i, f := range lt.Schema() {
+		schema = append(schema, f)
+		cols = append(cols, lt.Column(i))
+	}
+	for i, f := range rt.Schema() {
+		name := f.Name
+		if schema.Index(name) >= 0 {
+			name = right.Name() + "." + name
+		}
+		schema = append(schema, storage.Field{Name: name, Type: f.Type})
+		cols = append(cols, rt.Column(i))
+	}
+	return storage.FromColumns(left.Name()+"_"+right.Name(), schema, cols)
+}

@@ -1,0 +1,261 @@
+package expr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dex/internal/storage"
+)
+
+func mkTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl, err := storage.NewTable("t", storage.Schema{
+		{Name: "a", Type: storage.TInt},
+		{Name: "b", Type: storage.TFloat},
+		{Name: "s", Type: storage.TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		err := tbl.AppendRow(
+			storage.Int(int64(i)),
+			storage.Float(float64(i)*0.5),
+			storage.String_(string(rune('a'+i%3))),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestCmpOps(t *testing.T) {
+	tbl := mkTable(t)
+	cases := []struct {
+		p    *Pred
+		want int
+	}{
+		{Cmp("a", LT, storage.Int(5)), 5},
+		{Cmp("a", LE, storage.Int(5)), 6},
+		{Cmp("a", GT, storage.Int(7)), 2},
+		{Cmp("a", GE, storage.Int(7)), 3},
+		{Cmp("a", EQ, storage.Int(3)), 1},
+		{Cmp("a", NE, storage.Int(3)), 9},
+		{Cmp("b", LT, storage.Float(1.0)), 2},
+		{Cmp("s", EQ, storage.String_("a")), 4},
+		{Cmp("s", GT, storage.String_("b")), 3},
+		{Between("a", storage.Int(2), storage.Int(5)), 3},
+		{True(), 10},
+		{nil, 10},
+	}
+	for _, c := range cases {
+		got, err := Count(tbl, c.p)
+		if err != nil {
+			t.Fatalf("%v: %v", c.p, err)
+		}
+		if got != c.want {
+			t.Errorf("count(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	tbl := mkTable(t)
+	p := Or(Cmp("a", LT, storage.Int(2)), Cmp("a", GE, storage.Int(8)))
+	if n, _ := Count(tbl, p); n != 4 {
+		t.Errorf("or count = %d, want 4", n)
+	}
+	p = Not(p)
+	if n, _ := Count(tbl, p); n != 6 {
+		t.Errorf("not count = %d, want 6", n)
+	}
+	p = And(Cmp("a", GE, storage.Int(2)), Cmp("s", EQ, storage.String_("a")), Cmp("b", LT, storage.Float(4)))
+	if n, _ := Count(tbl, p); n != 2 { // a in {3,6} have s="a"? a%3==0 -> s='a': a in {3,6} with b<4 => b=1.5,3.0
+		t.Errorf("and count = %d, want 2", n)
+	}
+}
+
+func TestCrossTypeCompare(t *testing.T) {
+	tbl := mkTable(t)
+	// Compare INT column against FLOAT constant: generic numeric path.
+	if n, _ := Count(tbl, Cmp("a", LT, storage.Float(4.5))); n != 5 {
+		t.Error("int col vs float const")
+	}
+	if n, _ := Count(tbl, Cmp("b", GE, storage.Int(2))); n != 6 {
+		t.Error("float col vs int const")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tbl := mkTable(t)
+	p := Cmp("nope", EQ, storage.Int(1))
+	if err := p.Validate(tbl.Schema()); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("validate err = %v", err)
+	}
+	if _, err := Filter(tbl, p); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("filter err = %v", err)
+	}
+	if p.Matches(tbl, 0) {
+		t.Error("Matches on unknown column should be false")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := And(Cmp("a", GE, storage.Int(1)), Or(Cmp("s", EQ, storage.String_("x")), Cmp("b", LT, storage.Float(2))))
+	got := p.String()
+	want := "a >= 1 AND (s = 'x' OR b < 2)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if True().String() != "TRUE" {
+		t.Error("TRUE rendering")
+	}
+	if Not(Cmp("a", NE, storage.Int(0))).String() != "NOT (a <> 0)" {
+		t.Error("NOT rendering")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	p := And(Cmp("a", GE, storage.Int(1)), Cmp("b", LT, storage.Float(2)), Cmp("a", LT, storage.Int(9)))
+	cols := p.Columns()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("Columns() = %v", cols)
+	}
+}
+
+// TestFilterMatchesAgree checks column-at-a-time Filter against the
+// row-at-a-time Matches oracle on random predicates and data.
+func TestFilterMatchesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		av := make([]int64, n)
+		bv := make([]float64, n)
+		for i := range av {
+			av[i] = int64(rng.Intn(40) - 20)
+			bv[i] = rng.NormFloat64() * 10
+		}
+		tbl, err := storage.FromColumns("r", storage.Schema{
+			{Name: "a", Type: storage.TInt}, {Name: "b", Type: storage.TFloat},
+		}, []storage.Column{storage.NewIntColumn(av), storage.NewFloatColumn(bv)})
+		if err != nil {
+			return false
+		}
+		var genPred func(depth int) *Pred
+		genPred = func(depth int) *Pred {
+			if depth == 0 || rng.Float64() < 0.5 {
+				col := "a"
+				val := storage.Int(int64(rng.Intn(40) - 20))
+				if rng.Intn(2) == 0 {
+					col = "b"
+					val = storage.Float(rng.NormFloat64() * 10)
+				}
+				return Cmp(col, Op(rng.Intn(6)), val)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				return And(genPred(depth-1), genPred(depth-1))
+			case 1:
+				return Or(genPred(depth-1), genPred(depth-1))
+			default:
+				return Not(genPred(depth - 1))
+			}
+		}
+		p := genPred(3)
+		sel, err := Filter(tbl, p)
+		if err != nil {
+			return false
+		}
+		isSel := make(map[int]bool, len(sel))
+		for _, i := range sel {
+			isSel[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if p.Matches(tbl, i) != isSel[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l_o", true},
+		{"hello", "%", true},
+		{"hello", "", false},
+		{"hello", "hell", false},
+		{"hello", "_ello_", false},
+		{"abcabc", "%abc", true},
+		{"abcabc", "a%c", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"a%b", "a%b", true}, // literal percent matched by wildcard semantics
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestLikePredicate(t *testing.T) {
+	tbl := mkTable(t)
+	// s column values cycle a,b,c.
+	n, err := Count(tbl, Like("s", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("LIKE 'a' count = %d", n)
+	}
+	if n, _ := Count(tbl, Like("s", "%")); n != 10 {
+		t.Errorf("LIKE %% count = %d", n)
+	}
+	if got := Like("s", "a%").String(); got != "s LIKE 'a%'" {
+		t.Errorf("String() = %q", got)
+	}
+	if cols := Like("s", "x").Columns(); len(cols) != 1 || cols[0] != "s" {
+		t.Errorf("Columns() = %v", cols)
+	}
+	if _, err := Filter(tbl, Like("zzz", "x")); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown col err = %v", err)
+	}
+	// Matches agrees with Filter.
+	p := Like("s", "_")
+	sel, _ := Filter(tbl, p)
+	for _, r := range sel {
+		if !p.Matches(tbl, r) {
+			t.Error("Matches/Filter disagree")
+		}
+	}
+	// LIKE over a numeric column matches its decimal rendering.
+	if n, _ := Count(tbl, Like("a", "1%")); n != 1 { // values 0..9: only "1"
+		t.Errorf("numeric LIKE count = %d", n)
+	}
+}
+
+func TestInPredicate(t *testing.T) {
+	tbl := mkTable(t)
+	p := In("a", storage.Int(1), storage.Int(3), storage.Int(99))
+	if n, _ := Count(tbl, p); n != 2 {
+		t.Errorf("IN count = %d", n)
+	}
+	single := In("a", storage.Int(5))
+	if single.Kind != KCmp {
+		t.Error("single-value IN should collapse to equality")
+	}
+}

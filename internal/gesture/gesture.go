@@ -1,0 +1,244 @@
+// Package gesture implements gestural query specification in the spirit of
+// dbTouch [32,44] and GestureDB [45,47]: a stream of touch events over a
+// rendered table — taps on columns, range swipes, pinches, holds, flicks —
+// is incrementally compiled by a small state machine into a relational
+// query, so data can be explored without writing SQL (or owning a
+// keyboard). The experiments replay scripted gesture traces and check that
+// the synthesized queries match the intended ones.
+package gesture
+
+import (
+	"errors"
+	"fmt"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrUnknownColumn = errors.New("gesture: unknown column")
+	ErrBadGesture    = errors.New("gesture: gesture not applicable")
+	ErrEmptyQuery    = errors.New("gesture: no query built yet")
+)
+
+// Kind enumerates the recognized gestures.
+type Kind uint8
+
+// Gestures.
+const (
+	// Tap selects a column for output.
+	Tap Kind = iota
+	// SwipeRange selects a value range on a column (filter).
+	SwipeRange
+	// Hold groups by a column.
+	Hold
+	// Pinch aggregates a column (pinch-in = SUM by convention; the Agg
+	// field picks the function).
+	Pinch
+	// FlickUp sorts ascending by a column; FlickDown descending.
+	FlickUp
+	FlickDown
+	// DoubleTap clears the query canvas.
+	DoubleTap
+)
+
+// String names the gesture.
+func (k Kind) String() string {
+	switch k {
+	case Tap:
+		return "tap"
+	case SwipeRange:
+		return "swipe-range"
+	case Hold:
+		return "hold"
+	case Pinch:
+		return "pinch"
+	case FlickUp:
+		return "flick-up"
+	case FlickDown:
+		return "flick-down"
+	case DoubleTap:
+		return "double-tap"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one touch event over the rendered table.
+type Event struct {
+	Kind   Kind
+	Column string
+	// Lo/Hi carry the swiped value range for SwipeRange.
+	Lo, Hi float64
+	// Agg selects the aggregate for Pinch (default SUM).
+	Agg exec.AggFunc
+}
+
+// Trace is a scripted sequence of gestures.
+type Trace []Event
+
+// Machine incrementally compiles gestures into a query.
+type Machine struct {
+	schema  storage.Schema
+	selects []exec.SelectItem
+	preds   []*expr.Pred
+	groupBy []string
+	orderBy []exec.OrderKey
+}
+
+// NewMachine creates a state machine over the given table schema.
+func NewMachine(schema storage.Schema) *Machine {
+	return &Machine{schema: schema}
+}
+
+func (m *Machine) checkCol(name string) (storage.Field, error) {
+	i := m.schema.Index(name)
+	if i < 0 {
+		return storage.Field{}, fmt.Errorf("%q: %w", name, ErrUnknownColumn)
+	}
+	return m.schema[i], nil
+}
+
+// Apply folds one gesture into the query state.
+func (m *Machine) Apply(e Event) error {
+	switch e.Kind {
+	case DoubleTap:
+		m.selects = nil
+		m.preds = nil
+		m.groupBy = nil
+		m.orderBy = nil
+		return nil
+	case Tap:
+		if _, err := m.checkCol(e.Column); err != nil {
+			return err
+		}
+		for _, s := range m.selects {
+			if s.Col == e.Column && s.Agg == exec.AggNone {
+				return nil // idempotent
+			}
+		}
+		m.selects = append(m.selects, exec.SelectItem{Col: e.Column})
+		return nil
+	case SwipeRange:
+		f, err := m.checkCol(e.Column)
+		if err != nil {
+			return err
+		}
+		if f.Type == storage.TString {
+			return fmt.Errorf("range swipe on TEXT column %q: %w", e.Column, ErrBadGesture)
+		}
+		if e.Lo > e.Hi {
+			e.Lo, e.Hi = e.Hi, e.Lo // swipes work in both directions
+		}
+		m.preds = append(m.preds, expr.And(
+			expr.Cmp(e.Column, expr.GE, storage.Float(e.Lo)),
+			expr.Cmp(e.Column, expr.LT, storage.Float(e.Hi)),
+		))
+		return nil
+	case Hold:
+		if _, err := m.checkCol(e.Column); err != nil {
+			return err
+		}
+		for _, g := range m.groupBy {
+			if g == e.Column {
+				return nil
+			}
+		}
+		m.groupBy = append(m.groupBy, e.Column)
+		// A held column is implicitly shown.
+		present := false
+		for _, s := range m.selects {
+			if s.Col == e.Column && s.Agg == exec.AggNone {
+				present = true
+			}
+		}
+		if !present {
+			m.selects = append(m.selects, exec.SelectItem{Col: e.Column})
+		}
+		return nil
+	case Pinch:
+		f, err := m.checkCol(e.Column)
+		if err != nil {
+			return err
+		}
+		agg := e.Agg
+		if agg == exec.AggNone {
+			agg = exec.AggSum
+		}
+		if f.Type == storage.TString && (agg == exec.AggSum || agg == exec.AggAvg) {
+			return fmt.Errorf("pinch %v on TEXT column %q: %w", agg, e.Column, ErrBadGesture)
+		}
+		m.selects = append(m.selects, exec.SelectItem{Col: e.Column, Agg: agg})
+		return nil
+	case FlickUp, FlickDown:
+		if _, err := m.checkCol(e.Column); err != nil {
+			return err
+		}
+		m.orderBy = append(m.orderBy, exec.OrderKey{Col: e.Column, Desc: e.Kind == FlickDown})
+		return nil
+	default:
+		return fmt.Errorf("gesture %v: %w", e.Kind, ErrBadGesture)
+	}
+}
+
+// Query finalizes the current state into an executable query. When the
+// query is grouped, plain selected columns that are not grouping columns
+// are dropped (the touch UI greys them out), and when nothing is selected
+// the grouping columns plus COUNT(*) are shown.
+func (m *Machine) Query() (exec.Query, error) {
+	sel := append([]exec.SelectItem(nil), m.selects...)
+	if len(m.groupBy) > 0 {
+		inGroup := func(c string) bool {
+			for _, g := range m.groupBy {
+				if g == c {
+					return true
+				}
+			}
+			return false
+		}
+		kept := sel[:0]
+		hasAgg := false
+		for _, s := range sel {
+			if s.Agg != exec.AggNone {
+				hasAgg = true
+				kept = append(kept, s)
+			} else if inGroup(s.Col) {
+				kept = append(kept, s)
+			}
+		}
+		sel = kept
+		if !hasAgg {
+			sel = append(sel, exec.SelectItem{Col: "*", Agg: exec.AggCount})
+		}
+	}
+	if len(sel) == 0 {
+		return exec.Query{}, ErrEmptyQuery
+	}
+	var where *expr.Pred
+	switch len(m.preds) {
+	case 0:
+	case 1:
+		where = m.preds[0]
+	default:
+		where = expr.And(m.preds...)
+	}
+	return exec.Query{
+		Select:  sel,
+		Where:   where,
+		GroupBy: append([]string(nil), m.groupBy...),
+		OrderBy: append([]exec.OrderKey(nil), m.orderBy...),
+	}, nil
+}
+
+// Synthesize compiles a whole trace into a query.
+func Synthesize(schema storage.Schema, trace Trace) (exec.Query, error) {
+	m := NewMachine(schema)
+	for i, e := range trace {
+		if err := m.Apply(e); err != nil {
+			return exec.Query{}, fmt.Errorf("event %d (%v on %q): %w", i, e.Kind, e.Column, err)
+		}
+	}
+	return m.Query()
+}

@@ -1,0 +1,196 @@
+package gesture
+
+import (
+	"errors"
+	"testing"
+
+	"dex/internal/exec"
+	"dex/internal/storage"
+)
+
+func schema() storage.Schema {
+	return storage.Schema{
+		{Name: "region", Type: storage.TString},
+		{Name: "amount", Type: storage.TFloat},
+		{Name: "qty", Type: storage.TInt},
+	}
+}
+
+func mkTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl, err := storage.NewTable("sales", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		r string
+		a float64
+		q int64
+	}{
+		{"east", 10, 1}, {"west", 20, 2}, {"east", 30, 3}, {"west", 5, 1},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(storage.String_(r.r), storage.Float(r.a), storage.Int(r.q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTapProjectsColumns(t *testing.T) {
+	q, err := Synthesize(schema(), Trace{
+		{Kind: Tap, Column: "region"},
+		{Kind: Tap, Column: "amount"},
+		{Kind: Tap, Column: "region"}, // idempotent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0].Col != "region" || q.Select[1].Col != "amount" {
+		t.Errorf("select = %v", q.Select)
+	}
+}
+
+func TestSwipeFilters(t *testing.T) {
+	tbl := mkTable(t)
+	q, err := Synthesize(schema(), Trace{
+		{Kind: Tap, Column: "amount"},
+		{Kind: SwipeRange, Column: "amount", Lo: 25, Hi: 8}, // reversed swipe
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 { // amounts 10, 20 in [8,25)
+		t.Errorf("rows = %d\n%s", res.NumRows(), res.Format(10))
+	}
+}
+
+func TestHoldPinchGroupAggregate(t *testing.T) {
+	tbl := mkTable(t)
+	q, err := Synthesize(schema(), Trace{
+		{Kind: Hold, Column: "region"},
+		{Kind: Pinch, Column: "amount", Agg: exec.AggSum},
+		{Kind: FlickUp, Column: "region"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d", res.NumRows())
+	}
+	if res.Row(0)[0].S != "east" || res.Row(0)[1].F != 40 {
+		t.Errorf("east row = %v", res.Row(0))
+	}
+	if res.Row(1)[0].S != "west" || res.Row(1)[1].F != 25 {
+		t.Errorf("west row = %v", res.Row(1))
+	}
+}
+
+func TestHoldWithoutPinchCounts(t *testing.T) {
+	tbl := mkTable(t)
+	q, err := Synthesize(schema(), Trace{{Kind: Hold, Column: "region"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCols() != 2 || res.NumRows() != 2 {
+		t.Errorf("result:\n%s", res.Format(10))
+	}
+}
+
+func TestGroupingDropsUngroupedPlainColumns(t *testing.T) {
+	q, err := Synthesize(schema(), Trace{
+		{Kind: Tap, Column: "qty"}, // will be dropped once grouped
+		{Kind: Hold, Column: "region"},
+		{Kind: Pinch, Column: "amount"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range q.Select {
+		if s.Col == "qty" {
+			t.Errorf("ungrouped plain column kept: %v", q.Select)
+		}
+	}
+}
+
+func TestDoubleTapResets(t *testing.T) {
+	m := NewMachine(schema())
+	if err := m.Apply(Event{Kind: Tap, Column: "region"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(Event{Kind: DoubleTap}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("after reset err = %v", err)
+	}
+}
+
+func TestGestureErrors(t *testing.T) {
+	m := NewMachine(schema())
+	if err := m.Apply(Event{Kind: Tap, Column: "zzz"}); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown col err = %v", err)
+	}
+	if err := m.Apply(Event{Kind: SwipeRange, Column: "region", Lo: 0, Hi: 1}); !errors.Is(err, ErrBadGesture) {
+		t.Errorf("swipe on text err = %v", err)
+	}
+	if err := m.Apply(Event{Kind: Pinch, Column: "region", Agg: exec.AggAvg}); !errors.Is(err, ErrBadGesture) {
+		t.Errorf("pinch avg on text err = %v", err)
+	}
+	if err := m.Apply(Event{Kind: Kind(99)}); !errors.Is(err, ErrBadGesture) {
+		t.Errorf("unknown gesture err = %v", err)
+	}
+	// Pinch MIN on text is fine.
+	if err := m.Apply(Event{Kind: Pinch, Column: "region", Agg: exec.AggMin}); err != nil {
+		t.Errorf("pinch min on text err = %v", err)
+	}
+}
+
+func TestSynthesizeErrorMentionsEvent(t *testing.T) {
+	_, err := Synthesize(schema(), Trace{{Kind: Tap, Column: "nope"}})
+	if err == nil || !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Tap: "tap", SwipeRange: "swipe-range", Hold: "hold",
+		Pinch: "pinch", FlickUp: "flick-up", FlickDown: "flick-down", DoubleTap: "double-tap",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v string = %q", k, k.String())
+		}
+	}
+}
+
+func TestFlickDownOrdersDescending(t *testing.T) {
+	tbl := mkTable(t)
+	q, err := Synthesize(schema(), Trace{
+		{Kind: Tap, Column: "amount"},
+		{Kind: FlickDown, Column: "amount"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row(0)[0].F != 30 {
+		t.Errorf("first = %v", res.Row(0))
+	}
+}

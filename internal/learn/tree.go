@@ -1,0 +1,256 @@
+// Package learn provides the small machine-learning primitives the
+// user-interaction layer needs: a CART-style binary decision-tree
+// classifier with Gini splitting, used by explore-by-example steering [18]
+// to model user relevance feedback, plus extraction of the positive leaf
+// regions as hyper-rectangles so a learned model can be decompiled back
+// into a relational selection query.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrNoData = errors.New("learn: empty training set")
+	ErrRagged = errors.New("learn: feature vectors must share a length")
+)
+
+// Options bounds tree growth.
+type Options struct {
+	MaxDepth int // default 8
+	MinLeaf  int // minimum samples per leaf, default 3
+}
+
+func (o *Options) fill() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 3
+	}
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	leaf      bool
+	label     bool
+	n         int
+	npos      int
+}
+
+// Tree is a fitted binary classifier.
+type Tree struct {
+	root *node
+	dims int
+}
+
+// FitTree trains a CART tree on features X and boolean labels y.
+func FitTree(X [][]float64, y []bool, opt Options) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrNoData
+	}
+	d := len(X[0])
+	for _, x := range X {
+		if len(x) != d {
+			return nil, ErrRagged
+		}
+	}
+	opt.fill()
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dims: d}
+	t.root = grow(X, y, idx, opt, 0)
+	return t, nil
+}
+
+func gini(npos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(npos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+func grow(X [][]float64, y []bool, idx []int, opt Options, depth int) *node {
+	n := len(idx)
+	npos := 0
+	for _, i := range idx {
+		if y[i] {
+			npos++
+		}
+	}
+	leaf := &node{leaf: true, label: npos*2 >= n && npos > 0, n: n, npos: npos}
+	if depth >= opt.MaxDepth || n < 2*opt.MinLeaf || npos == 0 || npos == n {
+		return leaf
+	}
+	// Best Gini split across features: sort once per feature, then a single
+	// prefix scan evaluates every threshold in O(n) — O(n log n) per
+	// feature per node overall.
+	bestGain := 1e-12
+	bestF, bestT := -1, 0.0
+	parent := gini(npos, n)
+	type pair struct {
+		v   float64
+		pos bool
+	}
+	pairs := make([]pair, n)
+	for f := 0; f < len(X[0]); f++ {
+		for j, i := range idx {
+			pairs[j] = pair{v: X[i][f], pos: y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		lp := 0 // positives among the first ln values
+		for ln := 1; ln < n; ln++ {
+			if pairs[ln-1].pos {
+				lp++
+			}
+			if pairs[ln].v == pairs[ln-1].v {
+				continue
+			}
+			rn := n - ln
+			if ln < opt.MinLeaf || rn < opt.MinLeaf {
+				continue
+			}
+			rp := npos - lp
+			gain := parent - (float64(ln)*gini(lp, ln)+float64(rn)*gini(rp, rn))/float64(n)
+			if gain > bestGain {
+				bestGain, bestF, bestT = gain, f, (pairs[ln].v+pairs[ln-1].v)/2
+			}
+		}
+	}
+	if bestF < 0 {
+		return leaf
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestF] < bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &node{
+		feature:   bestF,
+		threshold: bestT,
+		left:      grow(X, y, li, opt, depth+1),
+		right:     grow(X, y, ri, opt, depth+1),
+		n:         n,
+		npos:      npos,
+	}
+}
+
+// Predict classifies a feature vector.
+func (t *Tree) Predict(x []float64) bool {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Depth returns the tree's depth (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	var d func(n *node) int
+	d = func(n *node) int {
+		if n.leaf {
+			return 0
+		}
+		l, r := d(n.left), d(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return d(t.root)
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int {
+	var c func(n *node) int
+	c = func(n *node) int {
+		if n.leaf {
+			return 1
+		}
+		return c(n.left) + c(n.right)
+	}
+	return c(t.root)
+}
+
+// Range is a half-open interval [Lo, Hi).
+type Range struct{ Lo, Hi float64 }
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v < r.Hi }
+
+// Region is a hyper-rectangle, one Range per feature dimension.
+type Region []Range
+
+// Contains reports whether x lies in the region.
+func (g Region) Contains(x []float64) bool {
+	for i, r := range g {
+		if !r.Contains(x[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the region.
+func (g Region) String() string {
+	s := ""
+	for i, r := range g {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += fmt.Sprintf("x%d∈[%.3g,%.3g)", i, r.Lo, r.Hi)
+	}
+	return s
+}
+
+// PositiveRegions decompiles the tree into the union of hyper-rectangles
+// its positive leaves cover, clipped to the given domain bounds. This is
+// the query-extraction step of explore-by-example: the learned model
+// becomes a disjunction of conjunctive range predicates.
+func (t *Tree) PositiveRegions(domain Region) []Region {
+	if len(domain) != t.dims {
+		domain = make(Region, t.dims)
+		for i := range domain {
+			domain[i] = Range{Lo: math.Inf(-1), Hi: math.Inf(1)}
+		}
+	}
+	var out []Region
+	var walk func(n *node, box Region)
+	walk = func(n *node, box Region) {
+		if n.leaf {
+			if n.label {
+				out = append(out, append(Region(nil), box...))
+			}
+			return
+		}
+		lbox := append(Region(nil), box...)
+		if n.threshold < lbox[n.feature].Hi {
+			lbox[n.feature].Hi = n.threshold
+		}
+		rbox := append(Region(nil), box...)
+		if n.threshold > rbox[n.feature].Lo {
+			rbox[n.feature].Lo = n.threshold
+		}
+		walk(n.left, lbox)
+		walk(n.right, rbox)
+	}
+	walk(t.root, domain)
+	return out
+}

@@ -1,0 +1,263 @@
+// Package metrics collects the statistical helpers used across the
+// approximate-query, online-aggregation and visualization-recommendation
+// modules: streaming moments (Welford), normal confidence intervals,
+// quantiles, histograms, and distribution distances (KL, EMD, L2).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Z95 and Z99 are the two-sided standard-normal critical values used for
+// 95% and 99% confidence intervals.
+const (
+	Z95 = 1.959963984540054
+	Z99 = 2.5758293035489004
+)
+
+// Stream accumulates count, mean and variance online (Welford's algorithm),
+// so online aggregation can emit running estimates in O(1) per value.
+type Stream struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add folds a value into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of values seen.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the running mean (0 if empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Sum returns the running sum.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Min returns the smallest value seen (0 if empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest value seen (0 if empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// Variance returns the sample variance (n-1 denominator); 0 for n < 2.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Stream) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// MeanCI returns the half-width of the z-based confidence interval of the
+// mean at the given critical value (e.g. Z95).
+func (s *Stream) MeanCI(z float64) float64 { return z * s.StdErr() }
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the sample variance of xs (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0<=q<=1) of xs by linear
+// interpolation on the sorted copy. Empty input yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// RelErr returns |est-truth| / |truth|, or |est| when truth == 0.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// Normalize scales xs to sum to 1; uniform if the sum is 0.
+// It returns a new slice.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(xs))
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / s
+	}
+	return out
+}
+
+// KLDivergence returns KL(p||q) over two distributions of equal length,
+// after normalizing both and epsilon-smoothing q so it is defined everywhere.
+func KLDivergence(p, q []float64) float64 {
+	const eps = 1e-9
+	pn, qn := Normalize(p), Normalize(q)
+	var d float64
+	for i := range pn {
+		if pn[i] == 0 {
+			continue
+		}
+		d += pn[i] * math.Log(pn[i]/(qn[i]+eps))
+	}
+	return d
+}
+
+// EMD1D returns the 1-D earth mover's distance between two distributions of
+// equal length (after normalization): the L1 distance of their CDFs. This is
+// SeeDB's default deviation metric between grouped aggregates.
+func EMD1D(p, q []float64) float64 {
+	pn, qn := Normalize(p), Normalize(q)
+	var cp, cq, d float64
+	for i := range pn {
+		cp += pn[i]
+		cq += qn[i]
+		d += math.Abs(cp - cq)
+	}
+	return d
+}
+
+// L2 returns the Euclidean distance between two equal-length vectors.
+func L2(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		dd := p[i] - q[i]
+		d += dd * dd
+	}
+	return math.Sqrt(d)
+}
+
+// Histogram builds an equi-width histogram of xs with the given number of
+// bins over [min,max] (computed from the data). It returns bin counts and
+// bin lower edges. Degenerate input (all equal) lands in bin 0.
+func Histogram(xs []float64, bins int) (counts []float64, edges []float64) {
+	counts = make([]float64, bins)
+	edges = make([]float64, bins)
+	if len(xs) == 0 || bins == 0 {
+		return counts, edges
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	w := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + w*float64(i)
+	}
+	if w == 0 {
+		counts[0] = float64(len(xs))
+		return counts, edges
+	}
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// F1 returns the harmonic mean of precision and recall computed from
+// true/false positive/negative counts.
+func F1(tp, fp, fn int) float64 {
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}

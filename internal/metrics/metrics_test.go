@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(500)
+		xs := make([]float64, n)
+		var s Stream
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*50 + 10
+			s.Add(xs[i])
+		}
+		return math.Abs(s.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(s.Variance()-Variance(xs)) < 1e-6 &&
+			math.Abs(s.Sum()-Sum(xs)) < 1e-6 &&
+			s.N() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamMinMax(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{3, -1, 7, 2} {
+		s.Add(x)
+	}
+	if s.Min() != -1 || s.Max() != 7 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.MeanCI(Z95) != 0 {
+		t.Error("empty stream should be all zeros")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	if Median([]float64{1, 3}) != 2 {
+		t.Error("median interpolation")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Error("rel err")
+	}
+	if RelErr(5, 0) != 5 {
+		t.Error("rel err zero truth")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize([]float64{1, 3})
+	if n[0] != 0.25 || n[1] != 0.75 {
+		t.Errorf("normalize = %v", n)
+	}
+	u := Normalize([]float64{0, 0})
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Errorf("zero normalize = %v", u)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p := []float64{1, 0, 0}
+	q := []float64{0, 0, 1}
+	if EMD1D(p, p) != 0 {
+		t.Error("EMD self")
+	}
+	if got := EMD1D(p, q); math.Abs(got-2) > 1e-9 {
+		t.Errorf("EMD opposite = %v, want 2", got)
+	}
+	if KLDivergence(p, p) > 1e-6 {
+		t.Error("KL self should be ~0")
+	}
+	if KLDivergence(p, q) < 1 {
+		t.Error("KL of disjoint should be large")
+	}
+	if L2([]float64{0, 0}, []float64{3, 4}) != 5 {
+		t.Error("L2")
+	}
+}
+
+func TestEMDSymmetricProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		p, q := make([]float64, 8), make([]float64, 8)
+		for i := range p {
+			p[i], q[i] = math.Abs(a[i]), math.Abs(b[i])
+		}
+		return math.Abs(EMD1D(p, q)-EMD1D(q, p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	for i, c := range counts {
+		if c != 2 {
+			t.Errorf("bin %d = %v, want 2", i, c)
+		}
+	}
+	if edges[0] != 0 || math.Abs(edges[4]-7.2) > 1e-9 {
+		t.Errorf("edges = %v", edges)
+	}
+	// Degenerate: all equal.
+	counts, _ = Histogram([]float64{5, 5, 5}, 4)
+	if counts[0] != 3 {
+		t.Errorf("degenerate counts = %v", counts)
+	}
+}
+
+func TestHistogramMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		counts, _ := Histogram(xs, 16)
+		return int(Sum(counts)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if F1(0, 0, 0) != 0 {
+		t.Error("F1 zero")
+	}
+	if got := F1(10, 0, 0); got != 1 {
+		t.Errorf("perfect F1 = %v", got)
+	}
+	if got := F1(5, 5, 5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("F1 = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package olap implements the data-cube exploration middleware the tutorial
+// surveys: cube construction and lattice roll-ups [37], interactive
+// drill-down sessions with speculative execution of likely next views
+// (DICE [35], distributed cube exploration [37]), and discovery-driven
+// exception detection that steers users toward surprising cells [54,55].
+package olap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrNoSuchDim  = errors.New("olap: no such dimension")
+	ErrBadMeasure = errors.New("olap: measure must be numeric")
+	ErrNoDims     = errors.New("olap: at least one dimension required")
+)
+
+// Cell is one cube cell: coordinates along the requested dimensions plus
+// the aggregated measure.
+type Cell struct {
+	Coords []string
+	Sum    float64
+	Count  float64
+}
+
+// Avg returns Sum/Count (NaN-free: 0 for empty cells).
+func (c Cell) Avg() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.Sum / c.Count
+}
+
+// Cube pre-aggregates a table at the finest granularity over a set of
+// categorical dimensions, and answers any coarser group-by by rolling up
+// base cells. Cuboids (lattice nodes) are computed lazily and cached.
+type Cube struct {
+	dims    []string
+	measure string
+	baseKey []string // per base cell: its full coordinate key parts
+	base    []Cell   // finest-granularity cells
+	cuboids map[string][]Cell
+	// BaseCellsScanned counts roll-up work for the speculation experiments.
+	BaseCellsScanned int64
+}
+
+// Build constructs the cube from the table. Dimension columns are used as
+// categorical values via their string form; measure must be numeric.
+func Build(t *storage.Table, dims []string, measure string) (*Cube, error) {
+	if len(dims) == 0 {
+		return nil, ErrNoDims
+	}
+	dcols := make([]storage.Column, len(dims))
+	for i, d := range dims {
+		c, err := t.ColumnByName(d)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", d, ErrNoSuchDim)
+		}
+		dcols[i] = c
+	}
+	mcol, err := t.ColumnByName(measure)
+	if err != nil {
+		return nil, err
+	}
+	if mcol.Type() == storage.TString {
+		return nil, fmt.Errorf("%q: %w", measure, ErrBadMeasure)
+	}
+	agg := map[string]*Cell{}
+	var order []string
+	var kb strings.Builder
+	for r := 0; r < t.NumRows(); r++ {
+		kb.Reset()
+		coords := make([]string, len(dims))
+		for i, dc := range dcols {
+			coords[i] = dc.Value(r).String()
+			kb.WriteString(coords[i])
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		cell, ok := agg[k]
+		if !ok {
+			cell = &Cell{Coords: coords}
+			agg[k] = cell
+			order = append(order, k)
+		}
+		cell.Sum += mcol.Value(r).AsFloat()
+		cell.Count++
+	}
+	sort.Strings(order)
+	c := &Cube{dims: append([]string(nil), dims...), measure: measure, cuboids: map[string][]Cell{}}
+	for _, k := range order {
+		c.base = append(c.base, *agg[k])
+	}
+	return c, nil
+}
+
+// Dims returns the cube's dimension names.
+func (c *Cube) Dims() []string { return append([]string(nil), c.dims...) }
+
+// Measure returns the measure column name.
+func (c *Cube) Measure() string { return c.measure }
+
+// NumBaseCells returns the count of finest-granularity cells.
+func (c *Cube) NumBaseCells() int { return len(c.base) }
+
+func (c *Cube) dimIndex(name string) int {
+	for i, d := range c.dims {
+		if d == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Aggregate returns the cuboid grouped by the given dimensions (roll-up of
+// everything else), optionally restricted by fixed dimension values.
+// Results are sorted by coordinates. Cuboids without filters are cached.
+func (c *Cube) Aggregate(groupDims []string, fixed map[string]string) ([]Cell, error) {
+	gidx := make([]int, len(groupDims))
+	for i, g := range groupDims {
+		d := c.dimIndex(g)
+		if d < 0 {
+			return nil, fmt.Errorf("%q: %w", g, ErrNoSuchDim)
+		}
+		gidx[i] = d
+	}
+	type fix struct {
+		dim int
+		val string
+	}
+	var fixes []fix
+	for d, v := range fixed {
+		di := c.dimIndex(d)
+		if di < 0 {
+			return nil, fmt.Errorf("%q: %w", d, ErrNoSuchDim)
+		}
+		fixes = append(fixes, fix{di, v})
+	}
+	sort.Slice(fixes, func(a, b int) bool { return fixes[a].dim < fixes[b].dim })
+
+	cacheKey := ""
+	if len(fixes) == 0 {
+		cacheKey = strings.Join(groupDims, "\x1f")
+		if cached, ok := c.cuboids[cacheKey]; ok {
+			return cached, nil
+		}
+	}
+
+	agg := map[string]*Cell{}
+	var order []string
+	var kb strings.Builder
+	for i := range c.base {
+		cell := &c.base[i]
+		c.BaseCellsScanned++
+		match := true
+		for _, f := range fixes {
+			if cell.Coords[f.dim] != f.val {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		kb.Reset()
+		coords := make([]string, len(gidx))
+		for j, d := range gidx {
+			coords[j] = cell.Coords[d]
+			kb.WriteString(coords[j])
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		out, ok := agg[k]
+		if !ok {
+			out = &Cell{Coords: coords}
+			agg[k] = out
+			order = append(order, k)
+		}
+		out.Sum += cell.Sum
+		out.Count += cell.Count
+	}
+	sort.Strings(order)
+	res := make([]Cell, 0, len(order))
+	for _, k := range order {
+		res = append(res, *agg[k])
+	}
+	if cacheKey != "" {
+		c.cuboids[cacheKey] = res
+	}
+	return res, nil
+}
+
+// Values returns the sorted distinct values of a dimension.
+func (c *Cube) Values(dim string) ([]string, error) {
+	d := c.dimIndex(dim)
+	if d < 0 {
+		return nil, fmt.Errorf("%q: %w", dim, ErrNoSuchDim)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for i := range c.base {
+		v := c.base[i].Coords[d]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Total returns the all-up aggregate (the apex cuboid).
+func (c *Cube) Total() Cell {
+	out := Cell{}
+	for i := range c.base {
+		out.Sum += c.base[i].Sum
+		out.Count += c.base[i].Count
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package olap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dex/internal/cache"
+)
+
+// View identifies one cube view in a drill-down session: a set of fixed
+// dimension values plus the dimension currently grouped on.
+type View struct {
+	Fixed    map[string]string
+	GroupDim string
+}
+
+// Key renders a canonical cache key for the view.
+func (v View) Key() string {
+	keys := make([]string, 0, len(v.Fixed))
+	for k := range v.Fixed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, v.Fixed[k])
+	}
+	b.WriteString("@")
+	b.WriteString(v.GroupDim)
+	return b.String()
+}
+
+// clone deep-copies the view.
+func (v View) clone() View {
+	f := make(map[string]string, len(v.Fixed))
+	for k, val := range v.Fixed {
+		f[k] = val
+	}
+	return View{Fixed: f, GroupDim: v.GroupDim}
+}
+
+// Session is an interactive drill-down session over a cube with optional
+// speculative execution: after each view is served, the session precomputes
+// the views a drill-down into each visible cell would produce (the DICE
+// strategy), so the user's next click is usually a cache hit.
+type Session struct {
+	cube  *Cube
+	cache *cache.LRU[string, []Cell]
+	// Speculate enables child-view precomputation after each request.
+	Speculate bool
+	// SpeculateBudget caps speculative views per request.
+	SpeculateBudget int
+
+	DemandViews      int64
+	SpeculativeViews int64
+}
+
+// NewSession creates a session; cacheViews bounds the view cache.
+func NewSession(cube *Cube, cacheViews int, speculate bool) (*Session, error) {
+	c, err := cache.New[string, []Cell](int64(cacheViews))
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cube: cube, cache: c, Speculate: speculate, SpeculateBudget: 16}, nil
+}
+
+// Request serves a view through the cache, then (optionally) speculates on
+// its children. It reports whether the view was a cache hit.
+func (s *Session) Request(v View) ([]Cell, bool, error) {
+	key := v.Key()
+	if cells, ok := s.cache.Get(key); ok {
+		if s.Speculate {
+			s.speculate(v, cells)
+		}
+		return cells, true, nil
+	}
+	cells, err := s.cube.Aggregate([]string{v.GroupDim}, v.Fixed)
+	if err != nil {
+		return nil, false, err
+	}
+	s.DemandViews++
+	s.cache.Put(key, cells, 1)
+	if s.Speculate {
+		s.speculate(v, cells)
+	}
+	return cells, false, nil
+}
+
+// speculate precomputes the drill-down children of the served view: for
+// each cell value of the current group dimension, fixing it and grouping by
+// the next unfixed dimension.
+func (s *Session) speculate(v View, cells []Cell) {
+	next := s.nextDim(v)
+	if next == "" {
+		return
+	}
+	budget := s.SpeculateBudget
+	for _, cell := range cells {
+		if budget <= 0 {
+			return
+		}
+		child := v.clone()
+		child.Fixed[v.GroupDim] = cell.Coords[0]
+		child.GroupDim = next
+		key := child.Key()
+		if s.cache.Contains(key) {
+			continue
+		}
+		res, err := s.cube.Aggregate([]string{child.GroupDim}, child.Fixed)
+		if err != nil {
+			continue
+		}
+		s.SpeculativeViews++
+		s.cache.Put(key, res, 1)
+		budget--
+	}
+}
+
+// nextDim picks the first dimension that is neither fixed nor the current
+// group dimension.
+func (s *Session) nextDim(v View) string {
+	for _, d := range s.cube.dims {
+		if d == v.GroupDim {
+			continue
+		}
+		if _, ok := v.Fixed[d]; ok {
+			continue
+		}
+		return d
+	}
+	return ""
+}
+
+// DrillDown returns the child view reached by clicking value in the current
+// view (fix it, group by the next dimension). ok is false at the bottom of
+// the lattice.
+func (s *Session) DrillDown(v View, value string) (View, bool) {
+	next := s.nextDim(v)
+	if next == "" {
+		return v, false
+	}
+	child := v.clone()
+	child.Fixed[v.GroupDim] = value
+	child.GroupDim = next
+	return child, true
+}
+
+// CacheStats exposes the view-cache counters.
+func (s *Session) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Exception is one surprising cell found by discovery-driven exploration.
+type Exception struct {
+	Row, Col int
+	Value    float64
+	Expected float64
+	// Score is the standardized residual |value-expected|/sigma.
+	Score float64
+}
+
+// Exceptions performs discovery-driven exception detection [54] on a 2-D
+// view: it fits the additive model value ~ overall + rowEffect + colEffect
+// and flags cells whose standardized residual exceeds threshold (2.5 is the
+// classic choice). Rows/columns with no data are ignored.
+func Exceptions(grid [][]float64, threshold float64) []Exception {
+	nr := len(grid)
+	if nr == 0 {
+		return nil
+	}
+	nc := len(grid[0])
+	if nc == 0 {
+		return nil
+	}
+	var overall float64
+	for _, row := range grid {
+		for _, v := range row {
+			overall += v
+		}
+	}
+	overall /= float64(nr * nc)
+	rowEff := make([]float64, nr)
+	colEff := make([]float64, nc)
+	for i, row := range grid {
+		var m float64
+		for _, v := range row {
+			m += v
+		}
+		rowEff[i] = m/float64(nc) - overall
+	}
+	for j := 0; j < nc; j++ {
+		var m float64
+		for i := 0; i < nr; i++ {
+			m += grid[i][j]
+		}
+		colEff[j] = m/float64(nr) - overall
+	}
+	// Robust residual scale: the median absolute deviation. An RMS scale
+	// would be inflated by the very exceptions we are hunting (masking),
+	// so a handful of large anomalies could hide themselves.
+	resids := make([]float64, 0, nr*nc)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			r := grid[i][j] - (overall + rowEff[i] + colEff[j])
+			resids = append(resids, math.Abs(r))
+		}
+	}
+	sorted := append([]float64(nil), resids...)
+	sort.Float64s(sorted)
+	mad := sorted[len(sorted)/2]
+	sigma := 1.4826 * mad // consistent with the normal sigma
+	if sigma == 0 {
+		return nil
+	}
+	var out []Exception
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			exp := overall + rowEff[i] + colEff[j]
+			score := math.Abs(grid[i][j]-exp) / sigma
+			if score >= threshold {
+				out = append(out, Exception{Row: i, Col: j, Value: grid[i][j], Expected: exp, Score: score})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}
+
+// ViewGrid pivots a 2-D cuboid (group by rowDim, colDim) into a dense grid
+// of the chosen statistic plus the row/column labels, for Exceptions and
+// for rendering.
+func (c *Cube) ViewGrid(rowDim, colDim string, avg bool) ([][]float64, []string, []string, error) {
+	cells, err := c.Aggregate([]string{rowDim, colDim}, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rows, err := c.Values(rowDim)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cols, err := c.Values(colDim)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ri := map[string]int{}
+	for i, r := range rows {
+		ri[r] = i
+	}
+	ci := map[string]int{}
+	for i, col := range cols {
+		ci[col] = i
+	}
+	grid := make([][]float64, len(rows))
+	for i := range grid {
+		grid[i] = make([]float64, len(cols))
+	}
+	for _, cell := range cells {
+		i, j := ri[cell.Coords[0]], ci[cell.Coords[1]]
+		if avg {
+			grid[i][j] = cell.Avg()
+		} else {
+			grid[i][j] = cell.Sum
+		}
+	}
+	return grid, rows, cols, nil
+}

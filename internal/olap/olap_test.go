@@ -1,0 +1,313 @@
+package olap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dex/internal/storage"
+)
+
+// mkRetail builds a table with dims region/product/quarter and measure amt.
+func mkRetail(tb testing.TB, n int, seed int64) *storage.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	regions := []string{"east", "west", "north", "south"}
+	products := []string{"p1", "p2", "p3", "p4", "p5"}
+	quarters := []string{"q1", "q2", "q3", "q4"}
+	rv := make([]string, n)
+	pv := make([]string, n)
+	qv := make([]string, n)
+	av := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rv[i] = regions[rng.Intn(len(regions))]
+		pv[i] = products[rng.Intn(len(products))]
+		qv[i] = quarters[rng.Intn(len(quarters))]
+		av[i] = 100 + rng.NormFloat64()*10
+	}
+	t, err := storage.FromColumns("retail", storage.Schema{
+		{Name: "region", Type: storage.TString},
+		{Name: "product", Type: storage.TString},
+		{Name: "quarter", Type: storage.TString},
+		{Name: "amt", Type: storage.TFloat},
+	}, []storage.Column{
+		storage.NewStringColumn(rv), storage.NewStringColumn(pv),
+		storage.NewStringColumn(qv), storage.NewFloatColumn(av),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func TestBuildAndTotal(t *testing.T) {
+	tbl := mkRetail(t, 3000, 1)
+	c, err := Build(tbl, []string{"region", "product", "quarter"}, "amt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBaseCells() == 0 || c.NumBaseCells() > 80 {
+		t.Errorf("base cells = %d", c.NumBaseCells())
+	}
+	total := c.Total()
+	if total.Count != 3000 {
+		t.Errorf("total count = %v", total.Count)
+	}
+	ac, _ := tbl.ColumnByName("amt")
+	var want float64
+	for i := 0; i < tbl.NumRows(); i++ {
+		want += ac.Value(i).AsFloat()
+	}
+	if math.Abs(total.Sum-want) > 1e-6 {
+		t.Errorf("total sum = %v, want %v", total.Sum, want)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tbl := mkRetail(t, 100, 2)
+	if _, err := Build(tbl, nil, "amt"); !errors.Is(err, ErrNoDims) {
+		t.Errorf("no dims err = %v", err)
+	}
+	if _, err := Build(tbl, []string{"nope"}, "amt"); !errors.Is(err, ErrNoSuchDim) {
+		t.Errorf("bad dim err = %v", err)
+	}
+	if _, err := Build(tbl, []string{"region"}, "product"); !errors.Is(err, ErrBadMeasure) {
+		t.Errorf("text measure err = %v", err)
+	}
+}
+
+func TestRollUpConsistency(t *testing.T) {
+	tbl := mkRetail(t, 5000, 3)
+	c, err := Build(tbl, []string{"region", "product", "quarter"}, "amt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum over any cuboid equals the apex total.
+	total := c.Total().Sum
+	for _, dims := range [][]string{
+		{"region"}, {"product"}, {"quarter"},
+		{"region", "product"}, {"product", "quarter"},
+		{"region", "product", "quarter"},
+	} {
+		cells, err := c.Aggregate(dims, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, cell := range cells {
+			s += cell.Sum
+		}
+		if math.Abs(s-total) > 1e-6 {
+			t.Errorf("cuboid %v sum = %v, want %v", dims, s, total)
+		}
+	}
+}
+
+func TestAggregateWithFixed(t *testing.T) {
+	tbl := mkRetail(t, 4000, 4)
+	c, _ := Build(tbl, []string{"region", "product", "quarter"}, "amt")
+	all, err := c.Aggregate([]string{"product"}, map[string]string{"region": "east"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against brute force.
+	rc, _ := tbl.ColumnByName("region")
+	pc, _ := tbl.ColumnByName("product")
+	ac, _ := tbl.ColumnByName("amt")
+	want := map[string]float64{}
+	for i := 0; i < tbl.NumRows(); i++ {
+		if rc.Value(i).S == "east" {
+			want[pc.Value(i).S] += ac.Value(i).AsFloat()
+		}
+	}
+	if len(all) != len(want) {
+		t.Fatalf("groups = %d vs %d", len(all), len(want))
+	}
+	for _, cell := range all {
+		if math.Abs(cell.Sum-want[cell.Coords[0]]) > 1e-6 {
+			t.Errorf("east/%s = %v, want %v", cell.Coords[0], cell.Sum, want[cell.Coords[0]])
+		}
+	}
+	if _, err := c.Aggregate([]string{"product"}, map[string]string{"bogus": "x"}); !errors.Is(err, ErrNoSuchDim) {
+		t.Errorf("bad fixed dim err = %v", err)
+	}
+}
+
+func TestCuboidCaching(t *testing.T) {
+	tbl := mkRetail(t, 1000, 5)
+	c, _ := Build(tbl, []string{"region", "product"}, "amt")
+	if _, err := c.Aggregate([]string{"region"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	scanned := c.BaseCellsScanned
+	if _, err := c.Aggregate([]string{"region"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseCellsScanned != scanned {
+		t.Error("repeated unfiltered cuboid should be served from cache")
+	}
+}
+
+func TestValues(t *testing.T) {
+	tbl := mkRetail(t, 1000, 6)
+	c, _ := Build(tbl, []string{"region", "product"}, "amt")
+	vs, err := c.Values("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 || vs[0] != "east" {
+		t.Errorf("values = %v", vs)
+	}
+	if _, err := c.Values("zzz"); !errors.Is(err, ErrNoSuchDim) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSessionDrillDownSpeculation(t *testing.T) {
+	tbl := mkRetail(t, 5000, 7)
+	c, _ := Build(tbl, []string{"region", "product", "quarter"}, "amt")
+	s, err := NewSession(c, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := View{Fixed: map[string]string{}, GroupDim: "region"}
+	cells, hit, err := s.Request(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first view can't be a hit")
+	}
+	if len(cells) != 4 {
+		t.Errorf("region view cells = %d", len(cells))
+	}
+	// Drill into east: should be precomputed.
+	child, ok := s.DrillDown(v, "east")
+	if !ok {
+		t.Fatal("drill-down should be possible")
+	}
+	if _, hit, err := s.Request(child); err != nil || !hit {
+		t.Errorf("drill-down hit = %v (err %v), want speculative hit", hit, err)
+	}
+	// And one more level.
+	grand, ok := s.DrillDown(child, "p1")
+	if !ok {
+		t.Fatal("second drill-down should be possible")
+	}
+	if _, hit, err := s.Request(grand); err != nil || !hit {
+		t.Errorf("2nd drill-down hit = %v (err %v)", hit, err)
+	}
+	// Bottom of lattice.
+	bottom, ok := s.DrillDown(grand, "q1")
+	if ok {
+		t.Errorf("drill below bottom = %+v", bottom)
+	}
+	if s.SpeculativeViews == 0 {
+		t.Error("no speculative views recorded")
+	}
+}
+
+func TestSessionNoSpeculationMisses(t *testing.T) {
+	tbl := mkRetail(t, 2000, 8)
+	c, _ := Build(tbl, []string{"region", "product"}, "amt")
+	s, _ := NewSession(c, 64, false)
+	v := View{Fixed: map[string]string{}, GroupDim: "region"}
+	if _, _, err := s.Request(v); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := s.DrillDown(v, "west")
+	if _, hit, _ := s.Request(child); hit {
+		t.Error("without speculation the drill-down must miss")
+	}
+}
+
+func TestViewKeyCanonical(t *testing.T) {
+	a := View{Fixed: map[string]string{"x": "1", "y": "2"}, GroupDim: "z"}
+	b := View{Fixed: map[string]string{"y": "2", "x": "1"}, GroupDim: "z"}
+	if a.Key() != b.Key() {
+		t.Error("view keys should be order-insensitive")
+	}
+}
+
+func TestExceptionsFindPlantedCell(t *testing.T) {
+	// Additive grid with one planted anomaly.
+	nr, nc := 6, 8
+	grid := make([][]float64, nr)
+	for i := range grid {
+		grid[i] = make([]float64, nc)
+		for j := range grid[i] {
+			grid[i][j] = 10 + 2*float64(i) + 3*float64(j)
+		}
+	}
+	grid[3][5] += 40 // anomaly
+	ex := Exceptions(grid, 2.5)
+	if len(ex) == 0 {
+		t.Fatal("no exceptions found")
+	}
+	if ex[0].Row != 3 || ex[0].Col != 5 {
+		t.Errorf("top exception at (%d,%d), want (3,5)", ex[0].Row, ex[0].Col)
+	}
+}
+
+func TestExceptionsCleanGridQuiet(t *testing.T) {
+	grid := make([][]float64, 5)
+	for i := range grid {
+		grid[i] = make([]float64, 5)
+		for j := range grid[i] {
+			grid[i][j] = float64(i) - float64(j)*2
+		}
+	}
+	if ex := Exceptions(grid, 2.5); len(ex) != 0 {
+		t.Errorf("clean additive grid produced %d exceptions", len(ex))
+	}
+	if ex := Exceptions(nil, 2.5); ex != nil {
+		t.Error("nil grid")
+	}
+	if ex := Exceptions([][]float64{{}}, 2.5); ex != nil {
+		t.Error("empty grid")
+	}
+}
+
+func TestViewGrid(t *testing.T) {
+	tbl := mkRetail(t, 3000, 9)
+	c, _ := Build(tbl, []string{"region", "product"}, "amt")
+	grid, rows, cols, err := c.ViewGrid("region", "product", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(rows) || len(grid[0]) != len(cols) {
+		t.Fatalf("grid dims %dx%d vs labels %d/%d", len(grid), len(grid[0]), len(rows), len(cols))
+	}
+	var s float64
+	for _, row := range grid {
+		for _, v := range row {
+			s += v
+		}
+	}
+	if math.Abs(s-c.Total().Sum) > 1e-6 {
+		t.Errorf("grid mass = %v, want %v", s, c.Total().Sum)
+	}
+}
+
+func TestManyDistinctCells(t *testing.T) {
+	// Degenerate high-cardinality dimension: every row its own cell.
+	n := 500
+	dv := make([]string, n)
+	av := make([]float64, n)
+	for i := range dv {
+		dv[i] = fmt.Sprintf("k%04d", i)
+		av[i] = 1
+	}
+	tbl, _ := storage.FromColumns("hc", storage.Schema{
+		{Name: "d", Type: storage.TString}, {Name: "a", Type: storage.TFloat},
+	}, []storage.Column{storage.NewStringColumn(dv), storage.NewFloatColumn(av)})
+	c, err := Build(tbl, []string{"d"}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBaseCells() != n {
+		t.Errorf("base cells = %d", c.NumBaseCells())
+	}
+}

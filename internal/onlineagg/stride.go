@@ -1,0 +1,188 @@
+package onlineagg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dex/internal/aqp"
+	"dex/internal/exec"
+	"dex/internal/metrics"
+	"dex/internal/storage"
+)
+
+// StridedRunner is the index-striding variant of online aggregation from
+// the CONTROL project [24,25]: instead of one global random permutation —
+// under which a rare group receives samples at its population rate and
+// converges slowly — rows are consumed round-robin across the groups, so
+// every group's estimate tightens at the same pace. Group totals are known
+// from the striding pass, so SUM/COUNT estimates are scaled per group.
+type StridedRunner struct {
+	t      *storage.Table
+	q      aqp.Query
+	mcol   storage.Column
+	groups []*strideGroup
+	byKey  map[string]*strideGroup
+	order  []string
+	cursor int // round-robin position
+	done   int // rows consumed
+	total  int
+}
+
+type strideGroup struct {
+	key    storage.Value
+	rows   []int // shuffled member rows
+	next   int
+	stream metrics.Stream // measure values consumed
+	sumY   float64        // sum of z over consumed rows
+	sumY2  float64
+	min    float64
+	max    float64
+}
+
+// NewStrided prepares a strided runner. The query must have a GROUP BY
+// column; predicates are applied during the bucketing pass (rows failing
+// the predicate are excluded up front, which the striding pass can afford
+// since it reads the grouping column anyway).
+func NewStrided(t *storage.Table, q aqp.Query, seed int64) (*StridedRunner, error) {
+	if q.Agg == exec.AggNone {
+		return nil, fmt.Errorf("onlineagg: missing aggregate")
+	}
+	if q.GroupBy == "" {
+		return nil, fmt.Errorf("onlineagg: striding requires GROUP BY")
+	}
+	gcol, err := t.ColumnByName(q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	var mcol storage.Column
+	if q.Agg != exec.AggCount {
+		c, err := t.ColumnByName(q.Col)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() == storage.TString && (q.Agg == exec.AggSum || q.Agg == exec.AggAvg) {
+			return nil, fmt.Errorf("onlineagg: %s over TEXT column %q", q.Agg, q.Col)
+		}
+		mcol = c
+	}
+	if q.Where != nil {
+		if err := q.Where.Validate(t.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	r := &StridedRunner{t: t, q: q, mcol: mcol, byKey: map[string]*strideGroup{}}
+	for row := 0; row < t.NumRows(); row++ {
+		if q.Where != nil && !q.Where.Matches(t, row) {
+			continue
+		}
+		gv := gcol.Value(row)
+		key := gv.String()
+		g, ok := r.byKey[key]
+		if !ok {
+			g = &strideGroup{key: gv, min: math.Inf(1), max: math.Inf(-1)}
+			r.byKey[key] = g
+			r.order = append(r.order, key)
+		}
+		g.rows = append(g.rows, row)
+		r.total++
+	}
+	sort.Strings(r.order)
+	rng := rand.New(rand.NewSource(seed))
+	for _, key := range r.order {
+		g := r.byKey[key]
+		rng.Shuffle(len(g.rows), func(i, j int) { g.rows[i], g.rows[j] = g.rows[j], g.rows[i] })
+		r.groups = append(r.groups, g)
+	}
+	return r, nil
+}
+
+// Processed returns how many rows have been consumed.
+func (r *StridedRunner) Processed() int { return r.done }
+
+// Done reports whether every group is exhausted.
+func (r *StridedRunner) Done() bool { return r.done >= r.total }
+
+// Step consumes up to batch rows round-robin across the groups and returns
+// the updated estimates.
+func (r *StridedRunner) Step(batch int) ([]aqp.GroupEstimate, error) {
+	if batch <= 0 {
+		return nil, ErrBadBatch
+	}
+	if r.Done() {
+		return nil, ErrDone
+	}
+	consumed := 0
+	for consumed < batch && r.done < r.total {
+		g := r.groups[r.cursor%len(r.groups)]
+		r.cursor++
+		if g.next >= len(g.rows) {
+			continue // exhausted group; round-robin skips it
+		}
+		row := g.rows[g.next]
+		g.next++
+		r.done++
+		consumed++
+		x := 0.0
+		if r.mcol != nil {
+			x = r.mcol.Value(row).AsFloat()
+		}
+		z := 1.0
+		if r.q.Agg == exec.AggSum {
+			z = x
+		}
+		g.sumY += z
+		g.sumY2 += z * z
+		g.stream.Add(x)
+		if x < g.min {
+			g.min = x
+		}
+		if x > g.max {
+			g.max = x
+		}
+	}
+	return r.Estimates(), nil
+}
+
+// Estimates returns the per-group running estimates. SUM and COUNT scale by
+// the group's own size (known from bucketing): est = (N_g/m_g)·sum_g, so
+// striding's distorted prefix proportions cannot bias the answers.
+func (r *StridedRunner) Estimates() []aqp.GroupEstimate {
+	out := make([]aqp.GroupEstimate, 0, len(r.groups))
+	for _, g := range r.groups {
+		Ng := float64(len(g.rows))
+		mg := float64(g.next)
+		done := g.next >= len(g.rows)
+		ge := aqp.GroupEstimate{Group: g.key, N: g.next}
+		switch r.q.Agg {
+		case exec.AggCount, exec.AggSum:
+			scale := 1.0
+			if mg > 0 {
+				scale = Ng / mg
+			}
+			ge.Est = scale * g.sumY
+			if !done && mg > 1 {
+				s2 := (Ng*Ng*g.sumY2 - (Ng*g.sumY)*(Ng*g.sumY)/mg) / (mg - 1)
+				ge.CI = metrics.Z95 * math.Sqrt(math.Max(s2, 0)/mg)
+			}
+		case exec.AggAvg:
+			ge.Est = g.stream.Mean()
+			if !done {
+				ge.CI = g.stream.MeanCI(metrics.Z95)
+			}
+		case exec.AggMin:
+			ge.Est = g.min
+			if !done {
+				ge.CI = math.Inf(1)
+			}
+		case exec.AggMax:
+			ge.Est = g.max
+			if !done {
+				ge.CI = math.Inf(1)
+			}
+		}
+		out = append(out, ge)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package prefetch
+
+// Momentum predicts that the viewport keeps moving with its last velocity
+// (the "direction following" signal trajectory prefetchers exploit): the
+// next window is the current one shifted by the last move, and its tiles
+// are prioritized by distance from the current window.
+type Momentum struct{}
+
+// Name implements Predictor.
+func (Momentum) Name() string { return "momentum" }
+
+// Predict implements Predictor.
+func (Momentum) Predict(history []Window, budget int) []TileKey {
+	if len(history) == 0 || budget <= 0 {
+		return nil
+	}
+	cur := history[len(history)-1]
+	dx, dy := 0, 0
+	if len(history) >= 2 {
+		prev := history[len(history)-2]
+		dx, dy = cur.X0-prev.X0, cur.Y0-prev.Y0
+	}
+	if dx == 0 && dy == 0 {
+		// No movement signal: prefetch the ring of neighbors.
+		return ring(cur, budget)
+	}
+	next := cur.Shift(sign(dx), sign(dy))
+	var out []TileKey
+	seen := map[TileKey]bool{}
+	for _, k := range cur.Tiles() {
+		seen[k] = true
+	}
+	// First the freshly exposed tiles of the predicted window, then the
+	// window after that.
+	for _, w := range []Window{next, next.Shift(sign(dx), sign(dy))} {
+		for _, k := range w.Tiles() {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+				if len(out) >= budget {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ring returns up to budget tiles surrounding the window.
+func ring(w Window, budget int) []TileKey {
+	var out []TileKey
+	for x := w.X0 - 1; x <= w.X1+1; x++ {
+		for y := w.Y0 - 1; y <= w.Y1+1; y++ {
+			if x >= w.X0 && x <= w.X1 && y >= w.Y0 && y <= w.Y1 {
+				continue
+			}
+			out = append(out, TileKey{x, y})
+			if len(out) >= budget {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Markov is a first-order move-direction model (SCOUT-style trajectory
+// indexing distilled to its predictive core): it counts transitions between
+// consecutive move directions across the whole history and prefetches the
+// windows reached by the most probable next moves.
+type Markov struct {
+	// Laplace is the additive smoothing constant (default 1).
+	Laplace float64
+}
+
+// Name implements Predictor.
+func (Markov) Name() string { return "markov" }
+
+type move struct{ dx, dy int }
+
+var directions = []move{
+	{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+	{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+}
+
+// Predict implements Predictor.
+func (m Markov) Predict(history []Window, budget int) []TileKey {
+	if len(history) < 2 || budget <= 0 {
+		return nil
+	}
+	laplace := m.Laplace
+	if laplace == 0 {
+		laplace = 1
+	}
+	// Transition counts dir -> dir.
+	counts := map[move]map[move]float64{}
+	var moves []move
+	for i := 1; i < len(history); i++ {
+		mv := move{sign(history[i].X0 - history[i-1].X0), sign(history[i].Y0 - history[i-1].Y0)}
+		moves = append(moves, mv)
+	}
+	for i := 1; i < len(moves); i++ {
+		prev, cur := moves[i-1], moves[i]
+		if counts[prev] == nil {
+			counts[prev] = map[move]float64{}
+		}
+		counts[prev][cur]++
+	}
+	last := moves[len(moves)-1]
+	// Score each direction by smoothed transition probability.
+	type scored struct {
+		mv    move
+		score float64
+	}
+	var cands []scored
+	for _, d := range directions {
+		score := laplace
+		if counts[last] != nil {
+			score += counts[last][d]
+		}
+		cands = append(cands, scored{mv: d, score: score})
+	}
+	// Selection sort by score descending (8 candidates).
+	for i := 0; i < len(cands); i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].score > cands[best].score {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	cur := history[len(history)-1]
+	seen := map[TileKey]bool{}
+	for _, k := range cur.Tiles() {
+		seen[k] = true
+	}
+	var out []TileKey
+	for _, c := range cands {
+		next := cur.Shift(c.mv.dx, c.mv.dy)
+		for _, k := range next.Tiles() {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+				if len(out) >= budget {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package prefetch implements the middleware result-prefetching techniques
+// the tutorial surveys: semantic-window exploration over a gridded data
+// space [36], and trajectory-following prefetching that predicts where the
+// user's viewport moves next (SCOUT [63], ForeCache-style momentum). While
+// the user inspects the current window, the system speculatively executes
+// the likely next window's tiles into a cache, so the follow-up request is
+// answered interactively.
+package prefetch
+
+import (
+	"errors"
+	"fmt"
+
+	"dex/internal/cache"
+	"dex/internal/metrics"
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadGrid   = errors.New("prefetch: bad grid geometry")
+	ErrBadWindow = errors.New("prefetch: window out of range")
+)
+
+// TileKey addresses one grid tile.
+type TileKey struct{ X, Y int }
+
+// TileStats is the aggregate computed per tile — what a viewport render
+// needs (count plus measure moments).
+type TileStats struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Grid partitions a table's 2-D attribute space (xcol × ycol) into nx × ny
+// tiles and knows which rows fall into each tile. Building the membership
+// index is a one-time O(n) pass; *computing* a tile's stats costs a scan of
+// its rows, which is the unit of work prefetching tries to hide.
+type Grid struct {
+	t          *storage.Table
+	mcol       storage.Column // measure
+	nx, ny     int
+	tiles      map[TileKey][]int
+	xmin, xmax float64
+	ymin, ymax float64
+	// FetchedRows counts rows scanned by Fetch since creation.
+	FetchedRows int64
+}
+
+// NewGrid indexes the table on (xcol, ycol) into nx × ny tiles; measure is
+// the aggregated column.
+func NewGrid(t *storage.Table, xcol, ycol, measure string, nx, ny int) (*Grid, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("%dx%d: %w", nx, ny, ErrBadGrid)
+	}
+	xc, err := t.ColumnByName(xcol)
+	if err != nil {
+		return nil, err
+	}
+	yc, err := t.ColumnByName(ycol)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := t.ColumnByName(measure)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{t: t, mcol: mc, nx: nx, ny: ny, tiles: map[TileKey][]int{}}
+	n := t.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("empty table: %w", ErrBadGrid)
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	g.xmin, g.xmax = xc.Value(0).AsFloat(), xc.Value(0).AsFloat()
+	g.ymin, g.ymax = yc.Value(0).AsFloat(), yc.Value(0).AsFloat()
+	for i := 0; i < n; i++ {
+		xs[i] = xc.Value(i).AsFloat()
+		ys[i] = yc.Value(i).AsFloat()
+		if xs[i] < g.xmin {
+			g.xmin = xs[i]
+		}
+		if xs[i] > g.xmax {
+			g.xmax = xs[i]
+		}
+		if ys[i] < g.ymin {
+			g.ymin = ys[i]
+		}
+		if ys[i] > g.ymax {
+			g.ymax = ys[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := TileKey{X: g.bin(xs[i], g.xmin, g.xmax, nx), Y: g.bin(ys[i], g.ymin, g.ymax, ny)}
+		g.tiles[k] = append(g.tiles[k], i)
+	}
+	return g, nil
+}
+
+func (g *Grid) bin(v, lo, hi float64, n int) int {
+	if hi == lo {
+		return 0
+	}
+	b := int(float64(n) * (v - lo) / (hi - lo))
+	if b >= n {
+		b = n - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Dims returns the tile grid dimensions.
+func (g *Grid) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// Fetch computes a tile's stats by scanning its member rows (the expensive
+// operation the cache hides).
+func (g *Grid) Fetch(k TileKey) TileStats {
+	rows := g.tiles[k]
+	st := TileStats{}
+	var s metrics.Stream
+	for _, r := range rows {
+		s.Add(g.mcol.Value(r).AsFloat())
+	}
+	g.FetchedRows += int64(len(rows))
+	st.Count = int(s.N())
+	st.Sum = s.Sum()
+	st.Min = s.Min()
+	st.Max = s.Max()
+	return st
+}
+
+// Window is a rectangular viewport in tile coordinates, inclusive bounds.
+type Window struct{ X0, Y0, X1, Y1 int }
+
+// Tiles enumerates the tile keys the window covers.
+func (w Window) Tiles() []TileKey {
+	var out []TileKey
+	for x := w.X0; x <= w.X1; x++ {
+		for y := w.Y0; y <= w.Y1; y++ {
+			out = append(out, TileKey{x, y})
+		}
+	}
+	return out
+}
+
+// Shift translates the window by (dx,dy).
+func (w Window) Shift(dx, dy int) Window {
+	return Window{w.X0 + dx, w.Y0 + dy, w.X1 + dx, w.Y1 + dy}
+}
+
+// Clamp constrains the window to the grid, preserving its size when
+// possible.
+func (w Window) Clamp(nx, ny int) Window {
+	dx, dy := w.X1-w.X0, w.Y1-w.Y0
+	if w.X0 < 0 {
+		w.X0, w.X1 = 0, dx
+	}
+	if w.Y0 < 0 {
+		w.Y0, w.Y1 = 0, dy
+	}
+	if w.X1 >= nx {
+		w.X1 = nx - 1
+		w.X0 = w.X1 - dx
+		if w.X0 < 0 {
+			w.X0 = 0
+		}
+	}
+	if w.Y1 >= ny {
+		w.Y1 = ny - 1
+		w.Y0 = w.Y1 - dy
+		if w.Y0 < 0 {
+			w.Y0 = 0
+		}
+	}
+	return w
+}
+
+// Predictor guesses which tiles the user will need next, given the window
+// history.
+type Predictor interface {
+	// Predict returns candidate tiles in priority order (best first).
+	Predict(history []Window, budget int) []TileKey
+	// Name identifies the predictor in experiment tables.
+	Name() string
+}
+
+// Fetcher serves viewport requests through a tile cache and, after each
+// request, speculatively prefetches predicted tiles.
+type Fetcher struct {
+	grid    *Grid
+	cache   *cache.LRU[TileKey, TileStats]
+	pred    Predictor
+	budget  int // max tiles prefetched per step
+	history []Window
+
+	// DemandFetches counts tiles fetched synchronously (cache misses seen
+	// by the user); PrefetchFetches counts speculative background fetches.
+	DemandFetches   int64
+	PrefetchFetches int64
+	DemandRows      int64
+	PrefetchRows    int64
+}
+
+// NewFetcher builds a fetcher. cacheTiles bounds the cache (in tiles);
+// budget bounds speculative fetches per request; pred may be nil for the
+// no-prefetching baseline.
+func NewFetcher(g *Grid, cacheTiles int, budget int, pred Predictor) (*Fetcher, error) {
+	c, err := cache.New[TileKey, TileStats](int64(cacheTiles))
+	if err != nil {
+		return nil, err
+	}
+	return &Fetcher{grid: g, cache: c, pred: pred, budget: budget}, nil
+}
+
+// Request serves a viewport: cached tiles are hits, the rest are fetched
+// on demand. Afterwards the predictor's guesses are prefetched. It returns
+// the tile stats plus this request's hit/miss counts.
+func (f *Fetcher) Request(w Window) (map[TileKey]TileStats, int, int) {
+	w = w.Clamp(f.grid.nx, f.grid.ny)
+	out := make(map[TileKey]TileStats)
+	hits, misses := 0, 0
+	for _, k := range w.Tiles() {
+		if st, ok := f.cache.Get(k); ok {
+			out[k] = st
+			hits++
+			continue
+		}
+		misses++
+		before := f.grid.FetchedRows
+		st := f.grid.Fetch(k)
+		f.DemandFetches++
+		f.DemandRows += f.grid.FetchedRows - before
+		f.cache.Put(k, st, 1)
+		out[k] = st
+	}
+	f.history = append(f.history, w)
+	f.speculate()
+	return out, hits, misses
+}
+
+// speculate runs the predictor and fetches its suggestions into the cache.
+func (f *Fetcher) speculate() {
+	if f.pred == nil || f.budget <= 0 {
+		return
+	}
+	for _, k := range f.pred.Predict(f.history, f.budget) {
+		if k.X < 0 || k.X >= f.grid.nx || k.Y < 0 || k.Y >= f.grid.ny {
+			continue
+		}
+		if f.cache.Contains(k) {
+			continue
+		}
+		before := f.grid.FetchedRows
+		st := f.grid.Fetch(k)
+		f.PrefetchFetches++
+		f.PrefetchRows += f.grid.FetchedRows - before
+		f.cache.Put(k, st, 1)
+	}
+}
+
+// CacheStats exposes the underlying cache counters.
+func (f *Fetcher) CacheStats() cache.Stats { return f.cache.Stats() }

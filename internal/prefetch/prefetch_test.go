@@ -1,0 +1,296 @@
+package prefetch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dex/internal/storage"
+)
+
+func mkPoints(tb testing.TB, n int, seed int64) *storage.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ms := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		ms[i] = rng.Float64()
+	}
+	t, err := storage.FromColumns("pts", storage.Schema{
+		{Name: "x", Type: storage.TFloat},
+		{Name: "y", Type: storage.TFloat},
+		{Name: "m", Type: storage.TFloat},
+	}, []storage.Column{storage.NewFloatColumn(xs), storage.NewFloatColumn(ys), storage.NewFloatColumn(ms)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func TestGridPartition(t *testing.T) {
+	tbl := mkPoints(t, 5000, 1)
+	g, err := NewGrid(tbl, "x", "y", "m", 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var sum float64
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			st := g.Fetch(TileKey{x, y})
+			total += st.Count
+			sum += st.Sum
+		}
+	}
+	if total != 5000 {
+		t.Errorf("tiles cover %d rows, want 5000", total)
+	}
+	mc, _ := tbl.ColumnByName("m")
+	var want float64
+	for i := 0; i < tbl.NumRows(); i++ {
+		want += mc.Value(i).AsFloat()
+	}
+	if math.Abs(sum-want) > 1e-6 {
+		t.Errorf("tile sums = %v, want %v", sum, want)
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	tbl := mkPoints(t, 10, 2)
+	if _, err := NewGrid(tbl, "x", "y", "m", 0, 5); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("bad dims err = %v", err)
+	}
+	if _, err := NewGrid(tbl, "nope", "y", "m", 5, 5); err == nil {
+		t.Error("missing column should error")
+	}
+	empty, _ := storage.NewTable("e", tbl.Schema())
+	if _, err := NewGrid(empty, "x", "y", "m", 5, 5); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("empty table err = %v", err)
+	}
+}
+
+func TestWindowTilesAndClamp(t *testing.T) {
+	w := Window{1, 1, 2, 3}
+	if got := len(w.Tiles()); got != 6 {
+		t.Errorf("tiles = %d, want 6", got)
+	}
+	c := Window{-2, 8, 0, 10}.Clamp(10, 10)
+	if c.X0 != 0 || c.Y1 != 9 {
+		t.Errorf("clamped = %+v", c)
+	}
+	if s := (Window{0, 0, 1, 1}).Shift(2, 3); s.X0 != 2 || s.Y1 != 4 {
+		t.Errorf("shift = %+v", s)
+	}
+}
+
+func TestNoPrefetchBaselineMissesOnMove(t *testing.T) {
+	tbl := mkPoints(t, 2000, 3)
+	g, _ := NewGrid(tbl, "x", "y", "m", 20, 20)
+	f, err := NewFetcher(g, 400, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hits, misses := f.Request(Window{0, 0, 2, 2})
+	if hits != 0 || misses != 9 {
+		t.Errorf("first request hits=%d misses=%d", hits, misses)
+	}
+	// Repeat: all hits.
+	_, hits, misses = f.Request(Window{0, 0, 2, 2})
+	if hits != 9 || misses != 0 {
+		t.Errorf("repeat hits=%d misses=%d", hits, misses)
+	}
+	// Move right: 3 new tiles missed.
+	_, hits, misses = f.Request(Window{1, 0, 3, 2})
+	if misses != 3 || hits != 6 {
+		t.Errorf("move hits=%d misses=%d", hits, misses)
+	}
+}
+
+// driveTrajectory runs a directional random walk and returns the demand
+// miss rate experienced by the user.
+func driveTrajectory(t *testing.T, pred Predictor, seed int64) float64 {
+	t.Helper()
+	tbl := mkPoints(t, 5000, 4)
+	g, _ := NewGrid(tbl, "x", "y", "m", 30, 30)
+	f, err := NewFetcher(g, 900, 12, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := Window{0, 0, 2, 2}
+	dx, dy := 1, 0
+	totalHits, totalMisses := 0, 0
+	for step := 0; step < 80; step++ {
+		if rng.Float64() < 0.1 { // occasionally turn
+			dx, dy = dy, dx
+		}
+		w = w.Shift(dx, dy).Clamp(30, 30)
+		_, h, m := f.Request(w)
+		if step > 0 { // skip cold start
+			totalHits += h
+			totalMisses += m
+		}
+	}
+	return float64(totalMisses) / float64(totalHits+totalMisses)
+}
+
+func TestMomentumBeatsNoPrefetch(t *testing.T) {
+	base := driveTrajectory(t, nil, 5)
+	mom := driveTrajectory(t, Momentum{}, 5)
+	if mom >= base {
+		t.Errorf("momentum miss rate %.3f >= baseline %.3f", mom, base)
+	}
+	if mom > 0.2 {
+		t.Errorf("momentum miss rate %.3f too high for a directional walk", mom)
+	}
+}
+
+func TestMarkovBeatsNoPrefetch(t *testing.T) {
+	base := driveTrajectory(t, nil, 6)
+	mk := driveTrajectory(t, Markov{}, 6)
+	if mk >= base {
+		t.Errorf("markov miss rate %.3f >= baseline %.3f", mk, base)
+	}
+}
+
+func TestPredictorsEmptyHistory(t *testing.T) {
+	if got := (Momentum{}).Predict(nil, 5); got != nil {
+		t.Errorf("momentum on empty = %v", got)
+	}
+	if got := (Markov{}).Predict([]Window{{0, 0, 1, 1}}, 5); got != nil {
+		t.Errorf("markov on single = %v", got)
+	}
+}
+
+func TestMomentumStationaryPrefetchesRing(t *testing.T) {
+	h := []Window{{5, 5, 6, 6}, {5, 5, 6, 6}}
+	got := (Momentum{}).Predict(h, 100)
+	if len(got) != 12 { // ring around a 2x2 window
+		t.Errorf("ring size = %d, want 12", len(got))
+	}
+	for _, k := range got {
+		inside := k.X >= 5 && k.X <= 6 && k.Y >= 5 && k.Y <= 6
+		if inside {
+			t.Errorf("ring contains interior tile %v", k)
+		}
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	if (Momentum{}).Name() != "momentum" || (Markov{}).Name() != "markov" {
+		t.Error("predictor names")
+	}
+}
+
+func TestPrefetchAccounting(t *testing.T) {
+	tbl := mkPoints(t, 3000, 7)
+	g, _ := NewGrid(tbl, "x", "y", "m", 10, 10)
+	f, _ := NewFetcher(g, 100, 5, Momentum{})
+	f.Request(Window{0, 0, 1, 1})
+	f.Request(Window{1, 0, 2, 1})
+	if f.PrefetchFetches == 0 {
+		t.Error("no speculative fetches recorded")
+	}
+	if f.DemandFetches == 0 || f.DemandRows < 0 {
+		t.Error("demand accounting broken")
+	}
+}
+
+func TestSATMatchesDirectAggregation(t *testing.T) {
+	tbl := mkPoints(t, 4000, 21)
+	g, err := NewGrid(tbl, "x", "y", "m", 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := NewSAT(g)
+	// Fresh grid for the oracle (Fetch mutates counters only).
+	g2, _ := NewGrid(tbl, "x", "y", "m", 12, 12)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		x0, y0 := rng.Intn(10), rng.Intn(10)
+		win := Window{X0: x0, Y0: y0, X1: x0 + rng.Intn(12-x0), Y1: y0 + rng.Intn(12-y0)}
+		agg := sat.WindowAgg(win)
+		wantCount, wantSum := 0, 0.0
+		for _, k := range win.Tiles() {
+			st := g2.Fetch(k)
+			wantCount += st.Count
+			wantSum += st.Sum
+		}
+		if agg.Count != wantCount || math.Abs(agg.Sum-wantSum) > 1e-6 {
+			t.Fatalf("window %+v agg = %+v, want count=%d sum=%v", win, agg, wantCount, wantSum)
+		}
+	}
+}
+
+func TestFindWindowsDenseRegion(t *testing.T) {
+	// Points concentrated in one corner: dense windows must be found there.
+	n := 3000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ms := make([]float64, n)
+	rng := rand.New(rand.NewSource(23))
+	for i := range xs {
+		if i < n/2 { // dense cluster near (10,10)
+			xs[i] = 5 + rng.Float64()*10
+			ys[i] = 5 + rng.Float64()*10
+		} else {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+		}
+		ms[i] = 1
+	}
+	tbl, _ := storage.FromColumns("pts", storage.Schema{
+		{Name: "x", Type: storage.TFloat}, {Name: "y", Type: storage.TFloat}, {Name: "m", Type: storage.TFloat},
+	}, []storage.Column{storage.NewFloatColumn(xs), storage.NewFloatColumn(ys), storage.NewFloatColumn(ms)})
+	g, _ := NewGrid(tbl, "x", "y", "m", 20, 20)
+	sat := NewSAT(g)
+	threshold := float64(n) / 20
+	wins, err := sat.FindWindows(4, 4, func(w WindowAgg) bool { return w.Sum > threshold })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) == 0 {
+		t.Fatal("no dense windows found")
+	}
+	// The top window must cover the cluster corner (tiles ~1..4).
+	top := wins[0].Win
+	if top.X0 > 4 || top.Y0 > 4 {
+		t.Errorf("top window = %+v, expected near origin", top)
+	}
+	// Sorted descending by Sum.
+	for i := 1; i < len(wins); i++ {
+		if wins[i-1].Sum < wins[i].Sum {
+			t.Fatal("windows not sorted by sum")
+		}
+	}
+	if _, err := sat.FindWindows(0, 4, nil); !errors.Is(err, ErrBadWindowSize) {
+		t.Errorf("bad size err = %v", err)
+	}
+}
+
+func TestFindFirstNearestOrder(t *testing.T) {
+	tbl := mkPoints(t, 5000, 24)
+	g, _ := NewGrid(tbl, "x", "y", "m", 15, 15)
+	sat := NewSAT(g)
+	seed := Window{X0: 7, Y0: 7, X1: 9, Y1: 9}
+	all := func(WindowAgg) bool { return true }
+	wins, err := sat.FindFirst(seed, 3, 3, 5, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 5 {
+		t.Fatalf("windows = %d", len(wins))
+	}
+	// First match should be at the seed itself.
+	if wins[0].Win.X0 != 7 || wins[0].Win.Y0 != 7 {
+		t.Errorf("first window = %+v, want the seed", wins[0].Win)
+	}
+	// Avg is consistent.
+	if wins[0].Count > 0 && math.Abs(wins[0].Avg()-wins[0].Sum/float64(wins[0].Count)) > 1e-12 {
+		t.Error("avg inconsistent")
+	}
+}

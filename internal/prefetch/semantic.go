@@ -1,0 +1,139 @@
+package prefetch
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBadWindowSize is returned for non-positive semantic window dimensions.
+var ErrBadWindowSize = errors.New("prefetch: bad window size")
+
+// WindowAgg is the aggregate of one candidate semantic window.
+type WindowAgg struct {
+	Win   Window
+	Count int
+	Sum   float64
+}
+
+// Avg returns Sum/Count (0 for empty windows).
+func (w WindowAgg) Avg() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// SAT is a summed-area table over the grid's tiles, giving O(1) aggregates
+// for any rectangular window — the evaluation backbone for semantic-window
+// queries [36]: "find me wxh regions whose aggregate satisfies P".
+type SAT struct {
+	nx, ny int
+	count  []float64 // (nx+1)*(ny+1) prefix sums
+	sum    []float64
+}
+
+// NewSAT materializes the summed-area table (one Fetch per tile).
+func NewSAT(g *Grid) *SAT {
+	s := &SAT{nx: g.nx, ny: g.ny}
+	w := g.nx + 1
+	s.count = make([]float64, w*(g.ny+1))
+	s.sum = make([]float64, w*(g.ny+1))
+	for y := 1; y <= g.ny; y++ {
+		for x := 1; x <= g.nx; x++ {
+			st := g.Fetch(TileKey{X: x - 1, Y: y - 1})
+			i := y*w + x
+			s.count[i] = float64(st.Count) + s.count[i-1] + s.count[i-w] - s.count[i-w-1]
+			s.sum[i] = st.Sum + s.sum[i-1] + s.sum[i-w] - s.sum[i-w-1]
+		}
+	}
+	return s
+}
+
+// WindowAgg returns the aggregate of the (clamped) window in O(1).
+func (s *SAT) WindowAgg(win Window) WindowAgg {
+	win = win.Clamp(s.nx, s.ny)
+	w := s.nx + 1
+	x0, y0, x1, y1 := win.X0, win.Y0, win.X1+1, win.Y1+1
+	at := func(a []float64, x, y int) float64 { return a[y*w+x] }
+	return WindowAgg{
+		Win:   win,
+		Count: int(at(s.count, x1, y1) - at(s.count, x0, y1) - at(s.count, x1, y0) + at(s.count, x0, y0)),
+		Sum:   at(s.sum, x1, y1) - at(s.sum, x0, y1) - at(s.sum, x1, y0) + at(s.sum, x0, y0),
+	}
+}
+
+// FindWindows enumerates every w×h window (in tiles) whose aggregate
+// satisfies pred, sorted by descending Sum — the batch form of a semantic
+// window query. With the SAT each candidate costs O(1), so the search is
+// O(nx*ny) regardless of data size.
+func (s *SAT) FindWindows(wTiles, hTiles int, pred func(WindowAgg) bool) ([]WindowAgg, error) {
+	if wTiles <= 0 || hTiles <= 0 || wTiles > s.nx || hTiles > s.ny {
+		return nil, ErrBadWindowSize
+	}
+	var out []WindowAgg
+	for y := 0; y+hTiles <= s.ny; y++ {
+		for x := 0; x+wTiles <= s.nx; x++ {
+			agg := s.WindowAgg(Window{X0: x, Y0: y, X1: x + wTiles - 1, Y1: y + hTiles - 1})
+			if pred(agg) {
+				out = append(out, agg)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Sum > out[b].Sum })
+	return out, nil
+}
+
+// FindFirst returns matching windows in an exploration-friendly online
+// order: it expands outward from a seed position (the user's current
+// viewport), yielding up to limit matches nearest-first — the interactive
+// flavor of semantic-window search, where nearby answers surface before the
+// whole space is examined.
+func (s *SAT) FindFirst(seed Window, wTiles, hTiles, limit int, pred func(WindowAgg) bool) ([]WindowAgg, error) {
+	if wTiles <= 0 || hTiles <= 0 || wTiles > s.nx || hTiles > s.ny {
+		return nil, ErrBadWindowSize
+	}
+	if limit <= 0 {
+		limit = 1
+	}
+	sx, sy := seed.X0, seed.Y0
+	type cand struct {
+		x, y, d int
+	}
+	var cands []cand
+	for y := 0; y+hTiles <= s.ny; y++ {
+		for x := 0; x+wTiles <= s.nx; x++ {
+			dx, dy := x-sx, y-sy
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			d := dx
+			if dy > d {
+				d = dy
+			}
+			cands = append(cands, cand{x, y, d})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		if cands[a].y != cands[b].y {
+			return cands[a].y < cands[b].y
+		}
+		return cands[a].x < cands[b].x
+	})
+	var out []WindowAgg
+	for _, c := range cands {
+		agg := s.WindowAgg(Window{X0: c.x, Y0: c.y, X1: c.x + wTiles - 1, Y1: c.y + hTiles - 1})
+		if pred(agg) {
+			out = append(out, agg)
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+// Package qbe implements query-by-example discovery, the
+// assisted-query-formulation family the tutorial surveys: given example
+// tuples the user knows should appear in the answer, the system reverse
+// engineers a selection query that produces them (Query By Output [64],
+// Discovering Queries from Example Tuples [58], learning queries by
+// example [3]). Two discoverers are provided: the most-specific conjunctive
+// query with redundant-conjunct pruning, and a decision-tree learner that
+// can recover disjunctive targets from examples plus sampled
+// counter-examples.
+package qbe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dex/internal/expr"
+	"dex/internal/learn"
+	"dex/internal/metrics"
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrNoExamples = errors.New("qbe: no example rows")
+	ErrNoColumns  = errors.New("qbe: no candidate columns")
+	ErrBadRow     = errors.New("qbe: example row out of range")
+)
+
+// Discovery is a reverse-engineered query plus its evaluation against the
+// examples: Covered is how many examples the predicate selects (recall on
+// the examples is Covered/len(examples)), OutputSize the total selected
+// rows.
+type Discovery struct {
+	Pred       *expr.Pred
+	Covered    int
+	OutputSize int
+}
+
+// DiscoverConjunctive finds the most specific conjunctive range/IN query
+// over the candidate columns that covers all example rows, then drops
+// conjuncts that do not shrink the output (the minimality step of QBO).
+// Numeric columns yield closed ranges [min,max]; string columns yield
+// IN-sets rendered as OR of equalities.
+func DiscoverConjunctive(t *storage.Table, exampleRows []int, cols []string) (*Discovery, error) {
+	if len(exampleRows) == 0 {
+		return nil, ErrNoExamples
+	}
+	if len(cols) == 0 {
+		return nil, ErrNoColumns
+	}
+	for _, r := range exampleRows {
+		if r < 0 || r >= t.NumRows() {
+			return nil, fmt.Errorf("row %d: %w", r, ErrBadRow)
+		}
+	}
+	var conjuncts []*expr.Pred
+	for _, name := range cols {
+		c, err := t.ColumnByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() == storage.TString {
+			seen := map[string]bool{}
+			var vals []string
+			for _, r := range exampleRows {
+				v := c.Value(r).S
+				if !seen[v] {
+					seen[v] = true
+					vals = append(vals, v)
+				}
+			}
+			sort.Strings(vals)
+			var terms []*expr.Pred
+			for _, v := range vals {
+				terms = append(terms, expr.Cmp(name, expr.EQ, storage.String_(v)))
+			}
+			if len(terms) == 1 {
+				conjuncts = append(conjuncts, terms[0])
+			} else {
+				conjuncts = append(conjuncts, expr.Or(terms...))
+			}
+			continue
+		}
+		lo := c.Value(exampleRows[0])
+		hi := lo
+		for _, r := range exampleRows[1:] {
+			v := c.Value(r)
+			if v.Compare(lo) < 0 {
+				lo = v
+			}
+			if v.Compare(hi) > 0 {
+				hi = v
+			}
+		}
+		conjuncts = append(conjuncts,
+			expr.And(expr.Cmp(name, expr.GE, lo), expr.Cmp(name, expr.LE, hi)))
+	}
+	full := expr.And(conjuncts...)
+	fullSize, err := expr.Count(t, full)
+	if err != nil {
+		return nil, err
+	}
+	// Prune: drop any conjunct whose removal keeps the output size equal.
+	kept := append([]*expr.Pred(nil), conjuncts...)
+	for i := 0; i < len(kept); {
+		trial := make([]*expr.Pred, 0, len(kept)-1)
+		trial = append(trial, kept[:i]...)
+		trial = append(trial, kept[i+1:]...)
+		var p *expr.Pred
+		if len(trial) == 0 {
+			p = expr.True()
+		} else {
+			p = expr.And(trial...)
+		}
+		size, err := expr.Count(t, p)
+		if err != nil {
+			return nil, err
+		}
+		if size == fullSize {
+			kept = trial
+			continue
+		}
+		i++
+	}
+	var final *expr.Pred
+	switch len(kept) {
+	case 0:
+		final = expr.True()
+	case 1:
+		final = kept[0]
+	default:
+		final = expr.And(kept...)
+	}
+	return evaluate(t, final, exampleRows)
+}
+
+// TreeOptions configures DiscoverByTree.
+type TreeOptions struct {
+	// NegSamples is how many non-example rows are drawn as negatives
+	// (default 5x the training positives).
+	NegSamples int
+	// MaxExamples caps the positives used for training (0 = all). The full
+	// example set is still excluded from the negative pool, so subsampling
+	// never poisons the negatives with known positives.
+	MaxExamples int
+	Seed        int64
+	Tree        learn.Options
+}
+
+// DiscoverByTree learns a classifier separating the example rows from a
+// random sample of other rows over the numeric candidate columns, then
+// decompiles its positive regions into a (possibly disjunctive) predicate.
+// This recovers targets the conjunctive discoverer cannot (e.g. unions of
+// ranges) at the cost of needing counter-examples, which it samples itself
+// — the "query from examples with implicit negatives" setting of [58].
+func DiscoverByTree(t *storage.Table, exampleRows []int, cols []string, opt TreeOptions) (*Discovery, error) {
+	if len(exampleRows) == 0 {
+		return nil, ErrNoExamples
+	}
+	if len(cols) == 0 {
+		return nil, ErrNoColumns
+	}
+	ccols := make([]storage.Column, len(cols))
+	for i, name := range cols {
+		c, err := t.ColumnByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() == storage.TString {
+			return nil, fmt.Errorf("qbe: tree discovery needs numeric columns, %q is TEXT", name)
+		}
+		ccols[i] = c
+	}
+	isEx := map[int]bool{}
+	for _, r := range exampleRows {
+		if r < 0 || r >= t.NumRows() {
+			return nil, fmt.Errorf("row %d: %w", r, ErrBadRow)
+		}
+		isEx[r] = true
+	}
+	trainPos := exampleRows
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if opt.MaxExamples > 0 && len(trainPos) > opt.MaxExamples {
+		perm := rng.Perm(len(exampleRows))
+		trainPos = make([]int, opt.MaxExamples)
+		for i := range trainPos {
+			trainPos[i] = exampleRows[perm[i]]
+		}
+	}
+	neg := opt.NegSamples
+	if neg <= 0 {
+		neg = 5 * len(trainPos)
+	}
+	feat := func(r int) []float64 {
+		x := make([]float64, len(ccols))
+		for i, c := range ccols {
+			x[i] = c.Value(r).AsFloat()
+		}
+		return x
+	}
+	var X [][]float64
+	var y []bool
+	for _, r := range trainPos {
+		X = append(X, feat(r))
+		y = append(y, true)
+	}
+	for tries := 0; neg > 0 && tries < 100*neg; tries++ {
+		r := rng.Intn(t.NumRows())
+		if !isEx[r] {
+			X = append(X, feat(r))
+			y = append(y, false)
+			neg--
+		}
+	}
+	if opt.Tree.MinLeaf == 0 {
+		opt.Tree.MinLeaf = 1
+	}
+	tree, err := learn.FitTree(X, y, opt.Tree)
+	if err != nil {
+		return nil, err
+	}
+	regions := tree.PositiveRegions(nil)
+	if len(regions) == 0 {
+		return evaluate(t, nil, exampleRows)
+	}
+	var terms []*expr.Pred
+	for _, g := range regions {
+		var conj []*expr.Pred
+		for d, r := range g {
+			if !isInfNeg(r.Lo) {
+				conj = append(conj, expr.Cmp(cols[d], expr.GE, storage.Float(r.Lo)))
+			}
+			if !isInfPos(r.Hi) {
+				conj = append(conj, expr.Cmp(cols[d], expr.LT, storage.Float(r.Hi)))
+			}
+		}
+		if len(conj) == 0 {
+			terms = append(terms, expr.True())
+		} else {
+			terms = append(terms, expr.And(conj...))
+		}
+	}
+	var final *expr.Pred
+	if len(terms) == 1 {
+		final = terms[0]
+	} else {
+		final = expr.Or(terms...)
+	}
+	return evaluate(t, final, exampleRows)
+}
+
+func isInfNeg(v float64) bool { return v < -1e300 }
+func isInfPos(v float64) bool { return v > 1e300 }
+
+func evaluate(t *storage.Table, p *expr.Pred, exampleRows []int) (*Discovery, error) {
+	if p == nil {
+		return &Discovery{Pred: nil}, nil
+	}
+	sel, err := expr.Filter(t, p)
+	if err != nil {
+		return nil, err
+	}
+	inSel := map[int]bool{}
+	for _, r := range sel {
+		inSel[r] = true
+	}
+	covered := 0
+	for _, r := range exampleRows {
+		if inSel[r] {
+			covered++
+		}
+	}
+	return &Discovery{Pred: p, Covered: covered, OutputSize: len(sel)}, nil
+}
+
+// Score compares a discovered predicate against a hidden target predicate,
+// returning precision, recall and F1 over the table rows.
+func Score(t *storage.Table, discovered, truth *expr.Pred) (prec, rec, f1 float64, err error) {
+	dsel, err := expr.Filter(t, discovered)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tsel, err := expr.Filter(t, truth)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	inT := map[int]bool{}
+	for _, r := range tsel {
+		inT[r] = true
+	}
+	tp := 0
+	for _, r := range dsel {
+		if inT[r] {
+			tp++
+		}
+	}
+	fp := len(dsel) - tp
+	fn := len(tsel) - tp
+	if tp+fp > 0 {
+		prec = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		rec = float64(tp) / float64(tp+fn)
+	}
+	return prec, rec, metrics.F1(tp, fp, fn), nil
+}

@@ -1,0 +1,204 @@
+package qbe
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+func mkEmployees(tb testing.TB, n int, seed int64) *storage.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	depts := []string{"eng", "sales", "hr", "ops"}
+	age := make([]int64, n)
+	sal := make([]float64, n)
+	dep := make([]string, n)
+	for i := 0; i < n; i++ {
+		age[i] = int64(20 + rng.Intn(45))
+		sal[i] = 30000 + rng.Float64()*90000
+		dep[i] = depts[rng.Intn(len(depts))]
+	}
+	t, err := storage.FromColumns("emp", storage.Schema{
+		{Name: "age", Type: storage.TInt},
+		{Name: "salary", Type: storage.TFloat},
+		{Name: "dept", Type: storage.TString},
+	}, []storage.Column{
+		storage.NewIntColumn(age), storage.NewFloatColumn(sal), storage.NewStringColumn(dep),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+// hiddenRows returns the rows matching the hidden target predicate.
+func hiddenRows(t *testing.T, tbl *storage.Table, truth *expr.Pred) []int {
+	t.Helper()
+	sel, err := expr.Filter(tbl, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestConjunctiveRecoversRangeQuery(t *testing.T) {
+	tbl := mkEmployees(t, 3000, 1)
+	truth := expr.And(
+		expr.Cmp("age", expr.GE, storage.Int(30)),
+		expr.Cmp("age", expr.LE, storage.Int(40)),
+		expr.Cmp("dept", expr.EQ, storage.String_("eng")),
+	)
+	all := hiddenRows(t, tbl, truth)
+	if len(all) < 20 {
+		t.Skip("degenerate data")
+	}
+	// User provides all matching tuples as examples (ideal QBO setting).
+	d, err := DiscoverConjunctive(tbl, all, []string{"age", "salary", "dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Covered != len(all) {
+		t.Errorf("covered %d/%d examples", d.Covered, len(all))
+	}
+	prec, rec, f1, err := Score(tbl, d.Pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != 1 {
+		t.Errorf("recall = %v, conjunctive discovery must cover all examples", rec)
+	}
+	if prec < 0.9 || f1 < 0.9 {
+		t.Errorf("precision = %.3f f1 = %.3f", prec, f1)
+	}
+}
+
+func TestConjunctiveAccuracyGrowsWithExamples(t *testing.T) {
+	tbl := mkEmployees(t, 4000, 2)
+	truth := expr.And(
+		expr.Cmp("salary", expr.GE, storage.Float(50000)),
+		expr.Cmp("salary", expr.LT, storage.Float(90000)),
+	)
+	all := hiddenRows(t, tbl, truth)
+	rng := rand.New(rand.NewSource(3))
+	f1At := func(k int) float64 {
+		ex := make([]int, k)
+		for i := range ex {
+			ex[i] = all[rng.Intn(len(all))]
+		}
+		d, err := DiscoverConjunctive(tbl, ex, []string{"age", "salary", "dept"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, f1, err := Score(tbl, d.Pred, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f1
+	}
+	small, big := f1At(3), f1At(200)
+	if big < small {
+		t.Errorf("f1 with 200 examples (%.3f) < with 3 (%.3f)", big, small)
+	}
+	if big < 0.95 {
+		t.Errorf("f1 with 200 examples = %.3f", big)
+	}
+}
+
+func TestPruningDropsIrrelevantColumns(t *testing.T) {
+	tbl := mkEmployees(t, 2000, 4)
+	truth := expr.Cmp("dept", expr.EQ, storage.String_("hr"))
+	all := hiddenRows(t, tbl, truth)
+	d, err := DiscoverConjunctive(tbl, all, []string{"age", "salary", "dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// age/salary ranges over *all* hr rows span nearly the full domain and
+	// should be pruned away, leaving only the dept constraint.
+	cols := d.Pred.Columns()
+	for _, c := range cols {
+		if c != "dept" {
+			t.Errorf("unpruned column %q in %s", c, d.Pred)
+		}
+	}
+}
+
+func TestTreeDiscoveryRecoversDisjunction(t *testing.T) {
+	tbl := mkEmployees(t, 5000, 5)
+	truth := expr.Or(
+		expr.And(expr.Cmp("age", expr.GE, storage.Int(22)), expr.Cmp("age", expr.LT, storage.Int(28))),
+		expr.And(expr.Cmp("age", expr.GE, storage.Int(50)), expr.Cmp("age", expr.LT, storage.Int(58))),
+	)
+	all := hiddenRows(t, tbl, truth)
+	d, err := DiscoverByTree(tbl, all, []string{"age", "salary"}, TreeOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec, f1, err := Score(tbl, d.Pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 < 0.85 {
+		t.Errorf("tree f1 = %.3f (recall %.3f) for disjunctive target", f1, rec)
+	}
+	// Conjunctive discovery necessarily merges the two ranges into one;
+	// the tree should beat it.
+	dc, err := DiscoverConjunctive(tbl, all, []string{"age", "salary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cf1, _ := Score(tbl, dc.Pred, truth)
+	if f1 <= cf1 {
+		t.Errorf("tree f1 %.3f <= conjunctive %.3f on disjunctive target", f1, cf1)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tbl := mkEmployees(t, 100, 7)
+	if _, err := DiscoverConjunctive(tbl, nil, []string{"age"}); !errors.Is(err, ErrNoExamples) {
+		t.Errorf("no examples err = %v", err)
+	}
+	if _, err := DiscoverConjunctive(tbl, []int{1}, nil); !errors.Is(err, ErrNoColumns) {
+		t.Errorf("no cols err = %v", err)
+	}
+	if _, err := DiscoverConjunctive(tbl, []int{-1}, []string{"age"}); !errors.Is(err, ErrBadRow) {
+		t.Errorf("bad row err = %v", err)
+	}
+	if _, err := DiscoverConjunctive(tbl, []int{1}, []string{"zzz"}); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := DiscoverByTree(tbl, []int{1}, []string{"dept"}, TreeOptions{}); err == nil {
+		t.Error("tree discovery over TEXT should error")
+	}
+	if _, err := DiscoverByTree(tbl, []int{999}, []string{"age"}, TreeOptions{}); !errors.Is(err, ErrBadRow) {
+		t.Errorf("tree bad row err = %v", err)
+	}
+}
+
+func TestSingleExample(t *testing.T) {
+	tbl := mkEmployees(t, 500, 8)
+	d, err := DiscoverConjunctive(tbl, []int{42}, []string{"age", "dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Covered != 1 {
+		t.Errorf("single example covered = %d", d.Covered)
+	}
+	if d.OutputSize < 1 {
+		t.Errorf("output size = %d", d.OutputSize)
+	}
+}
+
+func TestScoreOnIdenticalPreds(t *testing.T) {
+	tbl := mkEmployees(t, 500, 9)
+	p := expr.Cmp("age", expr.LT, storage.Int(30))
+	prec, rec, f1, err := Score(tbl, p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec != 1 || rec != 1 || f1 != 1 {
+		t.Errorf("self score = %v/%v/%v", prec, rec, f1)
+	}
+}

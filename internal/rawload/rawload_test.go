@@ -1,0 +1,246 @@
+package rawload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+// writeTestCSV writes an n-row CSV with columns a(int), b(float), c(string),
+// d(int) and returns its path.
+func writeTestCSV(t *testing.T, n int, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "a,b,c,d")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(f, "%d,%.3f,s%d,%d\n", rng.Intn(100), rng.Float64()*10, i%7, i)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testSchema() storage.Schema {
+	return storage.Schema{
+		{Name: "a", Type: storage.TInt},
+		{Name: "b", Type: storage.TFloat},
+		{Name: "c", Type: storage.TString},
+		{Name: "d", Type: storage.TInt},
+	}
+}
+
+func TestRawMatchesFullLoad(t *testing.T) {
+	path := writeTestCSV(t, 500, 1)
+	raw, err := Open("t", path, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewFullLoad("t", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := NewExternalScan("t", path)
+
+	queries := []exec.Query{
+		{Select: []exec.SelectItem{{Col: "*", Agg: exec.AggCount}},
+			Where: expr.Cmp("a", expr.LT, storage.Int(50))},
+		{Select: []exec.SelectItem{{Col: "b", Agg: exec.AggSum}},
+			Where: expr.Cmp("a", expr.GE, storage.Int(20))},
+		{Select: []exec.SelectItem{{Col: "c"}, {Col: "d", Agg: exec.AggMax}},
+			GroupBy: []string{"c"}, OrderBy: []exec.OrderKey{{Col: "c"}}},
+	}
+	for qi, q := range queries {
+		rr, err := raw.Query(q)
+		if err != nil {
+			t.Fatalf("raw q%d: %v", qi, err)
+		}
+		fr, err := full.Query(q)
+		if err != nil {
+			t.Fatalf("full q%d: %v", qi, err)
+		}
+		er, err := ext.Query(q)
+		if err != nil {
+			t.Fatalf("ext q%d: %v", qi, err)
+		}
+		for _, pair := range [][2]*storage.Table{{rr, fr}, {er, fr}} {
+			a, b := pair[0], pair[1]
+			if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+				t.Fatalf("q%d dims: %dx%d vs %dx%d", qi, a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+			}
+			for r := 0; r < a.NumRows(); r++ {
+				for c := 0; c < a.NumCols(); c++ {
+					if !a.Column(c).Value(r).Equal(b.Column(c).Value(r)) {
+						t.Fatalf("q%d cell (%d,%d): %v vs %v", qi, r, c,
+							a.Column(c).Value(r), b.Column(c).Value(r))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLazyColumnParsing(t *testing.T) {
+	path := writeTestCSV(t, 200, 2)
+	raw, err := Open("t", path, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := raw.Stats(); got.Queries != 0 || got.BytesTokenized != 0 {
+		t.Errorf("fresh stats = %+v", got)
+	}
+	// Query touching only column a.
+	_, err = raw.Query(exec.Query{
+		Select: []exec.SelectItem{{Col: "a", Agg: exec.AggSum}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := raw.Stats()
+	if s.ColumnsCached != 1 {
+		t.Errorf("cached columns = %d, want 1", s.ColumnsCached)
+	}
+	if s.FieldsParsed != 200 {
+		t.Errorf("fields parsed = %d, want 200", s.FieldsParsed)
+	}
+	// Touch column d: positional map for a should shorten the token walk,
+	// but all 4 fields' worth of commas must still be crossed from a.
+	_, err = raw.Query(exec.Query{Select: []exec.SelectItem{{Col: "d", Agg: exec.AggMax}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = raw.Stats()
+	if s.ColumnsCached != 2 || s.FieldsParsed != 400 {
+		t.Errorf("after 2nd query: %+v", s)
+	}
+	// Re-querying cached columns parses nothing new.
+	_, err = raw.Query(exec.Query{Select: []exec.SelectItem{{Col: "a"}, {Col: "d"}},
+		Where: expr.Cmp("a", expr.GE, storage.Int(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := raw.Stats().FieldsParsed; got != 400 {
+		t.Errorf("cached re-query parsed %d fields, want 400", got)
+	}
+}
+
+func TestPositionalMapReducesTokenization(t *testing.T) {
+	path := writeTestCSV(t, 1000, 3)
+	// Scenario A: parse d cold (no positional map).
+	rawA, _ := Open("t", path, testSchema())
+	if _, err := rawA.Materialize("d"); err != nil {
+		t.Fatal(err)
+	}
+	coldBytes := rawA.Stats().BytesTokenized
+	// Scenario B: parse c first, then d — the map at c shortens the walk.
+	rawB, _ := Open("t", path, testSchema())
+	if _, err := rawB.Materialize("c"); err != nil {
+		t.Fatal(err)
+	}
+	afterC := rawB.Stats().BytesTokenized
+	if _, err := rawB.Materialize("d"); err != nil {
+		t.Fatal(err)
+	}
+	dBytes := rawB.Stats().BytesTokenized - afterC
+	if dBytes >= coldBytes-int64(len("0,0.000,s0,"))*100 {
+		t.Errorf("positional map did not reduce tokenization: cold=%d warm=%d", coldBytes, dBytes)
+	}
+	if rawB.Stats().PositionalCols != 2 {
+		t.Errorf("positional cols = %d, want 2", rawB.Stats().PositionalCols)
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	path := writeTestCSV(t, 50, 4)
+	raw, _ := Open("t", path, testSchema())
+	if _, err := raw.Materialize("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Stats().ColumnsCached != 2 {
+		t.Fatal("expected 2 cached")
+	}
+	raw.DropCache()
+	if raw.Stats().ColumnsCached != 0 {
+		t.Error("cache not dropped")
+	}
+	// Positional map survives eviction.
+	if raw.Stats().PositionalCols != 2 {
+		t.Error("positional map should survive DropCache")
+	}
+	if _, err := raw.Materialize("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("t", "/definitely/not/here.csv", testSchema()); err == nil {
+		t.Error("want error for missing file")
+	}
+	path := writeTestCSV(t, 5, 5)
+	raw, _ := Open("t", path, testSchema())
+	if _, err := raw.Materialize("zzz"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("err = %v, want ErrNoSuchColumn", err)
+	}
+}
+
+func TestMalformedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Open("t", path, storage.Schema{
+		{Name: "a", Type: storage.TInt}, {Name: "b", Type: storage.TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Materialize("b"); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestNumRowsNoTrailingNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "n.csv")
+	if err := os.WriteFile(path, []byte("a\n1\n2\n3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Open("t", path, storage.Schema{{Name: "a", Type: storage.TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := raw.NumRows()
+	if err != nil || n != 3 {
+		t.Errorf("rows = %d (%v), want 3", n, err)
+	}
+	tb, err := raw.Materialize("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 || tb.Column(0).Value(2).I != 3 {
+		t.Errorf("materialized = %v", tb.Format(5))
+	}
+}
+
+func TestSelectivityProbe(t *testing.T) {
+	path := writeTestCSV(t, 100, 6)
+	raw, _ := Open("t", path, testSchema())
+	res, err := raw.Query(SelectivityProbe("b", 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row(0)[0].I != 100 {
+		t.Errorf("probe count = %v, want 100", res.Row(0)[0])
+	}
+}

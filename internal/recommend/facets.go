@@ -1,0 +1,99 @@
+package recommend
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"dex/internal/storage"
+)
+
+// ErrNoResult is returned when the faceting result set is empty.
+var ErrNoResult = errors.New("recommend: empty result set")
+
+// Facet is an attribute=value pair that is overrepresented in a query's
+// result relative to the whole table — the result-driven "you may also
+// like" exploration aid of Ymaldb [20]: after seeing a result, the system
+// points at the attribute values that characterize it.
+type Facet struct {
+	Col   string
+	Value string
+	// Count is how many result rows carry the value.
+	Count int
+	// ResultFrac and TableFrac are the value's share in the result and in
+	// the whole table.
+	ResultFrac float64
+	TableFrac  float64
+	// Lift is ResultFrac / TableFrac (>1 means overrepresented). Score
+	// discounts low-support facets: Lift weighted by log(1+Count).
+	Lift  float64
+	Score float64
+}
+
+// Facets ranks the attribute values of the given categorical columns by how
+// strongly they characterize the result rows (minimum support: 2 rows or 5%
+// of the result, whichever is larger). It returns the top k.
+func Facets(t *storage.Table, resultRows []int, dims []string, k int) ([]Facet, error) {
+	if len(resultRows) == 0 {
+		return nil, ErrNoResult
+	}
+	if len(dims) == 0 {
+		return nil, ErrNoDims
+	}
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	minSupport := len(resultRows) / 20
+	if minSupport < 2 {
+		minSupport = 2
+	}
+	var out []Facet
+	n := t.NumRows()
+	for _, d := range dims {
+		c, err := t.ColumnByName(d)
+		if err != nil {
+			return nil, err
+		}
+		tableCounts := map[string]int{}
+		for i := 0; i < n; i++ {
+			tableCounts[c.Value(i).String()]++
+		}
+		resCounts := map[string]int{}
+		for _, r := range resultRows {
+			resCounts[c.Value(r).String()]++
+		}
+		for v, rc := range resCounts {
+			if rc < minSupport {
+				continue
+			}
+			rf := float64(rc) / float64(len(resultRows))
+			tf := float64(tableCounts[v]) / float64(n)
+			if tf == 0 {
+				continue
+			}
+			lift := rf / tf
+			if lift <= 1 {
+				continue
+			}
+			out = append(out, Facet{
+				Col: d, Value: v, Count: rc,
+				ResultFrac: rf, TableFrac: tf,
+				Lift:  lift,
+				Score: lift * math.Log1p(float64(rc)),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Col != out[b].Col {
+			return out[a].Col < out[b].Col
+		}
+		return out[a].Value < out[b].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+// Package recommend implements interactive SQL query recommendation, the
+// assisted-formulation family the tutorial covers via SnipSuggest-style
+// fragment suggestion [21] and collaborative session-based next-query
+// recommendation. Queries are represented as sets of fragments
+// ("where:age", "groupby:dept", ...); a history of past sessions powers two
+// recommenders: conditional fragment completion for the query being typed,
+// and next-query prediction from similar past sessions.
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dex/internal/exec"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrNoHistory = errors.New("recommend: empty history")
+	ErrBadK      = errors.New("recommend: k must be positive")
+)
+
+// Fingerprint converts a query into its fragment set: one fragment per
+// select/aggregate item, predicate column, group-by and order-by key.
+func Fingerprint(q exec.Query) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(f string) {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, s := range q.Select {
+		if s.Agg == exec.AggNone {
+			add("select:" + s.Col)
+		} else {
+			add(fmt.Sprintf("agg:%s(%s)", s.Agg, s.Col))
+		}
+	}
+	if q.Where != nil {
+		for _, c := range q.Where.Columns() {
+			add("where:" + c)
+		}
+	}
+	for _, g := range q.GroupBy {
+		add("groupby:" + g)
+	}
+	for _, o := range q.OrderBy {
+		add("orderby:" + o.Col)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Session is one user's sequence of queries, each a fragment set.
+type Session [][]string
+
+// Suggestion is one ranked recommendation.
+type Suggestion struct {
+	Fragment string
+	Score    float64
+}
+
+// Recommender holds the query-log history.
+type Recommender struct {
+	sessions []Session
+	// queries flattens all historical queries.
+	queries [][]string
+	// fragCount counts queries containing each fragment.
+	fragCount map[string]int
+}
+
+// New builds a recommender from historical sessions.
+func New(history []Session) (*Recommender, error) {
+	if len(history) == 0 {
+		return nil, ErrNoHistory
+	}
+	r := &Recommender{sessions: history, fragCount: map[string]int{}}
+	for _, s := range history {
+		for _, q := range s {
+			qq := append([]string(nil), q...)
+			sort.Strings(qq)
+			r.queries = append(r.queries, qq)
+			for _, f := range qq {
+				r.fragCount[f]++
+			}
+		}
+	}
+	if len(r.queries) == 0 {
+		return nil, ErrNoHistory
+	}
+	return r, nil
+}
+
+func contains(sorted []string, f string) bool {
+	i := sort.SearchStrings(sorted, f)
+	return i < len(sorted) && sorted[i] == f
+}
+
+func containsAll(sorted []string, fs []string) bool {
+	for _, f := range fs {
+		if !contains(sorted, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// SuggestFragments ranks fragments to add to a partially built query by
+// the smoothed conditional probability P(fragment | partial fragments)
+// over the historical queries — the SnipSuggest ranking. Fragments already
+// present are excluded. Falls back to global popularity when no historical
+// query contains the partial set.
+func (r *Recommender) SuggestFragments(partial []string, k int) ([]Suggestion, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	have := map[string]bool{}
+	for _, f := range partial {
+		have[f] = true
+	}
+	matching := 0
+	cond := map[string]int{}
+	for _, q := range r.queries {
+		if !containsAll(q, partial) {
+			continue
+		}
+		matching++
+		for _, f := range q {
+			if !have[f] {
+				cond[f]++
+			}
+		}
+	}
+	var out []Suggestion
+	if matching > 0 {
+		for f, c := range cond {
+			out = append(out, Suggestion{Fragment: f, Score: float64(c) / float64(matching)})
+		}
+	} else {
+		// Popularity fallback.
+		for f, c := range r.fragCount {
+			if !have[f] {
+				out = append(out, Suggestion{Fragment: f, Score: float64(c) / float64(len(r.queries))})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Fragment < out[b].Fragment
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// PopularFragments is the no-context baseline: globally most frequent
+// fragments.
+func (r *Recommender) PopularFragments(k int) ([]Suggestion, error) {
+	return r.SuggestFragments(nil, k)
+}
+
+// jaccard computes set similarity between two fragment multisets
+// (flattened sessions).
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for f := range a {
+		if b[f] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func flatten(s Session) map[string]bool {
+	out := map[string]bool{}
+	for _, q := range s {
+		for _, f := range q {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+// QuerySuggestion is a ranked next-query recommendation.
+type QuerySuggestion struct {
+	Fragments []string
+	Score     float64
+}
+
+// SuggestNextQuery predicts the user's next query from the current session
+// prefix: historical sessions are ranked by Jaccard similarity to the
+// prefix, and the queries that followed similar prefixes are scored by
+// similarity-weighted votes (the collaborative QueRIE scheme).
+func (r *Recommender) SuggestNextQuery(prefix Session, k int) ([]QuerySuggestion, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	pf := flatten(prefix)
+	type vote struct {
+		frags []string
+		score float64
+	}
+	votes := map[string]*vote{}
+	for _, s := range r.sessions {
+		if len(s) == 0 {
+			continue
+		}
+		sim := jaccard(pf, flatten(s))
+		if len(pf) == 0 {
+			sim = 1 // no context: degrade to popularity voting
+		}
+		if sim == 0 {
+			continue
+		}
+		// Vote for each query in the session that the prefix has not
+		// already issued.
+		issued := map[string]bool{}
+		for _, q := range prefix {
+			qq := append([]string(nil), q...)
+			sort.Strings(qq)
+			issued[fmt.Sprint(qq)] = true
+		}
+		for _, q := range s {
+			qq := append([]string(nil), q...)
+			sort.Strings(qq)
+			key := fmt.Sprint(qq)
+			if issued[key] {
+				continue
+			}
+			v, ok := votes[key]
+			if !ok {
+				v = &vote{frags: qq}
+				votes[key] = v
+			}
+			v.score += sim
+		}
+	}
+	out := make([]QuerySuggestion, 0, len(votes))
+	for _, v := range votes {
+		out = append(out, QuerySuggestion{Fragments: v.frags, Score: v.score})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return fmt.Sprint(out[a].Fragments) < fmt.Sprint(out[b].Fragments)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// HitAtK reports whether the truth query (as a fragment set) appears in the
+// top-k suggestions.
+func HitAtK(sugs []QuerySuggestion, truth []string) bool {
+	tt := append([]string(nil), truth...)
+	sort.Strings(tt)
+	key := fmt.Sprint(tt)
+	for _, s := range sugs {
+		if fmt.Sprint(s.Fragments) == key {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package recommend
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+func TestFingerprint(t *testing.T) {
+	q := exec.Query{
+		Select: []exec.SelectItem{
+			{Col: "region"},
+			{Col: "amount", Agg: exec.AggSum},
+		},
+		Where:   expr.And(expr.Cmp("qty", expr.GT, storage.Int(1)), expr.Cmp("region", expr.EQ, storage.String_("east"))),
+		GroupBy: []string{"region"},
+		OrderBy: []exec.OrderKey{{Col: "region"}},
+	}
+	got := Fingerprint(q)
+	want := map[string]bool{
+		"select:region": true, "agg:SUM(amount)": true,
+		"where:qty": true, "where:region": true,
+		"groupby:region": true, "orderby:region": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fingerprint = %v", got)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Errorf("unexpected fragment %q", f)
+		}
+	}
+	// Sorted and deduplicated.
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Error("fingerprint not sorted/deduped")
+		}
+	}
+}
+
+// mkHistory builds sessions from two archetypes: "sales analysts" who
+// filter on region then group by product, and "hr analysts" who filter on
+// dept then group by age.
+func mkHistory(n int, seed int64) []Session {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Session
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, Session{
+				{"select:amount", "where:region"},
+				{"agg:SUM(amount)", "groupby:product", "where:region"},
+				{"agg:AVG(amount)", "groupby:product", "orderby:product"},
+			})
+		} else {
+			out = append(out, Session{
+				{"select:salary", "where:dept"},
+				{"agg:AVG(salary)", "groupby:age", "where:dept"},
+			})
+		}
+	}
+	return out
+}
+
+func TestSuggestFragmentsConditional(t *testing.T) {
+	r, err := New(mkHistory(40, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := r.SuggestFragments([]string{"where:region"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// Everything suggested should come from the sales archetype.
+	for _, s := range sugs {
+		if s.Fragment == "where:dept" || s.Fragment == "groupby:age" {
+			t.Errorf("cross-archetype suggestion %q", s.Fragment)
+		}
+		if s.Score <= 0 || s.Score > 1 {
+			t.Errorf("score = %v", s.Score)
+		}
+	}
+}
+
+func TestSuggestFragmentsFallback(t *testing.T) {
+	r, _ := New(mkHistory(10, 2))
+	sugs, err := r.SuggestFragments([]string{"where:never-seen"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Error("fallback should return popular fragments")
+	}
+	pop, err := r.PopularFragments(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 5 {
+		t.Errorf("popular = %d", len(pop))
+	}
+}
+
+func TestConditionalBeatsPopularity(t *testing.T) {
+	// With context "where:dept", conditional ranking must place the hr
+	// fragments on top even though sales fragments are globally popular.
+	history := mkHistory(9, 3)
+	// Skew global popularity toward sales.
+	for i := 0; i < 20; i++ {
+		history = append(history, Session{{"select:amount", "where:region"}})
+	}
+	r, _ := New(history)
+	cond, _ := r.SuggestFragments([]string{"where:dept"}, 1)
+	pop, _ := r.PopularFragments(1)
+	if cond[0].Fragment == pop[0].Fragment {
+		t.Errorf("conditional %q should differ from popular %q", cond[0].Fragment, pop[0].Fragment)
+	}
+	if cond[0].Fragment != "select:salary" && cond[0].Fragment != "agg:AVG(salary)" &&
+		cond[0].Fragment != "groupby:age" {
+		t.Errorf("conditional top = %q", cond[0].Fragment)
+	}
+}
+
+func TestSuggestNextQuery(t *testing.T) {
+	r, _ := New(mkHistory(30, 4))
+	prefix := Session{{"select:amount", "where:region"}}
+	sugs, err := r.SuggestNextQuery(prefix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no next-query suggestions")
+	}
+	truth := []string{"agg:SUM(amount)", "groupby:product", "where:region"}
+	if !HitAtK(sugs, truth) {
+		t.Errorf("expected next query in top-2, got %v", sugs)
+	}
+	// The already-issued query must not be recommended.
+	for _, s := range sugs {
+		if HitAtK([]QuerySuggestion{s}, []string{"select:amount", "where:region"}) {
+			t.Error("recommended an already-issued query")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoHistory) {
+		t.Errorf("no history err = %v", err)
+	}
+	if _, err := New([]Session{{}}); !errors.Is(err, ErrNoHistory) {
+		t.Errorf("empty sessions err = %v", err)
+	}
+	r, _ := New(mkHistory(5, 5))
+	if _, err := r.SuggestFragments(nil, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k err = %v", err)
+	}
+	if _, err := r.SuggestNextQuery(nil, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("next k err = %v", err)
+	}
+}
+
+func TestHitAtK(t *testing.T) {
+	sugs := []QuerySuggestion{{Fragments: []string{"a", "b"}}}
+	if !HitAtK(sugs, []string{"b", "a"}) {
+		t.Error("order-insensitive hit")
+	}
+	if HitAtK(sugs, []string{"a"}) {
+		t.Error("subset should not hit")
+	}
+}
+
+func TestSuggestSegmentation(t *testing.T) {
+	// Measure strongly determined by g1, independent of g2.
+	n := 2000
+	g1 := make([]string, n)
+	g2 := make([]string, n)
+	xs := make([]float64, n)
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < n; i++ {
+		a := i % 4
+		g1[i] = string(rune('a' + a))
+		g2[i] = string(rune('w' + rng.Intn(3)))
+		xs[i] = float64(a)*100 + rng.NormFloat64()
+	}
+	tbl, err := storage.FromColumns("t", storage.Schema{
+		{Name: "g1", Type: storage.TString},
+		{Name: "g2", Type: storage.TString},
+		{Name: "x", Type: storage.TFloat},
+	}, []storage.Column{
+		storage.NewStringColumn(g1), storage.NewStringColumn(g2), storage.NewFloatColumn(xs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := SuggestSegmentation(tbl, "x", []string{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0].Dim != "g1" || segs[0].R2 < 0.95 {
+		t.Errorf("top segmentation = %+v", segs[0])
+	}
+	if segs[1].R2 > 0.1 {
+		t.Errorf("noise segmentation R2 = %v", segs[1].R2)
+	}
+	if segs[0].Groups != 4 {
+		t.Errorf("groups = %d", segs[0].Groups)
+	}
+	if _, err := SuggestSegmentation(tbl, "x", nil); !errors.Is(err, ErrNoDims) {
+		t.Errorf("no dims err = %v", err)
+	}
+	if _, err := SuggestSegmentation(tbl, "zzz", []string{"g1"}); err == nil {
+		t.Error("missing measure should error")
+	}
+	if _, err := SuggestSegmentation(tbl, "x", []string{"zzz"}); err == nil {
+		t.Error("missing dim should error")
+	}
+}
+
+func TestFacets(t *testing.T) {
+	// Result rows heavily skew to g1="b"; g2 is uniform noise.
+	n := 1000
+	g1 := make([]string, n)
+	g2 := make([]string, n)
+	x := make([]int64, n)
+	rng := rand.New(rand.NewSource(40))
+	for i := 0; i < n; i++ {
+		g1[i] = string(rune('a' + rng.Intn(4)))
+		g2[i] = string(rune('w' + rng.Intn(3)))
+		x[i] = int64(i)
+	}
+	var result []int
+	for i := 0; i < n; i++ {
+		if g1[i] == "b" && rng.Float64() < 0.9 || rng.Float64() < 0.02 {
+			result = append(result, i)
+		}
+	}
+	tbl, err := storage.FromColumns("t", storage.Schema{
+		{Name: "g1", Type: storage.TString},
+		{Name: "g2", Type: storage.TString},
+		{Name: "x", Type: storage.TInt},
+	}, []storage.Column{
+		storage.NewStringColumn(g1), storage.NewStringColumn(g2), storage.NewIntColumn(x),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facets, err := Facets(tbl, result, []string{"g1", "g2"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) == 0 {
+		t.Fatal("no facets")
+	}
+	top := facets[0]
+	if top.Col != "g1" || top.Value != "b" {
+		t.Errorf("top facet = %+v", top)
+	}
+	if top.Lift < 2 {
+		t.Errorf("lift = %v", top.Lift)
+	}
+	// Noise dimension should not produce high-lift facets above the signal.
+	for _, f := range facets {
+		if f.Col == "g2" && f.Lift > top.Lift {
+			t.Errorf("noise facet outranks signal: %+v", f)
+		}
+	}
+	// Errors.
+	if _, err := Facets(tbl, nil, []string{"g1"}, 3); !errors.Is(err, ErrNoResult) {
+		t.Errorf("empty result err = %v", err)
+	}
+	if _, err := Facets(tbl, result, nil, 3); !errors.Is(err, ErrNoDims) {
+		t.Errorf("no dims err = %v", err)
+	}
+	if _, err := Facets(tbl, result, []string{"g1"}, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k err = %v", err)
+	}
+	if _, err := Facets(tbl, result, []string{"zzz"}, 3); err == nil {
+		t.Error("missing column should error")
+	}
+}

@@ -1,0 +1,76 @@
+package recommend
+
+import (
+	"errors"
+	"sort"
+
+	"dex/internal/metrics"
+	"dex/internal/storage"
+)
+
+// ErrNoDims is returned when no candidate segmentation dimension is given.
+var ErrNoDims = errors.New("recommend: no candidate dimensions")
+
+// Segmentation scores one candidate GROUP BY dimension for a measure: how
+// much of the measure's variance the segmentation explains (the R² of the
+// one-way decomposition), as the "big data query advisor" Charles [57]
+// proposes segmentations that make a measure's behaviour legible.
+type Segmentation struct {
+	Dim    string
+	Groups int
+	// R2 is betweenGroupVariance / totalVariance in [0,1].
+	R2 float64
+}
+
+// SuggestSegmentation ranks the candidate dimensions of t by how well
+// grouping on them explains the measure column's variance. Dimensions with
+// one distinct value score 0; errors on missing columns surface eagerly.
+func SuggestSegmentation(t *storage.Table, measure string, dims []string) ([]Segmentation, error) {
+	if len(dims) == 0 {
+		return nil, ErrNoDims
+	}
+	mc, err := t.ColumnByName(measure)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, t.NumRows())
+	for i := range xs {
+		xs[i] = mc.Value(i).AsFloat()
+	}
+	total := metrics.Variance(xs) * float64(len(xs)-1) // total sum of squares
+	grand := metrics.Mean(xs)
+	out := make([]Segmentation, 0, len(dims))
+	for _, d := range dims {
+		dc, err := t.ColumnByName(d)
+		if err != nil {
+			return nil, err
+		}
+		sums := map[string]*metrics.Stream{}
+		for i := range xs {
+			k := dc.Value(i).String()
+			s, ok := sums[k]
+			if !ok {
+				s = &metrics.Stream{}
+				sums[k] = s
+			}
+			s.Add(xs[i])
+		}
+		var between float64
+		for _, s := range sums {
+			d := s.Mean() - grand
+			between += float64(s.N()) * d * d
+		}
+		r2 := 0.0
+		if total > 0 {
+			r2 = between / total
+		}
+		out = append(out, Segmentation{Dim: d, Groups: len(sums), R2: r2})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].R2 != out[b].R2 {
+			return out[a].R2 > out[b].R2
+		}
+		return out[a].Dim < out[b].Dim
+	})
+	return out, nil
+}

@@ -1,0 +1,230 @@
+// Package sample provides the sampling machinery behind the approximate
+// query processing and sampling-architecture work the tutorial surveys
+// (Aqua [5], BlinkDB [7], SciBORQ [59,60]): uniform and Bernoulli sampling,
+// streaming reservoirs, stratified sampling over group labels, and weighted
+// sampling with expansion weights for unbiased Horvitz-Thompson estimates.
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadFraction = errors.New("sample: fraction out of (0,1]")
+	ErrBadK        = errors.New("sample: k out of range")
+	ErrBadWeights  = errors.New("sample: weights must be non-negative and not all zero")
+)
+
+// Sample is a set of selected row positions with per-row expansion weights:
+// weight[i] estimates how many base-table rows sampled row i stands for, so
+// an unbiased SUM estimate is sum(x_i * w_i).
+type Sample struct {
+	Rows    []int
+	Weights []float64
+	BaseN   int
+}
+
+// Frac returns the sampled fraction |rows| / baseN.
+func (s *Sample) Frac() float64 {
+	if s.BaseN == 0 {
+		return 0
+	}
+	return float64(len(s.Rows)) / float64(s.BaseN)
+}
+
+// Uniform draws k rows without replacement from [0,n) via a partial
+// Fisher-Yates shuffle. Weights are n/k.
+func Uniform(rng *rand.Rand, n, k int) (*Sample, error) {
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("k=%d n=%d: %w", k, n, ErrBadK)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	rows := append([]int(nil), idx[:k]...)
+	sort.Ints(rows)
+	w := float64(n) / float64(k)
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = w
+	}
+	return &Sample{Rows: rows, Weights: weights, BaseN: n}, nil
+}
+
+// UniformFrac draws a uniform sample of ceil(frac*n) rows.
+func UniformFrac(rng *rand.Rand, n int, frac float64) (*Sample, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("frac=%v: %w", frac, ErrBadFraction)
+	}
+	k := int(math.Ceil(frac * float64(n)))
+	if k > n {
+		k = n
+	}
+	return Uniform(rng, n, k)
+}
+
+// Bernoulli includes each row independently with probability p.
+// Weights are 1/p.
+func Bernoulli(rng *rand.Rand, n int, p float64) (*Sample, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("p=%v: %w", p, ErrBadFraction)
+	}
+	var rows []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			rows = append(rows, i)
+		}
+	}
+	weights := make([]float64, len(rows))
+	for i := range weights {
+		weights[i] = 1 / p
+	}
+	return &Sample{Rows: rows, Weights: weights, BaseN: n}, nil
+}
+
+// Stratified draws up to perStratum rows from every stratum (BlinkDB-style
+// cap-k stratification on the grouping column), so rare groups are fully
+// represented instead of being missed by uniform sampling. Weights are
+// stratumSize / sampledFromStratum.
+func Stratified(rng *rand.Rand, labels []string, perStratum int) (*Sample, error) {
+	if perStratum <= 0 {
+		return nil, fmt.Errorf("perStratum=%d: %w", perStratum, ErrBadK)
+	}
+	byLabel := map[string][]int{}
+	var order []string
+	for i, l := range labels {
+		if _, ok := byLabel[l]; !ok {
+			order = append(order, l)
+		}
+		byLabel[l] = append(byLabel[l], i)
+	}
+	s := &Sample{BaseN: len(labels)}
+	for _, l := range order {
+		members := byLabel[l]
+		k := perStratum
+		if k > len(members) {
+			k = len(members)
+		}
+		// Partial Fisher-Yates over this stratum's member list.
+		m := append([]int(nil), members...)
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(len(m)-i)
+			m[i], m[j] = m[j], m[i]
+		}
+		w := float64(len(members)) / float64(k)
+		for i := 0; i < k; i++ {
+			s.Rows = append(s.Rows, m[i])
+			s.Weights = append(s.Weights, w)
+		}
+	}
+	sortByRows(s)
+	return s, nil
+}
+
+// Weighted draws k rows with replacement with probability proportional to
+// weight (SciBORQ-style importance sampling). Expansion weights are the
+// Hansen-Hurwitz 1/(k*p_i) factors, so sum(x_i*w_i) stays unbiased for SUM.
+func Weighted(rng *rand.Rand, weights []float64, k int) (*Sample, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("k=%d: %w", k, ErrBadK)
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, ErrBadWeights
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, ErrBadWeights
+	}
+	// Cumulative distribution for binary-search draws.
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	s := &Sample{BaseN: len(weights)}
+	for d := 0; d < k; d++ {
+		u := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, u)
+		if i >= len(cum) {
+			i = len(cum) - 1
+		}
+		p := weights[i] / total
+		s.Rows = append(s.Rows, i)
+		s.Weights = append(s.Weights, 1/(float64(k)*p))
+	}
+	sortByRows(s)
+	return s, nil
+}
+
+func sortByRows(s *Sample) {
+	idx := make([]int, len(s.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.Rows[idx[a]] < s.Rows[idx[b]] })
+	rows := make([]int, len(idx))
+	ws := make([]float64, len(idx))
+	for i, p := range idx {
+		rows[i] = s.Rows[p]
+		ws[i] = s.Weights[p]
+	}
+	s.Rows, s.Weights = rows, ws
+}
+
+// Reservoir maintains a uniform without-replacement sample of a stream of
+// unknown length (Vitter's Algorithm R).
+type Reservoir struct {
+	k    int
+	n    int
+	rows []int
+	rng  *rand.Rand
+}
+
+// NewReservoir creates a reservoir of capacity k.
+func NewReservoir(k int, rng *rand.Rand) *Reservoir {
+	return &Reservoir{k: k, rng: rng}
+}
+
+// Add offers stream element id to the reservoir.
+func (r *Reservoir) Add(id int) {
+	r.n++
+	if len(r.rows) < r.k {
+		r.rows = append(r.rows, id)
+		return
+	}
+	if j := r.rng.Intn(r.n); j < r.k {
+		r.rows[j] = id
+	}
+}
+
+// Seen returns how many elements have been offered.
+func (r *Reservoir) Seen() int { return r.n }
+
+// Sample returns the current reservoir contents as a Sample with uniform
+// expansion weights n/|rows|.
+func (r *Reservoir) Sample() *Sample {
+	rows := append([]int(nil), r.rows...)
+	sort.Ints(rows)
+	weights := make([]float64, len(rows))
+	if len(rows) > 0 {
+		w := float64(r.n) / float64(len(rows))
+		for i := range weights {
+			weights[i] = w
+		}
+	}
+	return &Sample{Rows: rows, Weights: weights, BaseN: r.n}
+}

@@ -1,0 +1,296 @@
+package sample
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := Uniform(rng, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 10 || s.BaseN != 100 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.Frac() != 0.1 {
+		t.Errorf("frac = %v", s.Frac())
+	}
+	seen := map[int]bool{}
+	for i, r := range s.Rows {
+		if r < 0 || r >= 100 {
+			t.Fatalf("row %d out of range", r)
+		}
+		if seen[r] {
+			t.Fatalf("duplicate row %d", r)
+		}
+		seen[r] = true
+		if s.Weights[i] != 10 {
+			t.Errorf("weight = %v, want 10", s.Weights[i])
+		}
+	}
+	if _, err := Uniform(rng, 5, 6); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := Uniform(rng, 5, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 err = %v", err)
+	}
+}
+
+func TestUniformFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := UniformFrac(rng, 1000, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 250 {
+		t.Errorf("rows = %d", len(s.Rows))
+	}
+	if _, err := UniformFrac(rng, 10, 0); !errors.Is(err, ErrBadFraction) {
+		t.Error("frac=0 should error")
+	}
+	if _, err := UniformFrac(rng, 10, 1.5); !errors.Is(err, ErrBadFraction) {
+		t.Error("frac>1 should error")
+	}
+	// frac=1 takes everything.
+	s, _ = UniformFrac(rng, 10, 1)
+	if len(s.Rows) != 10 {
+		t.Errorf("full frac rows = %d", len(s.Rows))
+	}
+}
+
+func TestUniformIsUnbiased(t *testing.T) {
+	// Mean of HT SUM estimates over many resamples approaches the true sum.
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	xs := make([]float64, n)
+	truth := 0.0
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		truth += xs[i]
+	}
+	est := 0.0
+	const reps = 300
+	for r := 0; r < reps; r++ {
+		s, err := Uniform(rng, n, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := 0.0
+		for i, row := range s.Rows {
+			one += xs[row] * s.Weights[i]
+		}
+		est += one / reps
+	}
+	if rel := math.Abs(est-truth) / truth; rel > 0.02 {
+		t.Errorf("mean estimate off by %.1f%%", rel*100)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, err := Bernoulli(rng, 10000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) < 800 || len(s.Rows) > 1200 {
+		t.Errorf("bernoulli size = %d, want ~1000", len(s.Rows))
+	}
+	for _, w := range s.Weights {
+		if w != 10 {
+			t.Fatalf("weight = %v", w)
+		}
+	}
+	if _, err := Bernoulli(rng, 10, 0); !errors.Is(err, ErrBadFraction) {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestStratifiedCoversRareGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// 9900 "big" rows, 100 "rare" rows.
+	labels := make([]string, 10000)
+	for i := range labels {
+		if i < 100 {
+			labels[i] = "rare"
+		} else {
+			labels[i] = "big"
+		}
+	}
+	s, err := Stratified(rng, labels, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare, big := 0, 0
+	for i, r := range s.Rows {
+		if labels[r] == "rare" {
+			rare++
+			if s.Weights[i] != 2 { // 100/50
+				t.Errorf("rare weight = %v", s.Weights[i])
+			}
+		} else {
+			big++
+			if s.Weights[i] != 9900.0/50 {
+				t.Errorf("big weight = %v", s.Weights[i])
+			}
+		}
+	}
+	if rare != 50 || big != 50 {
+		t.Errorf("rare=%d big=%d, want 50/50", rare, big)
+	}
+	if _, err := Stratified(rng, labels, 0); !errors.Is(err, ErrBadK) {
+		t.Error("perStratum=0 should error")
+	}
+}
+
+func TestStratifiedSmallStratumTakenWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	labels := []string{"a", "a", "b"}
+	s, err := Stratified(rng, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 {
+		t.Errorf("rows = %v", s.Rows)
+	}
+	for _, w := range s.Weights {
+		if w != 1 {
+			t.Errorf("weights = %v, want all 1", s.Weights)
+		}
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := []float64{0, 0, 100, 0, 1}
+	s, err := Weighted(rng, weights, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, c4 := 0, 0
+	for _, r := range s.Rows {
+		switch r {
+		case 2:
+			c2++
+		case 4:
+			c4++
+		default:
+			t.Fatalf("zero-weight row %d drawn", r)
+		}
+	}
+	if c2 < 150 {
+		t.Errorf("heavy row drawn %d/200", c2)
+	}
+	_ = c4
+	if _, err := Weighted(rng, []float64{0, 0}, 5); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("zero weights err = %v", err)
+	}
+	if _, err := Weighted(rng, []float64{-1, 2}, 5); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("negative weights err = %v", err)
+	}
+	if _, err := Weighted(rng, weights, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 err = %v", err)
+	}
+}
+
+func TestWeightedUnbiasedSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 300
+	xs := make([]float64, n)
+	w := make([]float64, n)
+	truth := 0.0
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		w[i] = xs[i] + 1 // weight roughly proportional to value
+		truth += xs[i]
+	}
+	est := 0.0
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		s, err := Weighted(rng, w, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := 0.0
+		for i, row := range s.Rows {
+			one += xs[row] * s.Weights[i]
+		}
+		est += one / reps
+	}
+	if rel := math.Abs(est-truth) / truth; rel > 0.02 {
+		t.Errorf("weighted estimate off by %.1f%%", rel*100)
+	}
+}
+
+func TestReservoir(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := NewReservoir(10, rng)
+	for i := 0; i < 1000; i++ {
+		r.Add(i)
+	}
+	if r.Seen() != 1000 {
+		t.Errorf("seen = %d", r.Seen())
+	}
+	s := r.Sample()
+	if len(s.Rows) != 10 || s.BaseN != 1000 {
+		t.Fatalf("sample = %+v", s)
+	}
+	for _, w := range s.Weights {
+		if w != 100 {
+			t.Errorf("weight = %v", w)
+		}
+	}
+	// Short stream: everything kept.
+	r2 := NewReservoir(10, rng)
+	for i := 0; i < 5; i++ {
+		r2.Add(i)
+	}
+	if got := r2.Sample(); len(got.Rows) != 5 {
+		t.Errorf("short stream rows = %v", got.Rows)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Every element should land in the reservoir with probability ~k/n.
+	counts := make([]int, 20)
+	rng := rand.New(rand.NewSource(10))
+	const reps = 4000
+	for rep := 0; rep < reps; rep++ {
+		r := NewReservoir(5, rng)
+		for i := 0; i < 20; i++ {
+			r.Add(i)
+		}
+		for _, row := range r.Sample().Rows {
+			counts[row]++
+		}
+	}
+	want := float64(reps) * 5 / 20
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Errorf("element %d kept %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestSampleRowsSortedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Uniform(rng, 200, 1+rng.Intn(199))
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(s.Rows); i++ {
+			if s.Rows[i-1] >= s.Rows[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

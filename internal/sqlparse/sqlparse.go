@@ -1,0 +1,600 @@
+// Package sqlparse implements the small SQL dialect the dex CLI and
+// examples speak: single-table SELECT with aggregates, WHERE with
+// AND/OR/NOT/BETWEEN and comparisons, GROUP BY, ORDER BY and LIMIT. It
+// compiles statements into exec.Query values.
+package sqlparse
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+// ErrSyntax wraps all parse failures.
+var ErrSyntax = errors.New("sqlparse: syntax error")
+
+// Statement is a parsed SELECT, optionally with one inner equi-join:
+// SELECT ... FROM Table [JOIN JoinTable ON LeftKey = RightKey] ...
+type Statement struct {
+	Table string
+	// JoinTable is non-empty when the statement joins a second table.
+	JoinTable string
+	LeftKey   string
+	RightKey  string
+	Query     exec.Query
+}
+
+type tokenKind uint8
+
+const (
+	tkIdent tokenKind = iota
+	tkNumber
+	tkString
+	tkPunct
+	tkEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && (l.in[l.pos] == ' ' || l.in[l.pos] == '\t' || l.in[l.pos] == '\n' || l.in[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tkEOF}, nil
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '\'':
+		end := strings.IndexByte(l.in[l.pos+1:], '\'')
+		if end < 0 {
+			return token{}, fmt.Errorf("unterminated string at %d: %w", l.pos, ErrSyntax)
+		}
+		s := l.in[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return token{kind: tkString, text: s}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.' || l.in[l.pos] == 'e' || l.in[l.pos] == 'E' || l.in[l.pos] == '+' && (l.in[l.pos-1] == 'e' || l.in[l.pos-1] == 'E') || l.in[l.pos] == '-' && (l.in[l.pos-1] == 'e' || l.in[l.pos-1] == 'E')) {
+			l.pos++
+		}
+		return token{kind: tkNumber, text: l.in[start:l.pos]}, nil
+	case isIdentByte(c):
+		start := l.pos
+		for l.pos < len(l.in) && (isIdentByte(l.in[l.pos]) || l.in[l.pos] >= '0' && l.in[l.pos] <= '9') {
+			l.pos++
+		}
+		return token{kind: tkIdent, text: l.in[start:l.pos]}, nil
+	default:
+		// Multi-byte operators.
+		for _, op := range []string{"<=", ">=", "<>", "!="} {
+			if strings.HasPrefix(l.in[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tkPunct, text: op}, nil
+			}
+		}
+		l.pos++
+		return token{kind: tkPunct, text: string(c)}, nil
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}
+
+type parser struct {
+	lex  lexer
+	tok  token
+	prev int
+}
+
+func (p *parser) advance() error {
+	p.prev = p.lex.pos
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tkIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return fmt.Errorf("expected %s, got %q: %w", kw, p.tok.text, ErrSyntax)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tkPunct || p.tok.text != s {
+		return fmt.Errorf("expected %q, got %q: %w", s, p.tok.text, ErrSyntax)
+	}
+	return p.advance()
+}
+
+var aggNames = map[string]exec.AggFunc{
+	"count": exec.AggCount,
+	"sum":   exec.AggSum,
+	"avg":   exec.AggAvg,
+	"min":   exec.AggMin,
+	"max":   exec.AggMax,
+}
+
+// Parse compiles one SELECT statement.
+func Parse(sql string) (*Statement, error) {
+	p := &parser{lex: lexer{in: sql}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	st := &Statement{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Query.Select = append(st.Query.Select, item)
+		if p.tok.kind == tkPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkIdent {
+		return nil, fmt.Errorf("expected table name, got %q: %w", p.tok.text, ErrSyntax)
+	}
+	st.Table = p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("join") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkIdent {
+			return nil, fmt.Errorf("expected table after JOIN: %w", ErrSyntax)
+		}
+		st.JoinTable = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkIdent {
+			return nil, fmt.Errorf("expected join key: %w", ErrSyntax)
+		}
+		st.LeftKey = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkIdent {
+			return nil, fmt.Errorf("expected join key: %w", ErrSyntax)
+		}
+		st.RightKey = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Query.Where = pred
+	}
+	if p.isKeyword("group") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			if p.tok.kind != tkIdent {
+				return nil, fmt.Errorf("expected column in GROUP BY: %w", ErrSyntax)
+			}
+			st.Query.GroupBy = append(st.Query.GroupBy, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tkPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("having") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Query.Having = pred
+	}
+	if p.isKeyword("order") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			if p.tok.kind != tkIdent {
+				return nil, fmt.Errorf("expected column in ORDER BY: %w", ErrSyntax)
+			}
+			key := exec.OrderKey{Col: p.tok.text}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isKeyword("desc") {
+				key.Desc = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if p.isKeyword("asc") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			st.Query.OrderBy = append(st.Query.OrderBy, key)
+			if p.tok.kind == tkPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("limit") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkNumber {
+			return nil, fmt.Errorf("expected number after LIMIT: %w", ErrSyntax)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad LIMIT %q: %w", p.tok.text, ErrSyntax)
+		}
+		st.Query.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tkPunct && p.tok.text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tkEOF {
+		return nil, fmt.Errorf("trailing input at %q: %w", p.tok.text, ErrSyntax)
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (exec.SelectItem, error) {
+	if p.tok.kind == tkPunct && p.tok.text == "*" {
+		if err := p.advance(); err != nil {
+			return exec.SelectItem{}, err
+		}
+		return exec.SelectItem{Col: "*"}, nil
+	}
+	if p.tok.kind != tkIdent {
+		return exec.SelectItem{}, fmt.Errorf("expected select item, got %q: %w", p.tok.text, ErrSyntax)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return exec.SelectItem{}, err
+	}
+	item := exec.SelectItem{Col: name}
+	if agg, ok := aggNames[strings.ToLower(name)]; ok && p.tok.kind == tkPunct && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return exec.SelectItem{}, err
+		}
+		col := "*"
+		if p.tok.kind == tkPunct && p.tok.text == "*" {
+			if err := p.advance(); err != nil {
+				return exec.SelectItem{}, err
+			}
+		} else if p.tok.kind == tkIdent {
+			col = p.tok.text
+			if err := p.advance(); err != nil {
+				return exec.SelectItem{}, err
+			}
+		} else {
+			return exec.SelectItem{}, fmt.Errorf("expected column in %s(): %w", name, ErrSyntax)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return exec.SelectItem{}, err
+		}
+		item = exec.SelectItem{Col: col, Agg: agg}
+	}
+	if p.isKeyword("as") {
+		if err := p.advance(); err != nil {
+			return exec.SelectItem{}, err
+		}
+		if p.tok.kind != tkIdent {
+			return exec.SelectItem{}, fmt.Errorf("expected alias after AS: %w", ErrSyntax)
+		}
+		item.As = p.tok.text
+		if err := p.advance(); err != nil {
+			return exec.SelectItem{}, err
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseOr() (*expr.Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*expr.Pred{left}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return expr.Or(kids...), nil
+}
+
+func (p *parser) parseAnd() (*expr.Pred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*expr.Pred{left}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return expr.And(kids...), nil
+}
+
+func (p *parser) parseUnary() (*expr.Pred, error) {
+	if p.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(inner), nil
+	}
+	if p.tok.kind == tkPunct && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+var ops = map[string]expr.Op{
+	"=": expr.EQ, "<>": expr.NE, "!=": expr.NE,
+	"<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+}
+
+func (p *parser) parseComparison() (*expr.Pred, error) {
+	if p.tok.kind != tkIdent {
+		return nil, fmt.Errorf("expected column, got %q: %w", p.tok.text, ErrSyntax)
+	}
+	col := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// Aggregate reference, e.g. HAVING sum(amount) > 10: the output column
+	// is named "sum(amount)".
+	if _, isAgg := aggNames[strings.ToLower(col)]; isAgg && p.tok.kind == tkPunct && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner := "*"
+		if p.tok.kind == tkIdent {
+			inner = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.tok.kind == tkPunct && p.tok.text == "*" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		col = strings.ToLower(col) + "(" + inner + ")"
+	}
+	if p.isKeyword("like") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkString {
+			return nil, fmt.Errorf("expected pattern after LIKE: %w", ErrSyntax)
+		}
+		pat := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.Like(col, pat), nil
+	}
+	negate := false
+	if p.isKeyword("not") {
+		negate = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("in") {
+			return nil, fmt.Errorf("expected IN after NOT: %w", ErrSyntax)
+		}
+	}
+	if p.isKeyword("in") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var vals []storage.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.tok.kind == tkPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		pred := expr.In(col, vals...)
+		if negate {
+			pred = expr.Not(pred)
+		}
+		return pred, nil
+	}
+	if p.isKeyword("between") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return expr.And(expr.Cmp(col, expr.GE, lo), expr.Cmp(col, expr.LE, hi)), nil
+	}
+	if p.tok.kind != tkPunct {
+		return nil, fmt.Errorf("expected operator after %q: %w", col, ErrSyntax)
+	}
+	op, ok := ops[p.tok.text]
+	if !ok {
+		return nil, fmt.Errorf("unknown operator %q: %w", p.tok.text, ErrSyntax)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return expr.Cmp(col, op, lit), nil
+}
+
+func (p *parser) parseLiteral() (storage.Value, error) {
+	switch p.tok.kind {
+	case tkNumber:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return storage.Value{}, err
+		}
+		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return storage.Int(i), nil
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return storage.Value{}, fmt.Errorf("bad number %q: %w", text, ErrSyntax)
+		}
+		return storage.Float(f), nil
+	case tkString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return storage.Value{}, err
+		}
+		return storage.String_(s), nil
+	default:
+		return storage.Value{}, fmt.Errorf("expected literal, got %q: %w", p.tok.text, ErrSyntax)
+	}
+}
+
+// ExpandStar replaces a bare `*` select item with one item per schema
+// column (COUNT(*) is left alone).
+func ExpandStar(q exec.Query, schema storage.Schema) exec.Query {
+	var out []exec.SelectItem
+	for _, item := range q.Select {
+		if item.Col == "*" && item.Agg == exec.AggNone {
+			for _, f := range schema {
+				out = append(out, exec.SelectItem{Col: f.Name})
+			}
+			continue
+		}
+		out = append(out, item)
+	}
+	q.Select = out
+	return q
+}

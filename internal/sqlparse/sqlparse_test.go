@@ -1,0 +1,243 @@
+package sqlparse
+
+import (
+	"errors"
+	"testing"
+
+	"dex/internal/exec"
+	"dex/internal/storage"
+)
+
+func TestSimpleSelect(t *testing.T) {
+	st, err := Parse("SELECT a, b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Table != "t" || len(st.Query.Select) != 2 || st.Query.Select[1].Col != "b" {
+		t.Errorf("stmt = %+v", st)
+	}
+}
+
+func TestFullQuery(t *testing.T) {
+	st, err := Parse("SELECT region, sum(amount) AS total, count(*) FROM sales WHERE qty > 2 AND (region = 'east' OR region = 'west') GROUP BY region ORDER BY region DESC LIMIT 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.Query
+	if q.Select[1].Agg != exec.AggSum || q.Select[1].As != "total" {
+		t.Errorf("select[1] = %+v", q.Select[1])
+	}
+	if q.Select[2].Agg != exec.AggCount || q.Select[2].Col != "*" {
+		t.Errorf("select[2] = %+v", q.Select[2])
+	}
+	if q.Where == nil || len(q.Where.Columns()) != 2 {
+		t.Errorf("where = %v", q.Where)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "region" {
+		t.Errorf("groupby = %v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc {
+		t.Errorf("orderby = %v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestWherePrecedence(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE a < 1 OR a > 2 AND b = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AND binds tighter: OR(a<1, AND(a>2, b=3)).
+	want := "a < 1 OR (a > 2 AND b = 3)"
+	if got := st.Query.Where.String(); got != want {
+		t.Errorf("where = %q, want %q", got, want)
+	}
+}
+
+func TestNotAndBetween(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE NOT a BETWEEN 1 AND 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "NOT (a >= 1 AND a <= 5)"
+	if got := st.Query.Where.String(); got != want {
+		t.Errorf("where = %q, want %q", got, want)
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE a >= -3.5 AND s <> 'hi there'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.Query.Where
+	if w.Kids[0].Val.Typ != storage.TFloat || w.Kids[0].Val.F != -3.5 {
+		t.Errorf("float literal = %v", w.Kids[0].Val)
+	}
+	if w.Kids[1].Val.S != "hi there" {
+		t.Errorf("string literal = %v", w.Kids[1].Val)
+	}
+}
+
+func TestExecutesAgainstEngine(t *testing.T) {
+	tbl, _ := storage.NewTable("t", storage.Schema{
+		{Name: "g", Type: storage.TString}, {Name: "v", Type: storage.TInt},
+	})
+	for i := int64(0); i < 10; i++ {
+		g := "a"
+		if i%2 == 1 {
+			g = "b"
+		}
+		_ = tbl.AppendRow(storage.String_(g), storage.Int(i))
+	}
+	st, err := Parse("SELECT g, sum(v) FROM t WHERE v >= 2 GROUP BY g ORDER BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(tbl, st.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 || res.Row(0)[1].F != 2+4+6+8 || res.Row(1)[1].F != 3+5+7+9 {
+		t.Errorf("result:\n%s", res.Format(5))
+	}
+}
+
+func TestExpandStar(t *testing.T) {
+	st, err := Parse("SELECT * FROM t LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := storage.Schema{{Name: "x", Type: storage.TInt}, {Name: "y", Type: storage.TInt}}
+	q := ExpandStar(st.Query, schema)
+	if len(q.Select) != 2 || q.Select[0].Col != "x" {
+		t.Errorf("expanded = %v", q.Select)
+	}
+	// COUNT(*) untouched.
+	st2, _ := Parse("SELECT count(*) FROM t")
+	q2 := ExpandStar(st2.Query, schema)
+	if len(q2.Select) != 1 || q2.Select[0].Agg != exec.AggCount {
+		t.Errorf("count(*) expanded wrongly: %v", q2.Select)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a",
+		"SELECT a FROM t WHERE a ==",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t GROUP x",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t extra",
+		"SELECT sum( FROM t",
+		"SELECT a FROM t WHERE (a = 1",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", sql, err)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	st, err := Parse("select A from T where A > 1 order by A asc limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Table != "T" || st.Query.Limit != 5 {
+		t.Errorf("stmt = %+v", st)
+	}
+}
+
+func TestAggregateNameAsPlainColumn(t *testing.T) {
+	// "count" not followed by ( is an ordinary column name.
+	st, err := Parse("SELECT count FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Select[0].Agg != exec.AggNone || st.Query.Select[0].Col != "count" {
+		t.Errorf("item = %+v", st.Query.Select[0])
+	}
+}
+
+func TestParseInLikeHaving(t *testing.T) {
+	st, err := Parse("SELECT region, sum(amount) FROM sales WHERE region IN ('east','west') AND product LIKE 'p0%' GROUP BY region HAVING sum(amount) > 100 ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.Query.Where.String()
+	if w != "(region = 'east' OR region = 'west') AND product LIKE 'p0%'" {
+		t.Errorf("where = %q", w)
+	}
+	if st.Query.Having == nil || st.Query.Having.String() != "sum(amount) > 100" {
+		t.Errorf("having = %v", st.Query.Having)
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE a NOT IN (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "NOT (a = 1 OR a = 2)"
+	if got := st.Query.Where.String(); got != want {
+		t.Errorf("where = %q, want %q", got, want)
+	}
+}
+
+func TestParseHavingCountStar(t *testing.T) {
+	st, err := Parse("SELECT g, count(*) FROM t GROUP BY g HAVING count(*) >= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Having.String() != "count(*) >= 3" {
+		t.Errorf("having = %q", st.Query.Having.String())
+	}
+}
+
+func TestParseInLikeErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE a IN (1",
+		"SELECT a FROM t WHERE a LIKE 5",
+		"SELECT a FROM t WHERE a NOT 5",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v", sql, err)
+		}
+	}
+}
+
+func TestHavingEndToEnd(t *testing.T) {
+	tbl, _ := storage.NewTable("t", storage.Schema{
+		{Name: "g", Type: storage.TString}, {Name: "v", Type: storage.TInt},
+	})
+	for i := int64(0); i < 10; i++ {
+		g := "a"
+		if i >= 7 {
+			g = "b"
+		}
+		_ = tbl.AppendRow(storage.String_(g), storage.Int(i))
+	}
+	st, err := Parse("SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(tbl, st.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Row(0)[0].S != "a" {
+		t.Errorf("result:\n%s", res.Format(5))
+	}
+}

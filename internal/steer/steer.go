@@ -1,0 +1,369 @@
+// Package steer implements automatic exploration steering by example in the
+// style of AIDE [18] and the query-steering vision [14]: the system shows
+// the user sample tuples, the user marks them relevant or not, and a
+// classifier over the accumulated feedback steers further sampling toward
+// the boundaries of the predicted relevant regions, converging on the
+// user's (unstated) target query. The learned model is finally decompiled
+// into a relational predicate the user could never have written upfront.
+package steer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dex/internal/expr"
+	"dex/internal/learn"
+	"dex/internal/metrics"
+	"dex/internal/storage"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrNoAttrs  = errors.New("steer: at least one exploration attribute required")
+	ErrNoOracle = errors.New("steer: nil oracle")
+	ErrEmpty    = errors.New("steer: empty exploration table")
+)
+
+// Oracle stands in for the user: it labels a tuple (by its exploration
+// attributes) as relevant or not. Experiments instantiate it with a hidden
+// ground-truth query.
+type Oracle func(x []float64) bool
+
+// Options tunes the steering loop.
+type Options struct {
+	// InitPerDim controls phase-1 grid sampling: the domain is cut into
+	// InitPerDim cells per dimension and one tuple is labeled per occupied
+	// cell. Default 4.
+	InitPerDim int
+	// BatchRandom is the number of extra random tuples labeled per
+	// iteration (exploration). Default 5.
+	BatchRandom int
+	// BatchBoundary is the number of tuples labeled per iteration around
+	// the predicted relevant-region boundaries (exploitation). Default 15.
+	BatchBoundary int
+	// Margin widens regions by this fraction of the domain when sampling
+	// boundaries. Default 0.1.
+	Margin float64
+	// MaxIters bounds the loop. Default 20.
+	MaxIters int
+	// TargetF1 stops early once reached (0 disables).
+	TargetF1 float64
+	// Seed drives all sampling.
+	Seed int64
+	// Tree configures the classifier.
+	Tree learn.Options
+}
+
+func (o *Options) fill() {
+	if o.InitPerDim <= 0 {
+		o.InitPerDim = 4
+	}
+	if o.BatchRandom <= 0 {
+		o.BatchRandom = 5
+	}
+	if o.BatchBoundary <= 0 {
+		o.BatchBoundary = 15
+	}
+	if o.Margin <= 0 {
+		o.Margin = 0.1
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20
+	}
+	if o.Tree.MaxDepth <= 0 {
+		o.Tree.MaxDepth = 10
+	}
+	if o.Tree.MinLeaf <= 0 {
+		o.Tree.MinLeaf = 2
+	}
+}
+
+// IterStats is one point on the steering convergence curve.
+type IterStats struct {
+	Iter    int
+	Labeled int
+	F1      float64
+	Regions int
+}
+
+// Explorer runs the steering loop over a table's numeric attributes.
+type Explorer struct {
+	attrs   []string
+	data    [][]float64 // row-major feature matrix
+	domain  learn.Region
+	oracle  Oracle
+	opt     Options
+	rng     *rand.Rand
+	labeled map[int]bool
+	X       [][]float64
+	y       []bool
+	tree    *learn.Tree
+	truth   []bool // cached oracle labels for evaluation
+}
+
+// New prepares an explorer over the named numeric attributes of t.
+func New(t *storage.Table, attrs []string, oracle Oracle, opt Options) (*Explorer, error) {
+	if len(attrs) == 0 {
+		return nil, ErrNoAttrs
+	}
+	if oracle == nil {
+		return nil, ErrNoOracle
+	}
+	if t.NumRows() == 0 {
+		return nil, ErrEmpty
+	}
+	opt.fill()
+	cols := make([]storage.Column, len(attrs))
+	for i, a := range attrs {
+		c, err := t.ColumnByName(a)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() == storage.TString {
+			return nil, fmt.Errorf("steer: attribute %q is not numeric", a)
+		}
+		cols[i] = c
+	}
+	n := t.NumRows()
+	data := make([][]float64, n)
+	domain := make(learn.Region, len(attrs))
+	for d := range domain {
+		domain[d] = learn.Range{Lo: math.Inf(1), Hi: math.Inf(-1)}
+	}
+	for r := 0; r < n; r++ {
+		x := make([]float64, len(attrs))
+		for d, c := range cols {
+			x[d] = c.Value(r).AsFloat()
+			if x[d] < domain[d].Lo {
+				domain[d].Lo = x[d]
+			}
+			if x[d] > domain[d].Hi {
+				domain[d].Hi = x[d]
+			}
+		}
+		data[r] = x
+	}
+	// Half-open domain: nudge the upper bounds so max points are inside.
+	for d := range domain {
+		span := domain[d].Hi - domain[d].Lo
+		if span == 0 {
+			span = 1
+		}
+		domain[d].Hi += span * 1e-9
+	}
+	truth := make([]bool, n)
+	for r := range truth {
+		truth[r] = oracle(data[r])
+	}
+	return &Explorer{
+		attrs:   append([]string(nil), attrs...),
+		data:    data,
+		domain:  domain,
+		oracle:  oracle,
+		opt:     opt,
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		labeled: map[int]bool{},
+		truth:   truth,
+	}, nil
+}
+
+// Labeled returns how many tuples have been labeled so far.
+func (e *Explorer) Labeled() int { return len(e.labeled) }
+
+func (e *Explorer) label(row int) {
+	if e.labeled[row] {
+		return
+	}
+	e.labeled[row] = true
+	e.X = append(e.X, e.data[row])
+	e.y = append(e.y, e.truth[row])
+}
+
+// Run executes the steering loop and returns the convergence trajectory.
+func (e *Explorer) Run() ([]IterStats, error) {
+	e.gridSample()
+	var stats []IterStats
+	for it := 0; it < e.opt.MaxIters; it++ {
+		if err := e.retrain(); err != nil {
+			return stats, err
+		}
+		f1 := e.EvalF1()
+		regions := len(e.Regions())
+		stats = append(stats, IterStats{Iter: it, Labeled: e.Labeled(), F1: f1, Regions: regions})
+		if e.opt.TargetF1 > 0 && f1 >= e.opt.TargetF1 {
+			break
+		}
+		e.boundarySample()
+		e.randomSample(e.opt.BatchRandom)
+	}
+	return stats, nil
+}
+
+// gridSample labels one random tuple per occupied grid cell (phase 1:
+// relevant-object discovery).
+func (e *Explorer) gridSample() {
+	g := e.opt.InitPerDim
+	cells := map[string][]int{}
+	for r, x := range e.data {
+		key := ""
+		for d := range x {
+			span := e.domain[d].Hi - e.domain[d].Lo
+			b := 0
+			if span > 0 {
+				b = int(float64(g) * (x[d] - e.domain[d].Lo) / span)
+				if b >= g {
+					b = g - 1
+				}
+			}
+			key += fmt.Sprintf("%d,", b)
+		}
+		cells[key] = append(cells[key], r)
+	}
+	for _, rows := range cells {
+		e.label(rows[e.rng.Intn(len(rows))])
+	}
+}
+
+// randomSample labels k random unlabeled tuples.
+func (e *Explorer) randomSample(k int) {
+	for tries := 0; k > 0 && tries < 50*k; tries++ {
+		r := e.rng.Intn(len(e.data))
+		if !e.labeled[r] {
+			e.label(r)
+			k--
+		}
+	}
+}
+
+// boundarySample labels tuples near the predicted region boundaries
+// (misclassified-sample exploitation): tuples inside the margin-expanded
+// region but outside the margin-shrunk region.
+func (e *Explorer) boundarySample() {
+	regions := e.Regions()
+	if len(regions) == 0 {
+		e.randomSample(e.opt.BatchBoundary)
+		return
+	}
+	margins := make([]float64, len(e.domain))
+	for d := range margins {
+		margins[d] = (e.domain[d].Hi - e.domain[d].Lo) * e.opt.Margin
+	}
+	inBand := func(x []float64) bool {
+		for _, g := range regions {
+			outer, inner := true, true
+			for d, r := range g {
+				if x[d] < r.Lo-margins[d] || x[d] >= r.Hi+margins[d] {
+					outer = false
+					break
+				}
+				if x[d] < r.Lo+margins[d] || x[d] >= r.Hi-margins[d] {
+					inner = false
+				}
+			}
+			if outer && !inner {
+				return true
+			}
+		}
+		return false
+	}
+	var cands []int
+	for r, x := range e.data {
+		if !e.labeled[r] && inBand(x) {
+			cands = append(cands, r)
+		}
+	}
+	k := e.opt.BatchBoundary
+	for k > 0 && len(cands) > 0 {
+		i := e.rng.Intn(len(cands))
+		e.label(cands[i])
+		cands[i] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+		k--
+	}
+	if k > 0 {
+		e.randomSample(k)
+	}
+}
+
+func (e *Explorer) retrain() error {
+	tree, err := learn.FitTree(e.X, e.y, e.opt.Tree)
+	if err != nil {
+		return err
+	}
+	e.tree = tree
+	return nil
+}
+
+// Regions returns the current predicted relevant regions.
+func (e *Explorer) Regions() []learn.Region {
+	if e.tree == nil {
+		return nil
+	}
+	return e.tree.PositiveRegions(e.domain)
+}
+
+// EvalF1 scores the current model against the ground truth over all rows.
+func (e *Explorer) EvalF1() float64 {
+	if e.tree == nil {
+		return 0
+	}
+	tp, fp, fn := 0, 0, 0
+	for r, x := range e.data {
+		pred := e.tree.Predict(x)
+		switch {
+		case pred && e.truth[r]:
+			tp++
+		case pred && !e.truth[r]:
+			fp++
+		case !pred && e.truth[r]:
+			fn++
+		}
+	}
+	return metrics.F1(tp, fp, fn)
+}
+
+// Query decompiles the current model into a relational predicate over the
+// exploration attributes: a disjunction of per-region conjunctive ranges.
+func (e *Explorer) Query() *expr.Pred {
+	regions := e.Regions()
+	if len(regions) == 0 {
+		return nil
+	}
+	var terms []*expr.Pred
+	for _, g := range regions {
+		var conj []*expr.Pred
+		for d, r := range g {
+			if !math.IsInf(r.Lo, -1) && r.Lo > e.domain[d].Lo {
+				conj = append(conj, expr.Cmp(e.attrs[d], expr.GE, storage.Float(r.Lo)))
+			}
+			if !math.IsInf(r.Hi, 1) && r.Hi < e.domain[d].Hi {
+				conj = append(conj, expr.Cmp(e.attrs[d], expr.LT, storage.Float(r.Hi)))
+			}
+		}
+		if len(conj) == 0 {
+			return expr.True()
+		}
+		terms = append(terms, expr.And(conj...))
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return expr.Or(terms...)
+}
+
+// RandomBaseline labels `budget` random tuples, fits the same classifier
+// once, and returns its F1 — the no-steering control in the AIDE
+// experiments.
+func RandomBaseline(t *storage.Table, attrs []string, oracle Oracle, budget int, seed int64) (float64, error) {
+	e, err := New(t, attrs, oracle, Options{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	e.randomSample(budget)
+	if err := e.retrain(); err != nil {
+		return 0, err
+	}
+	return e.EvalF1(), nil
+}

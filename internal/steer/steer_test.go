@@ -1,0 +1,196 @@
+package steer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+// mkSpace builds a table of n uniform points in [0,100)^2.
+func mkSpace(tb testing.TB, n int, seed int64) *storage.Table {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+	}
+	t, err := storage.FromColumns("space", storage.Schema{
+		{Name: "x", Type: storage.TFloat},
+		{Name: "y", Type: storage.TFloat},
+	}, []storage.Column{storage.NewFloatColumn(xs), storage.NewFloatColumn(ys)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func rectOracle(x0, x1, y0, y1 float64) Oracle {
+	return func(x []float64) bool {
+		return x[0] >= x0 && x[0] < x1 && x[1] >= y0 && x[1] < y1
+	}
+}
+
+func TestConvergesOnRectangle(t *testing.T) {
+	tbl := mkSpace(t, 4000, 1)
+	oracle := rectOracle(20, 45, 30, 60)
+	e, err := New(tbl, []string{"x", "y"}, oracle, Options{Seed: 2, MaxIters: 15, TargetF1: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no iterations")
+	}
+	final := stats[len(stats)-1]
+	if final.F1 < 0.9 {
+		t.Errorf("final F1 = %.3f, want >= 0.9 (labeled %d)", final.F1, final.Labeled)
+	}
+	// The steering loop should need far fewer labels than the data size.
+	if final.Labeled > tbl.NumRows()/4 {
+		t.Errorf("labeled %d of %d rows", final.Labeled, tbl.NumRows())
+	}
+}
+
+func TestConvergesOnDisjunctiveTarget(t *testing.T) {
+	tbl := mkSpace(t, 6000, 3)
+	r1 := rectOracle(5, 25, 5, 25)
+	r2 := rectOracle(60, 90, 55, 85)
+	oracle := func(x []float64) bool { return r1(x) || r2(x) }
+	e, err := New(tbl, []string{"x", "y"}, oracle, Options{Seed: 4, MaxIters: 20, TargetF1: 0.92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := stats[len(stats)-1]
+	if final.F1 < 0.85 {
+		t.Errorf("disjunctive final F1 = %.3f (labeled %d)", final.F1, final.Labeled)
+	}
+	if final.Regions < 2 {
+		t.Errorf("regions = %d, want >= 2 for a disjunctive target", final.Regions)
+	}
+}
+
+func TestF1Improves(t *testing.T) {
+	tbl := mkSpace(t, 3000, 5)
+	e, _ := New(tbl, []string{"x", "y"}, rectOracle(40, 70, 10, 50), Options{Seed: 6, MaxIters: 12})
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[len(stats)-1].F1 <= stats[0].F1 && stats[0].F1 < 0.95 {
+		t.Errorf("F1 did not improve: first=%.3f last=%.3f", stats[0].F1, stats[len(stats)-1].F1)
+	}
+	// Labeled counts strictly increase until the last recorded round.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Labeled <= stats[i-1].Labeled {
+			t.Error("labeled count should grow per iteration")
+		}
+	}
+}
+
+func TestSteeringBeatsRandomAtEqualBudget(t *testing.T) {
+	tbl := mkSpace(t, 5000, 7)
+	oracle := rectOracle(10, 22, 70, 82) // small target: hard for random
+	wins := 0
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(100 + trial)
+		e, err := New(tbl, []string{"x", "y"}, oracle, Options{Seed: seed, MaxIters: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := stats[len(stats)-1]
+		randF1, err := RandomBaseline(tbl, []string{"x", "y"}, oracle, final.Labeled, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.F1 > randF1 {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Errorf("steering beat random in only %d/%d trials", wins, trials)
+	}
+}
+
+func TestQueryDecompilation(t *testing.T) {
+	tbl := mkSpace(t, 4000, 8)
+	oracle := rectOracle(30, 60, 20, 50)
+	e, _ := New(tbl, []string{"x", "y"}, oracle, Options{Seed: 9, MaxIters: 15, TargetF1: 0.95})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pred := e.Query()
+	if pred == nil {
+		t.Fatal("no query extracted")
+	}
+	// The predicate should classify rows roughly like the oracle.
+	sel, err := expr.Filter(tbl, pred)
+	if err != nil {
+		t.Fatalf("extracted predicate invalid: %v (pred=%s)", err, pred)
+	}
+	inSel := map[int]bool{}
+	for _, r := range sel {
+		inSel[r] = true
+	}
+	xc, _ := tbl.ColumnByName("x")
+	yc, _ := tbl.ColumnByName("y")
+	agree := 0
+	for r := 0; r < tbl.NumRows(); r++ {
+		truth := oracle([]float64{xc.Value(r).AsFloat(), yc.Value(r).AsFloat()})
+		if truth == inSel[r] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(tbl.NumRows()); frac < 0.9 {
+		t.Errorf("query agreement = %.3f", frac)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	tbl := mkSpace(t, 10, 10)
+	if _, err := New(tbl, nil, func([]float64) bool { return true }, Options{}); !errors.Is(err, ErrNoAttrs) {
+		t.Errorf("no attrs err = %v", err)
+	}
+	if _, err := New(tbl, []string{"x"}, nil, Options{}); !errors.Is(err, ErrNoOracle) {
+		t.Errorf("nil oracle err = %v", err)
+	}
+	if _, err := New(tbl, []string{"zzz"}, func([]float64) bool { return true }, Options{}); err == nil {
+		t.Error("missing attr should error")
+	}
+	empty, _ := storage.NewTable("e", tbl.Schema())
+	if _, err := New(empty, []string{"x"}, func([]float64) bool { return true }, Options{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestAllIrrelevantSpace(t *testing.T) {
+	tbl := mkSpace(t, 500, 11)
+	e, err := New(tbl, []string{"x", "y"}, func([]float64) bool { return false }, Options{Seed: 12, MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stats
+	if q := e.Query(); q != nil {
+		t.Errorf("query over empty target = %v", q)
+	}
+}

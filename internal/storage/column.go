@@ -1,0 +1,174 @@
+package storage
+
+import "fmt"
+
+// Column is a dense, typed array of values. Implementations are IntColumn,
+// FloatColumn and StringColumn. Positions are 0-based row identifiers.
+type Column interface {
+	// Type returns the physical type of the column.
+	Type() Type
+	// Len returns the number of values stored.
+	Len() int
+	// Value returns the value at position i (boxed; use the concrete types
+	// for tight loops).
+	Value(i int) Value
+	// Append adds a value; it must match the column type.
+	Append(v Value) error
+	// Gather returns a new column holding the values at the given positions.
+	Gather(sel []int) Column
+	// Slice returns a new column holding positions [lo, hi).
+	Slice(lo, hi int) Column
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t Type) Column {
+	switch t {
+	case TInt:
+		return &IntColumn{}
+	case TFloat:
+		return &FloatColumn{}
+	case TString:
+		return &StringColumn{}
+	default:
+		panic(fmt.Sprintf("storage: unknown column type %v", t))
+	}
+}
+
+// IntColumn stores 64-bit integers.
+type IntColumn struct{ V []int64 }
+
+// NewIntColumn wraps an int64 slice as a column without copying.
+func NewIntColumn(v []int64) *IntColumn { return &IntColumn{V: v} }
+
+// Type implements Column.
+func (c *IntColumn) Type() Type { return TInt }
+
+// Len implements Column.
+func (c *IntColumn) Len() int { return len(c.V) }
+
+// Value implements Column.
+func (c *IntColumn) Value(i int) Value { return Int(c.V[i]) }
+
+// Append implements Column.
+func (c *IntColumn) Append(v Value) error {
+	if v.Typ != TInt {
+		return fmt.Errorf("append %v to INT column: %w", v.Typ, ErrTypeMismatch)
+	}
+	c.V = append(c.V, v.I)
+	return nil
+}
+
+// Gather implements Column.
+func (c *IntColumn) Gather(sel []int) Column {
+	out := make([]int64, len(sel))
+	for i, p := range sel {
+		out[i] = c.V[p]
+	}
+	return &IntColumn{V: out}
+}
+
+// Slice implements Column.
+func (c *IntColumn) Slice(lo, hi int) Column {
+	out := make([]int64, hi-lo)
+	copy(out, c.V[lo:hi])
+	return &IntColumn{V: out}
+}
+
+// FloatColumn stores float64 values.
+type FloatColumn struct{ V []float64 }
+
+// NewFloatColumn wraps a float64 slice as a column without copying.
+func NewFloatColumn(v []float64) *FloatColumn { return &FloatColumn{V: v} }
+
+// Type implements Column.
+func (c *FloatColumn) Type() Type { return TFloat }
+
+// Len implements Column.
+func (c *FloatColumn) Len() int { return len(c.V) }
+
+// Value implements Column.
+func (c *FloatColumn) Value(i int) Value { return Float(c.V[i]) }
+
+// Append implements Column.
+func (c *FloatColumn) Append(v Value) error {
+	if !v.IsNumeric() {
+		return fmt.Errorf("append %v to FLOAT column: %w", v.Typ, ErrTypeMismatch)
+	}
+	c.V = append(c.V, v.AsFloat())
+	return nil
+}
+
+// Gather implements Column.
+func (c *FloatColumn) Gather(sel []int) Column {
+	out := make([]float64, len(sel))
+	for i, p := range sel {
+		out[i] = c.V[p]
+	}
+	return &FloatColumn{V: out}
+}
+
+// Slice implements Column.
+func (c *FloatColumn) Slice(lo, hi int) Column {
+	out := make([]float64, hi-lo)
+	copy(out, c.V[lo:hi])
+	return &FloatColumn{V: out}
+}
+
+// StringColumn stores strings.
+type StringColumn struct{ V []string }
+
+// NewStringColumn wraps a string slice as a column without copying.
+func NewStringColumn(v []string) *StringColumn { return &StringColumn{V: v} }
+
+// Type implements Column.
+func (c *StringColumn) Type() Type { return TString }
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.V) }
+
+// Value implements Column.
+func (c *StringColumn) Value(i int) Value { return String_(c.V[i]) }
+
+// Append implements Column.
+func (c *StringColumn) Append(v Value) error {
+	if v.Typ != TString {
+		return fmt.Errorf("append %v to TEXT column: %w", v.Typ, ErrTypeMismatch)
+	}
+	c.V = append(c.V, v.S)
+	return nil
+}
+
+// Gather implements Column.
+func (c *StringColumn) Gather(sel []int) Column {
+	out := make([]string, len(sel))
+	for i, p := range sel {
+		out[i] = c.V[p]
+	}
+	return &StringColumn{V: out}
+}
+
+// Slice implements Column.
+func (c *StringColumn) Slice(lo, hi int) Column {
+	out := make([]string, hi-lo)
+	copy(out, c.V[lo:hi])
+	return &StringColumn{V: out}
+}
+
+// Floats extracts a column's values as float64s, converting integers.
+// String columns return nil.
+func Floats(c Column) []float64 {
+	switch cc := c.(type) {
+	case *FloatColumn:
+		out := make([]float64, len(cc.V))
+		copy(out, cc.V)
+		return out
+	case *IntColumn:
+		out := make([]float64, len(cc.V))
+		for i, v := range cc.V {
+			out[i] = float64(v)
+		}
+		return out
+	default:
+		return nil
+	}
+}

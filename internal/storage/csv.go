@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses an entire CSV stream into a table. The first record is the
+// header. Column types are inferred from the first data record (INT, then
+// FLOAT, then TEXT); later records that fail the inferred type widen INT to
+// FLOAT, and anything unparsable falls back to TEXT for that column by
+// re-reading is avoided: the value is stored via best-effort parse with an
+// error returned instead. This is the "load everything upfront" baseline the
+// adaptive-loading work (NoDB [8,28]) compares against.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read CSV header: %w", err)
+	}
+	names := append([]string(nil), header...)
+
+	first, err := cr.Read()
+	if err == io.EOF {
+		schema := make(Schema, len(names))
+		for i, n := range names {
+			schema[i] = Field{Name: n, Type: TString}
+		}
+		return NewTable(name, schema)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read CSV row: %w", err)
+	}
+	schema := make(Schema, len(names))
+	for i, n := range names {
+		if i < len(first) {
+			schema[i] = Field{Name: n, Type: InferType(first[i])}
+		} else {
+			schema[i] = Field{Name: n, Type: TString}
+		}
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	appendRecord := func(rec []string) error {
+		vals := make([]Value, len(schema))
+		for i := range schema {
+			s := ""
+			if i < len(rec) {
+				s = rec[i]
+			}
+			v, perr := ParseValue(s, schema[i].Type)
+			if perr != nil {
+				return perr
+			}
+			vals[i] = v
+		}
+		return t.AppendRow(vals...)
+	}
+	if err := appendRecord(first); err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read CSV row: %w", err)
+		}
+		if err := appendRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile loads a CSV file from disk via ReadCSV.
+func ReadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}
+
+// WriteCSV writes the table, header included, as CSV.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("storage: write CSV header: %w", err)
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			rec[c] = t.Column(c).Value(r).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: write CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to a CSV file on disk.
+func WriteCSVFile(t *Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := WriteCSV(t, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Float(2.5), Int(2), 1},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Int(1), String_("a"), -1},
+		{String_("a"), Int(1), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64) bool {
+		vi, err1 := ParseValue(Int(i).String(), TInt)
+		vf, err2 := ParseValue(Float(fl).String(), TFloat)
+		return err1 == nil && err2 == nil && vi.I == i && vf.F == fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInferType(t *testing.T) {
+	cases := map[string]Type{
+		"42":    TInt,
+		"-7":    TInt,
+		"3.14":  TFloat,
+		"1e9":   TFloat,
+		"hello": TString,
+		"12ab":  TString,
+	}
+	for in, want := range cases {
+		if got := InferType(in); got != want {
+			t.Errorf("InferType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestColumnAppendTypeMismatch(t *testing.T) {
+	c := NewColumn(TInt)
+	if err := c.Append(String_("x")); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("append string to int column: err = %v, want ErrTypeMismatch", err)
+	}
+	fc := NewColumn(TFloat)
+	if err := fc.Append(Int(3)); err != nil {
+		t.Errorf("float column should accept ints, got %v", err)
+	}
+	if got := fc.Value(0).F; got != 3 {
+		t.Errorf("float column int coercion: got %v, want 3", got)
+	}
+}
+
+func TestColumnGatherSlice(t *testing.T) {
+	c := NewIntColumn([]int64{10, 20, 30, 40, 50})
+	g := c.Gather([]int{4, 0, 2})
+	want := []int64{50, 10, 30}
+	for i, w := range want {
+		if g.Value(i).I != w {
+			t.Errorf("gather[%d] = %v, want %d", i, g.Value(i), w)
+		}
+	}
+	s := c.Slice(1, 4).(*IntColumn)
+	if len(s.V) != 3 || s.V[0] != 20 || s.V[2] != 40 {
+		t.Errorf("slice = %v, want [20 30 40]", s.V)
+	}
+	s.V[0] = 999
+	if c.V[1] != 20 {
+		t.Error("Slice must copy, not alias")
+	}
+}
+
+func mkTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("t", Schema{{"id", TInt}, {"score", TFloat}, {"tag", TString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		id    int64
+		score float64
+		tag   string
+	}{
+		{1, 0.5, "a"}, {2, 1.5, "b"}, {3, -2.0, "a"}, {4, 9.9, "c"},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(Int(r.id), Float(r.score), String_(r.tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := mkTable(t)
+	if tbl.NumRows() != 4 || tbl.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d, want 4x3", tbl.NumRows(), tbl.NumCols())
+	}
+	c, err := tbl.ColumnByName("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value(3).F != 9.9 {
+		t.Errorf("score[3] = %v", c.Value(3))
+	}
+	if _, err := tbl.ColumnByName("nope"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("missing column err = %v", err)
+	}
+	if err := tbl.AppendRow(Int(1)); !errors.Is(err, ErrArity) {
+		t.Errorf("arity err = %v", err)
+	}
+	row := tbl.Row(1)
+	if row[0].I != 2 || row[2].S != "b" {
+		t.Errorf("row(1) = %v", row)
+	}
+}
+
+func TestTableSchemaValidate(t *testing.T) {
+	_, err := NewTable("bad", Schema{{"x", TInt}, {"x", TFloat}})
+	if !errors.Is(err, ErrDuplicateField) {
+		t.Errorf("duplicate field err = %v", err)
+	}
+}
+
+func TestTableGatherProjectSort(t *testing.T) {
+	tbl := mkTable(t)
+	g := tbl.Gather([]int{3, 1})
+	if g.NumRows() != 2 || g.Row(0)[0].I != 4 {
+		t.Errorf("gather rows = %v", g.Row(0))
+	}
+	p, err := tbl.Project("tag", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.Schema()[0].Name != "tag" {
+		t.Errorf("project schema = %v", p.Schema())
+	}
+	s, err := tbl.SortBy("score", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Row(0)[0].I != 3 || s.Row(3)[0].I != 4 {
+		t.Errorf("sort asc ids = %v,%v", s.Row(0)[0], s.Row(3)[0])
+	}
+	d, err := tbl.SortBy("score", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Row(0)[0].I != 4 {
+		t.Errorf("sort desc first id = %v", d.Row(0)[0])
+	}
+}
+
+func TestFromColumnsValidation(t *testing.T) {
+	schema := Schema{{"a", TInt}, {"b", TInt}}
+	_, err := FromColumns("x", schema, []Column{NewIntColumn([]int64{1, 2}), NewIntColumn([]int64{1})})
+	if !errors.Is(err, ErrRaggedColumns) {
+		t.Errorf("ragged err = %v", err)
+	}
+	_, err = FromColumns("x", schema, []Column{NewIntColumn([]int64{1})})
+	if !errors.Is(err, ErrArity) {
+		t.Errorf("arity err = %v", err)
+	}
+	_, err = FromColumns("x", schema, []Column{NewIntColumn([]int64{1}), NewFloatColumn([]float64{1})})
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type err = %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := mkTable(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("t2", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("round trip rows = %d, want %d", back.NumRows(), tbl.NumRows())
+	}
+	for i := range tbl.Schema() {
+		if back.Schema()[i].Type != tbl.Schema()[i].Type {
+			t.Errorf("col %d type = %v, want %v", i, back.Schema()[i].Type, tbl.Schema()[i].Type)
+		}
+	}
+	for r := 0; r < tbl.NumRows(); r++ {
+		for c := 0; c < tbl.NumCols(); c++ {
+			if !back.Column(c).Value(r).Equal(tbl.Column(c).Value(r)) {
+				t.Errorf("cell (%d,%d) = %v, want %v", r, c, back.Column(c).Value(r), tbl.Column(c).Value(r))
+			}
+		}
+	}
+}
+
+func TestReadCSVEmptyAndHeaderOnly(t *testing.T) {
+	if _, err := ReadCSV("e", strings.NewReader("")); err == nil {
+		t.Error("empty CSV should error")
+	}
+	tbl, err := ReadCSV("h", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 || tbl.NumCols() != 2 {
+		t.Errorf("header-only dims = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+func TestGatherPreservesValuesProperty(t *testing.T) {
+	f := func(vals []int64, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewIntColumn(vals)
+		rng := rand.New(rand.NewSource(seed))
+		sel := make([]int, 20)
+		for i := range sel {
+			sel[i] = rng.Intn(len(vals))
+		}
+		g := c.Gather(sel)
+		for i, p := range sel {
+			if g.Value(i).I != vals[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tbl := mkTable(t)
+	s := tbl.Format(2)
+	if !strings.Contains(s, "id") || !strings.Contains(s, "4 rows total") {
+		t.Errorf("format output:\n%s", s)
+	}
+}

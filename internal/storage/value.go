@@ -1,0 +1,162 @@
+// Package storage implements the in-memory column-store substrate that every
+// exploration technique in this repository builds on: typed values, columns,
+// schemas and tables, plus gather/append primitives and CSV import/export.
+//
+// The design follows the main-memory column stores the surveyed adaptive
+// indexing work targets (MonetDB-style): a table is a set of dense, equally
+// long arrays, one per attribute, and row identity is positional.
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type identifies the physical type of a value or column.
+type Type uint8
+
+// Supported physical types.
+const (
+	TInt Type = iota // 64-bit signed integer
+	TFloat
+	TString
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a dynamically typed scalar. It is a small tagged union; exactly
+// one of the payload fields is meaningful, selected by Typ.
+type Value struct {
+	Typ Type
+	I   int64
+	F   float64
+	S   string
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{Typ: TInt, I: i} }
+
+// Float returns a floating-point Value.
+func Float(f float64) Value { return Value{Typ: TFloat, F: f} }
+
+// String_ returns a string Value. The trailing underscore avoids colliding
+// with the fmt.Stringer method.
+func String_(s string) Value { return Value{Typ: TString, S: s} }
+
+// IsNumeric reports whether the value is an INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.Typ == TInt || v.Typ == TFloat }
+
+// AsFloat converts a numeric value to float64. Strings yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Typ {
+	case TInt:
+		return float64(v.I)
+	case TFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts a numeric value to int64, truncating floats. Strings yield 0.
+func (v Value) AsInt() int64 {
+	switch v.Typ {
+	case TInt:
+		return v.I
+	case TFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display and CSV export.
+func (v Value) String() string {
+	switch v.Typ {
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString:
+		return v.S
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. Numeric types compare numerically across
+// INT/FLOAT; strings compare lexicographically. Comparing a numeric value
+// with a string orders the numeric first (stable arbitrary rule, needed so
+// sorts never panic on mixed data).
+func (v Value) Compare(o Value) int {
+	vn, on := v.IsNumeric(), o.IsNumeric()
+	switch {
+	case vn && on:
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case vn && !on:
+		return -1
+	case !vn && on:
+		return 1
+	default:
+		return strings.Compare(v.S, o.S)
+	}
+}
+
+// Equal reports whether two values compare equal under Compare.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// ParseValue parses s as the given type.
+func ParseValue(s string, t Type) (Value, error) {
+	switch t {
+	case TInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse %q as INT: %w", s, err)
+		}
+		return Int(i), nil
+	case TFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse %q as FLOAT: %w", s, err)
+		}
+		return Float(f), nil
+	case TString:
+		return String_(s), nil
+	default:
+		return Value{}, fmt.Errorf("parse %q: unknown type %v", s, t)
+	}
+}
+
+// InferType guesses the narrowest type that can represent s,
+// preferring INT over FLOAT over TEXT.
+func InferType(s string) Type {
+	s = strings.TrimSpace(s)
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return TInt
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return TFloat
+	}
+	return TString
+}

@@ -1,0 +1,290 @@
+// Package synopsis implements the classic data synopses the tutorial's
+// approximate-processing thread builds on ("Synopses for massive data:
+// samples, histograms, wavelets, sketches" [16]): equi-width and equi-depth
+// histograms for selectivity estimation, Haar wavelet coefficient synopses
+// for compressed value distributions, and Count-Min sketches for frequency
+// estimation over streams. Together with internal/sample these are the raw
+// material of sampling-based exploration engines.
+package synopsis
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadBuckets = errors.New("synopsis: bucket count must be positive")
+	ErrNoData     = errors.New("synopsis: empty input")
+	ErrBadParams  = errors.New("synopsis: invalid parameters")
+)
+
+// Histogram is a bucketized summary of a numeric column supporting
+// selectivity (range-count) estimation.
+type Histogram struct {
+	// Edges has len(buckets)+1 entries; bucket i covers [Edges[i], Edges[i+1]).
+	Edges []float64
+	// Counts per bucket.
+	Counts []float64
+	// N is the total value count.
+	N int
+}
+
+// NewEquiWidth builds an equi-width histogram with the given bucket count.
+func NewEquiWidth(xs []float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, ErrBadBuckets
+	}
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := &Histogram{
+		Edges:  make([]float64, buckets+1),
+		Counts: make([]float64, buckets),
+		N:      len(xs),
+	}
+	w := (hi - lo) / float64(buckets)
+	for i := range h.Edges {
+		h.Edges[i] = lo + w*float64(i)
+	}
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// NewEquiDepth builds an equi-depth histogram: bucket boundaries are value
+// quantiles, so every bucket holds (approximately) the same number of
+// values — far more robust than equi-width under skew.
+func NewEquiDepth(xs []float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, ErrBadBuckets
+	}
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	h := &Histogram{
+		Edges:  make([]float64, buckets+1),
+		Counts: make([]float64, buckets),
+		N:      len(xs),
+	}
+	h.Edges[0] = s[0]
+	for b := 1; b < buckets; b++ {
+		idx := b * len(s) / buckets
+		h.Edges[b] = s[idx]
+	}
+	last := s[len(s)-1]
+	h.Edges[buckets] = math.Nextafter(last, math.Inf(1))
+	// Count values per bucket (duplicates can make buckets uneven).
+	for _, x := range s {
+		b := sort.SearchFloat64s(h.Edges[1:], math.Nextafter(x, math.Inf(1)))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// EstimateRange estimates how many values fall in [lo, hi), assuming
+// uniform spread within buckets (the textbook interpolation).
+func (h *Histogram) EstimateRange(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	var est float64
+	for b := 0; b < len(h.Counts); b++ {
+		bl, bh := h.Edges[b], h.Edges[b+1]
+		if bh <= lo || bl >= hi {
+			continue
+		}
+		overlapLo := math.Max(bl, lo)
+		overlapHi := math.Min(bh, hi)
+		width := bh - bl
+		if width <= 0 {
+			est += h.Counts[b]
+			continue
+		}
+		est += h.Counts[b] * (overlapHi - overlapLo) / width
+	}
+	return est
+}
+
+// Size returns the synopsis footprint in float64 slots.
+func (h *Histogram) Size() int { return len(h.Edges) + len(h.Counts) }
+
+// Wavelet is a Haar wavelet synopsis: the B largest-normalized coefficients
+// of the data's Haar transform, from which an approximation of the original
+// vector (e.g. a value-frequency distribution) can be reconstructed.
+type Wavelet struct {
+	n      int // padded length (power of two)
+	orig   int // original length
+	coeffs map[int]float64
+}
+
+// NewWavelet keeps the b largest (normalized) Haar coefficients of xs.
+func NewWavelet(xs []float64, b int) (*Wavelet, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if b <= 0 {
+		return nil, ErrBadParams
+	}
+	n := 1
+	for n < len(xs) {
+		n <<= 1
+	}
+	data := make([]float64, n)
+	copy(data, xs)
+	// In-place Haar decomposition.
+	coef := make([]float64, n)
+	cur := append([]float64(nil), data...)
+	level := 0
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		next := make([]float64, half)
+		for i := 0; i < half; i++ {
+			a, d := cur[2*i], cur[2*i+1]
+			next[i] = (a + d) / 2
+			coef[half+i] = (a - d) / 2
+		}
+		cur = next
+		level++
+	}
+	coef[0] = cur[0]
+	// Rank coefficients by normalized magnitude (coefficients at higher
+	// resolutions contribute less per unit; weight by sqrt of support).
+	type ranked struct {
+		idx int
+		key float64
+	}
+	rs := make([]ranked, 0, n)
+	for i, c := range coef {
+		if c == 0 {
+			continue
+		}
+		support := 1.0
+		if i > 0 {
+			// Level of index i: support = n / 2^floor(log2(i)) ... derive:
+			lvl := math.Floor(math.Log2(float64(i)))
+			support = float64(n) / math.Pow(2, lvl)
+		} else {
+			support = float64(n)
+		}
+		rs = append(rs, ranked{idx: i, key: math.Abs(c) * math.Sqrt(support)})
+	}
+	sort.Slice(rs, func(a, bq int) bool { return rs[a].key > rs[bq].key })
+	if b > len(rs) {
+		b = len(rs)
+	}
+	wv := &Wavelet{n: n, orig: len(xs), coeffs: make(map[int]float64, b)}
+	for _, r := range rs[:b] {
+		wv.coeffs[r.idx] = coef[r.idx]
+	}
+	return wv, nil
+}
+
+// Reconstruct inverts the truncated transform back to the original length.
+func (w *Wavelet) Reconstruct() []float64 {
+	coef := make([]float64, w.n)
+	for i, c := range w.coeffs {
+		coef[i] = c
+	}
+	cur := []float64{coef[0]}
+	for length := 2; length <= w.n; length *= 2 {
+		half := length / 2
+		next := make([]float64, length)
+		for i := 0; i < half; i++ {
+			d := coef[half+i]
+			next[2*i] = cur[i] + d
+			next[2*i+1] = cur[i] - d
+		}
+		cur = next
+	}
+	return cur[:w.orig]
+}
+
+// Size returns the number of retained coefficients.
+func (w *Wavelet) Size() int { return len(w.coeffs) }
+
+// CountMin is a Count-Min sketch for frequency estimation with
+// one-sided (overestimate-only) error.
+type CountMin struct {
+	depth int
+	width int
+	rows  [][]uint64
+	n     uint64
+}
+
+// NewCountMin sizes the sketch for error ~ eps*N with failure probability
+// delta: width = ceil(e/eps), depth = ceil(ln(1/delta)).
+func NewCountMin(eps, delta float64) (*CountMin, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return nil, ErrBadParams
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &CountMin{depth: depth, width: width, rows: rows}, nil
+}
+
+func (c *CountMin) hash(item string, row int) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s", row, item)
+	return int(h.Sum64() % uint64(c.width))
+}
+
+// Add increments an item's count.
+func (c *CountMin) Add(item string, count uint64) {
+	c.n += count
+	for r := 0; r < c.depth; r++ {
+		c.rows[r][c.hash(item, r)] += count
+	}
+}
+
+// Estimate returns the (over-)estimated count for an item.
+func (c *CountMin) Estimate(item string) uint64 {
+	var best uint64 = math.MaxUint64
+	for r := 0; r < c.depth; r++ {
+		if v := c.rows[r][c.hash(item, r)]; v < best {
+			best = v
+		}
+	}
+	if best == math.MaxUint64 {
+		return 0
+	}
+	return best
+}
+
+// N returns the total count added.
+func (c *CountMin) N() uint64 { return c.n }
+
+// Size returns the sketch footprint in counters.
+func (c *CountMin) Size() int { return c.depth * c.width }

@@ -1,0 +1,247 @@
+package synopsis
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dex/internal/metrics"
+)
+
+func TestEquiWidthBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewEquiWidth(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 10 || len(h.Counts) != 5 || len(h.Edges) != 6 {
+		t.Fatalf("h = %+v", h)
+	}
+	if got := metrics.Sum(h.Counts); got != 10 {
+		t.Errorf("mass = %v", got)
+	}
+	if _, err := NewEquiWidth(xs, 0); !errors.Is(err, ErrBadBuckets) {
+		t.Errorf("buckets err = %v", err)
+	}
+	if _, err := NewEquiWidth(nil, 3); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestEquiDepthBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100 // heavy skew
+	}
+	h, err := NewEquiDepth(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, c := range h.Counts {
+		if math.Abs(c-1000) > 50 {
+			t.Errorf("bucket %d holds %v, want ~1000", b, c)
+		}
+	}
+}
+
+func TestEstimateRangeExactOnBoundaries(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	h, _ := NewEquiWidth(xs, 10)
+	// Whole domain.
+	if got := h.EstimateRange(0, 1000); math.Abs(got-1000) > 1 {
+		t.Errorf("full range = %v", got)
+	}
+	// Empty.
+	if got := h.EstimateRange(5, 5); got != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+}
+
+func TestSelectivityEstimationAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+	}
+	truth := func(lo, hi float64) float64 {
+		n := 0.0
+		for _, x := range xs {
+			if x >= lo && x < hi {
+				n++
+			}
+		}
+		return n
+	}
+	hw, _ := NewEquiWidth(xs, 50)
+	hd, _ := NewEquiDepth(xs, 50)
+	var ewErr, edErr float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		lo := rng.Float64() * 200
+		hi := lo + rng.Float64()*100
+		tr := truth(lo, hi)
+		if tr < 50 {
+			continue
+		}
+		ewErr += metrics.RelErr(hw.EstimateRange(lo, hi), tr)
+		edErr += metrics.RelErr(hd.EstimateRange(lo, hi), tr)
+	}
+	if edErr > ewErr {
+		t.Errorf("equi-depth err %.3f > equi-width %.3f on skewed data", edErr, ewErr)
+	}
+	if edErr/trials > 0.2 {
+		t.Errorf("equi-depth mean rel err %.3f too high", edErr/trials)
+	}
+}
+
+func TestHistogramMassConservedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(1000)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		for _, mk := range []func([]float64, int) (*Histogram, error){NewEquiWidth, NewEquiDepth} {
+			h, err := mk(xs, 1+rng.Intn(20))
+			if err != nil {
+				return false
+			}
+			if int(metrics.Sum(h.Counts)) != n {
+				return false
+			}
+			// Full-range estimate ≈ N.
+			if math.Abs(h.EstimateRange(math.Inf(-1), math.Inf(1))-float64(n)) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaveletFullCoefficientsLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		wv, err := NewWavelet(xs, 1<<20) // keep everything
+		if err != nil {
+			return false
+		}
+		back := wv.Reconstruct()
+		for i := range xs {
+			if math.Abs(back[i]-xs[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaveletTruncationGracefulDegradation(t *testing.T) {
+	// Smooth signal: few coefficients capture most energy.
+	n := 256
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)/20) * 100
+	}
+	errAt := func(b int) float64 {
+		wv, err := NewWavelet(xs, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.L2(wv.Reconstruct(), xs)
+	}
+	e8, e32, e128 := errAt(8), errAt(32), errAt(128)
+	if !(e8 >= e32 && e32 >= e128) {
+		t.Errorf("errors not monotone: %v %v %v", e8, e32, e128)
+	}
+	if e32 > 0.2*metrics.L2(xs, make([]float64, n)) {
+		t.Errorf("32 coefficients leave %.1f%% energy error", 100*e32/metrics.L2(xs, make([]float64, n)))
+	}
+}
+
+func TestWaveletErrors(t *testing.T) {
+	if _, err := NewWavelet(nil, 4); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := NewWavelet([]float64{1}, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("b=0 err = %v", err)
+	}
+}
+
+func TestCountMin(t *testing.T) {
+	cm, err := NewCountMin(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	truth := map[string]uint64{}
+	items := []string{"a", "b", "c", "d", "e"}
+	weights := []int{1000, 500, 100, 10, 1}
+	for i, it := range items {
+		for j := 0; j < weights[i]; j++ {
+			cm.Add(it, 1)
+			truth[it]++
+		}
+	}
+	// Noise stream.
+	for i := 0; i < 5000; i++ {
+		cm.Add(string(rune('f'+rng.Intn(1000))), 1)
+	}
+	for _, it := range items {
+		est := cm.Estimate(it)
+		if est < truth[it] {
+			t.Errorf("%s underestimated: %d < %d", it, est, truth[it])
+		}
+		slack := uint64(float64(cm.N()) * 0.01)
+		if est > truth[it]+slack {
+			t.Errorf("%s overestimated beyond bound: %d > %d+%d", it, est, truth[it], slack)
+		}
+	}
+	if cm.Estimate("never-seen") > uint64(float64(cm.N())*0.01) {
+		t.Error("unseen item above error bound")
+	}
+}
+
+func TestCountMinErrors(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := NewCountMin(bad[0], bad[1]); !errors.Is(err, ErrBadParams) {
+			t.Errorf("params %v err = %v", bad, err)
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	h, _ := NewEquiWidth(xs, 10)
+	if h.Size() != 21 {
+		t.Errorf("hist size = %d", h.Size())
+	}
+	wv, _ := NewWavelet(xs, 16)
+	if wv.Size() > 16 {
+		t.Errorf("wavelet size = %d", wv.Size())
+	}
+	cm, _ := NewCountMin(0.1, 0.1)
+	if cm.Size() <= 0 {
+		t.Error("sketch size")
+	}
+}

@@ -1,0 +1,307 @@
+// Package tsindex implements adaptive data-series indexing in the spirit of
+// the interactive data-series exploration work the tutorial covers [68]
+// (and the ADS family it descends from): instead of paying the full
+// summarization/index build before the first query, the index is built
+// incrementally as a side effect of query answering — each query indexes a
+// bounded batch of still-raw series, so early queries are answerable
+// immediately and later queries converge to full-index speed.
+//
+// Similarity search is exact: PAA (piecewise aggregate approximation)
+// summaries give a lower bound on Euclidean distance, so pruned candidates
+// provably cannot enter the k-NN result, and raw (not yet indexed) series
+// are scanned exactly.
+package tsindex
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadSeries  = errors.New("tsindex: series must be non-empty and equal length")
+	ErrBadK       = errors.New("tsindex: k out of range")
+	ErrBadQuery   = errors.New("tsindex: query length mismatch")
+	ErrBadSegment = errors.New("tsindex: segment count out of range")
+)
+
+// Stats counts the physical work the index has performed.
+type Stats struct {
+	RawScanned    int64 // full-resolution points compared
+	LowerBounds   int64 // PAA lower-bound computations
+	ExactRefines  int64 // exact distance computations on indexed series
+	SeriesIndexed int   // series summarized so far
+}
+
+// DB is an adaptively indexed collection of equal-length series.
+type DB struct {
+	series [][]float64
+	n      int
+	length int
+	w      int // PAA segments
+	paa    [][]float64
+	// indexOrder[i] gives the i-th series to summarize; summarized is how
+	// many of them have been.
+	summarized int
+	budget     int
+	stats      Stats
+}
+
+// New creates an adaptive index over the series with w PAA segments,
+// summarizing at most budgetPerQuery additional series per query
+// (0 disables adaptive building — the pure sequential-scan baseline).
+func New(series [][]float64, w, budgetPerQuery int) (*DB, error) {
+	if len(series) == 0 || len(series[0]) == 0 {
+		return nil, ErrBadSeries
+	}
+	length := len(series[0])
+	for _, s := range series {
+		if len(s) != length {
+			return nil, ErrBadSeries
+		}
+	}
+	if w <= 0 || w > length {
+		return nil, fmt.Errorf("w=%d len=%d: %w", w, length, ErrBadSegment)
+	}
+	return &DB{
+		series: series,
+		n:      len(series),
+		length: length,
+		w:      w,
+		paa:    make([][]float64, len(series)),
+		budget: budgetPerQuery,
+	}, nil
+}
+
+// NewFullIndex builds the entire index upfront (the traditional baseline,
+// paying the whole summarization cost before the first query).
+func NewFullIndex(series [][]float64, w int) (*DB, error) {
+	db, err := New(series, w, 0)
+	if err != nil {
+		return nil, err
+	}
+	for db.summarized < db.n {
+		db.indexOne()
+	}
+	return db, nil
+}
+
+// Stats returns the work counters.
+func (db *DB) Stats() Stats {
+	s := db.stats
+	s.SeriesIndexed = db.summarized
+	return s
+}
+
+// IndexedFraction returns the fraction of series summarized so far.
+func (db *DB) IndexedFraction() float64 {
+	return float64(db.summarized) / float64(db.n)
+}
+
+// indexOne summarizes the next raw series.
+func (db *DB) indexOne() {
+	i := db.summarized
+	db.paa[i] = PAA(db.series[i], db.w)
+	db.summarized++
+}
+
+// PAA computes the piecewise aggregate approximation: w segment means.
+func PAA(s []float64, w int) []float64 {
+	n := len(s)
+	out := make([]float64, w)
+	for seg := 0; seg < w; seg++ {
+		lo := seg * n / w
+		hi := (seg + 1) * n / w
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var m float64
+		for i := lo; i < hi; i++ {
+			m += s[i]
+		}
+		out[seg] = m / float64(hi-lo)
+	}
+	return out
+}
+
+// LowerBound returns the PAA lower bound on the Euclidean distance between
+// a query (already summarized) and a stored summary: for equal-size
+// segments, sqrt(sum_seg segLen * (qa-sa)^2) <= Euclid(q, s).
+func LowerBound(qpaa, spaa []float64, length int) float64 {
+	w := len(qpaa)
+	var acc float64
+	for seg := 0; seg < w; seg++ {
+		lo := seg * length / w
+		hi := (seg + 1) * length / w
+		if hi <= lo {
+			hi = lo + 1
+		}
+		d := qpaa[seg] - spaa[seg]
+		acc += float64(hi-lo) * d * d
+	}
+	return math.Sqrt(acc)
+}
+
+// Euclid is the exact Euclidean distance.
+func Euclid(a, b []float64) float64 {
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return math.Sqrt(acc)
+}
+
+// euclidEarlyAbandon computes the Euclidean distance but gives up (returning
+// +Inf) as soon as the partial sum proves the distance exceeds bound — the
+// standard early-abandonment trick of similarity search.
+func euclidEarlyAbandon(a, b []float64, bound float64) float64 {
+	limit := bound * bound
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+		if acc > limit {
+			return math.Inf(1)
+		}
+	}
+	return math.Sqrt(acc)
+}
+
+// lbCand is a lower-bound-ordered candidate for refinement.
+type lbCand struct {
+	id int
+	lb float64
+}
+
+type lbHeap []lbCand
+
+func (h lbHeap) Len() int            { return len(h) }
+func (h lbHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h lbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lbHeap) Push(x interface{}) { *h = append(*h, x.(lbCand)) }
+func (h *lbHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Match is one k-NN answer.
+type Match struct {
+	ID   int
+	Dist float64
+}
+
+// resultHeap is a max-heap over Dist (so the worst of the current best k is
+// on top).
+type resultHeap []Match
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// KNN returns the k exact nearest neighbours of q. As a side effect it
+// summarizes up to the per-query budget of still-raw series (adaptive
+// index building).
+func (db *DB) KNN(q []float64, k int) ([]Match, error) {
+	if len(q) != db.length {
+		return nil, fmt.Errorf("query len %d, series len %d: %w", len(q), db.length, ErrBadQuery)
+	}
+	if k <= 0 || k > db.n {
+		return nil, fmt.Errorf("k=%d n=%d: %w", k, db.n, ErrBadK)
+	}
+	// Adaptive build step.
+	for b := 0; b < db.budget && db.summarized < db.n; b++ {
+		db.indexOne()
+	}
+	qpaa := PAA(q, db.w)
+	h := &resultHeap{}
+	// Raw portion: exact scan (no summaries exist yet), with early
+	// abandonment once k candidates are in hand.
+	for i := db.summarized; i < db.n; i++ {
+		db.stats.RawScanned += int64(db.length)
+		var d float64
+		if h.Len() == k {
+			d = euclidEarlyAbandon(q, db.series[i], (*h)[0].Dist)
+		} else {
+			d = Euclid(q, db.series[i])
+		}
+		if !math.IsInf(d, 1) {
+			pushK(h, Match{ID: i, Dist: d}, k)
+		}
+	}
+	// Indexed portion: traverse candidates in increasing lower-bound order
+	// via a min-heap (cheaper than a full sort: only the refined prefix is
+	// ever popped) and stop once the bound exceeds the kth distance.
+	cands := make(lbHeap, db.summarized)
+	for i := 0; i < db.summarized; i++ {
+		db.stats.LowerBounds++
+		cands[i] = lbCand{id: i, lb: LowerBound(qpaa, db.paa[i], db.length)}
+	}
+	heap.Init(&cands)
+	for cands.Len() > 0 {
+		c := heap.Pop(&cands).(lbCand)
+		if h.Len() == k && c.lb > (*h)[0].Dist {
+			break // every remaining lower bound exceeds the kth distance
+		}
+		db.stats.ExactRefines++
+		db.stats.RawScanned += int64(db.length)
+		var d float64
+		if h.Len() == k {
+			d = euclidEarlyAbandon(q, db.series[c.id], (*h)[0].Dist)
+		} else {
+			d = Euclid(q, db.series[c.id])
+		}
+		if !math.IsInf(d, 1) {
+			pushK(h, Match{ID: c.id, Dist: d}, k)
+		}
+	}
+	out := make([]Match, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out, nil
+}
+
+func pushK(h *resultHeap, m Match, k int) {
+	if h.Len() < k {
+		heap.Push(h, m)
+		return
+	}
+	if m.Dist < (*h)[0].Dist {
+		(*h)[0] = m
+		heap.Fix(h, 0)
+	}
+}
+
+// SeqScanKNN is the index-free baseline: exact scan of every series.
+func SeqScanKNN(series [][]float64, q []float64, k int) ([]Match, error) {
+	if len(series) == 0 {
+		return nil, ErrBadSeries
+	}
+	if k <= 0 || k > len(series) {
+		return nil, ErrBadK
+	}
+	h := &resultHeap{}
+	for i, s := range series {
+		if len(s) != len(q) {
+			return nil, ErrBadQuery
+		}
+		pushK(h, Match{ID: i, Dist: Euclid(q, s)}, k)
+	}
+	out := make([]Match, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out, nil
+}

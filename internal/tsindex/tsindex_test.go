@@ -1,0 +1,204 @@
+package tsindex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(n, length int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, length)
+		v := rng.NormFloat64() * 5
+		for j := range out[i] {
+			v += rng.NormFloat64()
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Distances must agree; IDs may differ under exact ties.
+		if math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPAA(t *testing.T) {
+	s := []float64{1, 1, 3, 3, 5, 5, 7, 7}
+	p := PAA(s, 4)
+	want := []float64{1, 3, 5, 7}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("paa = %v", p)
+		}
+	}
+	// Uneven split.
+	p = PAA([]float64{1, 2, 3}, 2)
+	if len(p) != 2 {
+		t.Fatalf("paa = %v", p)
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		length := 32
+		a := make([]float64, length)
+		b := make([]float64, length)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 3
+			b[i] = rng.NormFloat64() * 3
+		}
+		for _, w := range []int{1, 4, 8, 32} {
+			lb := LowerBound(PAA(a, w), PAA(b, w), length)
+			if lb > Euclid(a, b)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKNNExactness(t *testing.T) {
+	series := mkSeries(500, 64, 1)
+	q := mkSeries(1, 64, 2)[0]
+	truth, err := SeqScanKNN(series, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, setup := range []struct {
+		name string
+		mk   func() (*DB, error)
+	}{
+		{"full", func() (*DB, error) { return NewFullIndex(series, 8) }},
+		{"adaptive", func() (*DB, error) { return New(series, 8, 50) }},
+		{"lazy-zero-budget", func() (*DB, error) { return New(series, 8, 0) }},
+	} {
+		db, err := setup.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.KNN(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMatches(got, truth) {
+			t.Errorf("%s: knn mismatch\n got %v\nwant %v", setup.name, got, truth)
+		}
+	}
+}
+
+func TestAdaptiveIndexGrowsWithQueries(t *testing.T) {
+	series := mkSeries(1000, 32, 3)
+	db, err := New(series, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.IndexedFraction() != 0 {
+		t.Error("fresh index should be empty")
+	}
+	q := mkSeries(1, 32, 4)[0]
+	for i := 0; i < 5; i++ {
+		if _, err := db.KNN(q, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.IndexedFraction(); got != 0.5 {
+		t.Errorf("indexed fraction after 5 queries = %v, want 0.5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.KNN(q, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.IndexedFraction() != 1 {
+		t.Errorf("indexed fraction = %v, want 1", db.IndexedFraction())
+	}
+}
+
+func TestConvergedAdaptiveScansLessRaw(t *testing.T) {
+	series := mkSeries(2000, 64, 5)
+	q := mkSeries(1, 64, 6)[0]
+	db, _ := New(series, 8, 2000)
+	if _, err := db.KNN(q, 5); err != nil { // fully indexes
+		t.Fatal(err)
+	}
+	before := db.Stats().RawScanned
+	if _, err := db.KNN(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	secondQuery := db.Stats().RawScanned - before
+	fullScanCost := int64(2000 * 64)
+	if secondQuery >= fullScanCost/2 {
+		t.Errorf("converged query scanned %d raw points, full scan is %d", secondQuery, fullScanCost)
+	}
+	if db.Stats().ExactRefines == 0 || db.Stats().LowerBounds == 0 {
+		t.Errorf("stats = %+v", db.Stats())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil, 4, 0); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("nil err = %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}, {1}}, 1, 0); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("ragged err = %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}}, 5, 0); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("segment err = %v", err)
+	}
+	db, _ := New(mkSeries(10, 16, 7), 4, 0)
+	if _, err := db.KNN(make([]float64, 5), 1); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("query len err = %v", err)
+	}
+	if _, err := db.KNN(make([]float64, 16), 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k err = %v", err)
+	}
+	if _, err := db.KNN(make([]float64, 16), 11); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := SeqScanKNN(nil, nil, 1); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("seqscan err = %v", err)
+	}
+}
+
+func TestKNNSortedAscending(t *testing.T) {
+	series := mkSeries(300, 32, 8)
+	db, _ := NewFullIndex(series, 8)
+	got, err := db.KNN(mkSeries(1, 32, 9)[0], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Dist > got[i].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	series := mkSeries(100, 24, 10)
+	db, _ := NewFullIndex(series, 6)
+	got, err := db.KNN(series[42], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 42 || got[0].Dist != 0 {
+		t.Errorf("self query = %+v", got[0])
+	}
+}

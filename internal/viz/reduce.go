@@ -1,0 +1,306 @@
+// Package viz implements the visualization-side database optimizations the
+// tutorial surveys: M4-style query-result reduction for line charts [11]
+// (orders of magnitude fewer points with near-zero pixel error), rapid
+// order-preserving sampling for ordered bar charts [12], and a small ASCII
+// renderer so examples and experiment binaries can show their output in a
+// terminal.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dex/internal/metrics"
+)
+
+// Package-level sentinel errors.
+var (
+	ErrBadWidth = errors.New("viz: width must be positive")
+	ErrNoData   = errors.New("viz: empty series")
+)
+
+// M4 selects, for each of width pixel columns over the series index range,
+// the first, last, minimum and maximum points — the exact set of rows
+// needed to rasterize the line chart pixel-perfectly. It returns the
+// selected indexes, sorted and deduplicated.
+func M4(ys []float64, width int) ([]int, error) {
+	if width <= 0 {
+		return nil, ErrBadWidth
+	}
+	n := len(ys)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if width > n {
+		width = n
+	}
+	picked := map[int]bool{}
+	for c := 0; c < width; c++ {
+		lo := c * n / width
+		hi := (c + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		first, last := lo, hi-1
+		minI, maxI := lo, lo
+		for i := lo; i < hi; i++ {
+			if ys[i] < ys[minI] {
+				minI = i
+			}
+			if ys[i] > ys[maxI] {
+				maxI = i
+			}
+		}
+		picked[first] = true
+		picked[last] = true
+		picked[minI] = true
+		picked[maxI] = true
+	}
+	out := make([]int, 0, len(picked))
+	for i := range picked {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Systematic returns k evenly spaced indexes over [0,n) — the naive
+// reduction baseline M4 is compared against.
+func Systematic(n, k int) []int {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i * n / k
+	}
+	return out
+}
+
+// Raster rasterizes a series (optionally restricted to a subset of indexes)
+// onto a width×height pixel grid using per-column min/max vertical spans,
+// exactly as a line-chart renderer would light pixels.
+func Raster(ys []float64, subset []int, width, height int, lo, hi float64) [][]bool {
+	grid := make([][]bool, width)
+	for c := range grid {
+		grid[c] = make([]bool, height)
+	}
+	n := len(ys)
+	if n == 0 || hi <= lo {
+		return grid
+	}
+	idx := subset
+	if idx == nil {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	py := func(v float64) int {
+		p := int(float64(height) * (v - lo) / (hi - lo))
+		if p >= height {
+			p = height - 1
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+	// Per column: vertical span of the points that fall there.
+	type span struct {
+		lo, hi int
+		set    bool
+	}
+	spans := make([]span, width)
+	for _, i := range idx {
+		c := i * width / n
+		if c >= width {
+			c = width - 1
+		}
+		p := py(ys[i])
+		s := &spans[c]
+		if !s.set {
+			s.lo, s.hi, s.set = p, p, true
+		} else {
+			if p < s.lo {
+				s.lo = p
+			}
+			if p > s.hi {
+				s.hi = p
+			}
+		}
+	}
+	for c, s := range spans {
+		if !s.set {
+			continue
+		}
+		for p := s.lo; p <= s.hi; p++ {
+			grid[c][p] = true
+		}
+	}
+	return grid
+}
+
+// PixelError renders the full series and the reduced subset at width×height
+// and returns the fraction of lit pixels that differ (symmetric difference
+// over union). 0 means the reduction is visually lossless.
+func PixelError(ys []float64, subset []int, width, height int) (float64, error) {
+	if width <= 0 || height <= 0 {
+		return 0, ErrBadWidth
+	}
+	if len(ys) == 0 {
+		return 0, ErrNoData
+	}
+	lo, hi := ys[0], ys[0]
+	for _, v := range ys {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	full := Raster(ys, nil, width, height, lo, hi)
+	red := Raster(ys, subset, width, height, lo, hi)
+	diff, union := 0, 0
+	for c := 0; c < width; c++ {
+		for p := 0; p < height; p++ {
+			a, b := full[c][p], red[c][p]
+			if a || b {
+				union++
+				if a != b {
+					diff++
+				}
+			}
+		}
+	}
+	if union == 0 {
+		return 0, nil
+	}
+	return float64(diff) / float64(union), nil
+}
+
+// OrderResult reports an order-preserving sampling run.
+type OrderResult struct {
+	Means []float64
+	Taken []int // samples drawn per group
+	// Resolved is true when every adjacent pair in the estimated order is
+	// separated by non-overlapping confidence intervals.
+	Resolved bool
+}
+
+// OrderSample incrementally samples values from each group until the
+// visual ordering of the group means is certain (adjacent 95% CIs no longer
+// overlap) or the data is exhausted — the "rapid sampling with ordering
+// guarantees" idea of [12]. Groups are sampled in random order batches of
+// size batch.
+func OrderSample(groups [][]float64, batch int, seed int64) (OrderResult, error) {
+	if len(groups) == 0 {
+		return OrderResult{}, ErrNoData
+	}
+	if batch <= 0 {
+		batch = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perms := make([][]int, len(groups))
+	streams := make([]metrics.Stream, len(groups))
+	taken := make([]int, len(groups))
+	for g := range groups {
+		if len(groups[g]) == 0 {
+			return OrderResult{}, fmt.Errorf("group %d empty: %w", g, ErrNoData)
+		}
+		perms[g] = rng.Perm(len(groups[g]))
+	}
+	draw := func(g, k int) {
+		for i := 0; i < k && taken[g] < len(groups[g]); i++ {
+			streams[g].Add(groups[g][perms[g][taken[g]]])
+			taken[g]++
+		}
+	}
+	// Prime with one batch each.
+	for g := range groups {
+		draw(g, batch)
+	}
+	for {
+		// Current order and CI overlaps.
+		order := make([]int, len(groups))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return streams[order[a]].Mean() < streams[order[b]].Mean()
+		})
+		ambiguous := -1
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			ca := streams[a].MeanCI(metrics.Z95)
+			cb := streams[b].MeanCI(metrics.Z95)
+			if streams[a].Mean()+ca >= streams[b].Mean()-cb {
+				// Overlapping pair: needs more samples, unless exhausted.
+				if taken[a] < len(groups[a]) || taken[b] < len(groups[b]) {
+					ambiguous = i
+					break
+				}
+			}
+		}
+		if ambiguous < 0 {
+			resolved := true
+			for i := 1; i < len(order); i++ {
+				a, b := order[i-1], order[i]
+				if streams[a].Mean()+streams[a].MeanCI(metrics.Z95) >=
+					streams[b].Mean()-streams[b].MeanCI(metrics.Z95) {
+					resolved = false
+				}
+			}
+			means := make([]float64, len(groups))
+			for g := range groups {
+				means[g] = streams[g].Mean()
+			}
+			return OrderResult{Means: means, Taken: taken, Resolved: resolved}, nil
+		}
+		draw(order[ambiguous-1], batch)
+		draw(order[ambiguous], batch)
+	}
+}
+
+// TrueOrderAgrees checks an OrderSample result against the exact group
+// means: it returns true when the sampled ranking equals the true ranking.
+func TrueOrderAgrees(groups [][]float64, res OrderResult) bool {
+	type pair struct {
+		g int
+		m float64
+	}
+	truth := make([]pair, len(groups))
+	est := make([]pair, len(groups))
+	for g := range groups {
+		truth[g] = pair{g, metrics.Mean(groups[g])}
+		est[g] = pair{g, res.Means[g]}
+	}
+	sort.Slice(truth, func(a, b int) bool { return truth[a].m < truth[b].m })
+	sort.Slice(est, func(a, b int) bool { return est[a].m < est[b].m })
+	for i := range truth {
+		if truth[i].g != est[i].g {
+			return false
+		}
+	}
+	return true
+}
+
+// Downsample gathers ys at the given indexes (convenience for callers
+// rendering reduced series).
+func Downsample(ys []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, p := range idx {
+		out[i] = ys[p]
+	}
+	return out
+}
+
+// nearlyEqual guards float comparisons in tests and internal checks.
+func nearlyEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

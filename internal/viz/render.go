@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labeled values as horizontal ASCII bars scaled to width.
+func BarChart(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if len(labels) == 0 || len(labels) != len(values) {
+		return ""
+	}
+	maxV := values[0]
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(float64(width) * v / maxV)
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.4g\n", maxL, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// LineChart renders a series as a width×height ASCII plot using the same
+// per-column min/max rasterization the pixel-error metric uses.
+func LineChart(ys []float64, width, height int) string {
+	if len(ys) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	lo, hi := ys[0], ys[0]
+	for _, v := range ys {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := Raster(ys, nil, width, height, lo, hi)
+	var b strings.Builder
+	for row := height - 1; row >= 0; row-- {
+		for c := 0; c < width; c++ {
+			if grid[c][row] {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "[%.4g .. %.4g], n=%d\n", lo, hi, len(ys))
+	return b.String()
+}
+
+// Sparkline renders a series as a single line of block characters.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, v := range ys {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range ys {
+		i := 0
+		if hi > lo {
+			i = int(float64(len(blocks)-1) * (v - lo) / (hi - lo))
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package viz
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func noisySeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ys := make([]float64, n)
+	v := 0.0
+	for i := range ys {
+		v += rng.NormFloat64()
+		ys[i] = v + 5*math.Sin(float64(i)/50)
+	}
+	return ys
+}
+
+func TestM4SelectsPerColumnExtremes(t *testing.T) {
+	ys := []float64{0, 10, -5, 3, 7, 2, 9, -1}
+	idx, err := M4(ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0 = rows 0..3: first 0, last 3, min 2, max 1.
+	// Column 1 = rows 4..7: first 4, last 7, min 7, max 6.
+	want := []int{0, 1, 2, 3, 4, 6, 7}
+	if len(idx) != len(want) {
+		t.Fatalf("idx = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("idx = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestM4Errors(t *testing.T) {
+	if _, err := M4(nil, 10); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := M4([]float64{1}, 0); !errors.Is(err, ErrBadWidth) {
+		t.Errorf("width err = %v", err)
+	}
+}
+
+func TestM4PixelLossless(t *testing.T) {
+	ys := noisySeries(100000, 1)
+	width, height := 200, 50
+	idx, err := M4(ys, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) > 4*width {
+		t.Errorf("M4 kept %d points, max %d", len(idx), 4*width)
+	}
+	pe, err := PixelError(ys, idx, width, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe != 0 {
+		t.Errorf("M4 pixel error = %v, want 0", pe)
+	}
+}
+
+func TestM4BeatsSystematicAtEqualBudget(t *testing.T) {
+	ys := noisySeries(50000, 2)
+	width, height := 100, 40
+	idx, _ := M4(ys, width)
+	sys := Systematic(len(ys), len(idx))
+	peM4, _ := PixelError(ys, idx, width, height)
+	peSys, _ := PixelError(ys, sys, width, height)
+	if peM4 >= peSys {
+		t.Errorf("M4 error %v >= systematic %v at equal budget", peM4, peSys)
+	}
+}
+
+func TestSystematic(t *testing.T) {
+	idx := Systematic(100, 10)
+	if len(idx) != 10 || idx[0] != 0 || idx[9] != 90 {
+		t.Errorf("systematic = %v", idx)
+	}
+	if Systematic(0, 5) != nil || Systematic(10, 0) != nil {
+		t.Error("degenerate systematic")
+	}
+	if got := Systematic(3, 10); len(got) != 3 {
+		t.Errorf("k>n systematic = %v", got)
+	}
+}
+
+func TestPixelErrorIdentityZero(t *testing.T) {
+	ys := noisySeries(5000, 3)
+	all := make([]int, len(ys))
+	for i := range all {
+		all[i] = i
+	}
+	pe, err := PixelError(ys, all, 80, 24)
+	if err != nil || pe != 0 {
+		t.Errorf("identity pixel error = %v (%v)", pe, err)
+	}
+	if _, err := PixelError(nil, nil, 80, 24); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := PixelError(ys, nil, 0, 24); !errors.Is(err, ErrBadWidth) {
+		t.Errorf("width err = %v", err)
+	}
+}
+
+func TestPixelErrorDetectsMissingSpikes(t *testing.T) {
+	ys := make([]float64, 1000)
+	ys[500] = 100 // single spike
+	// Take only every 100th point: the spike is dropped.
+	sub := Systematic(len(ys), 10)
+	pe, err := PixelError(ys, sub, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe <= 0 {
+		t.Errorf("spike loss undetected, pe = %v", pe)
+	}
+}
+
+func mkGroups(sep float64, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	groups := make([][]float64, 5)
+	for g := range groups {
+		groups[g] = make([]float64, n)
+		for i := range groups[g] {
+			groups[g][i] = float64(g)*sep + rng.NormFloat64()
+		}
+	}
+	return groups
+}
+
+func TestOrderSampleWellSeparated(t *testing.T) {
+	groups := mkGroups(10, 2000, 4)
+	res, err := OrderSample(groups, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Error("well separated groups should resolve")
+	}
+	if !TrueOrderAgrees(groups, res) {
+		t.Error("order wrong")
+	}
+	total := 0
+	for _, k := range res.Taken {
+		total += k
+	}
+	if total >= 5*2000/2 {
+		t.Errorf("order sampling used %d samples of %d", total, 5*2000)
+	}
+}
+
+func TestOrderSampleCloseGroupsNeedsMore(t *testing.T) {
+	far := mkGroups(10, 2000, 6)
+	near := mkGroups(0.2, 2000, 6)
+	rf, err := OrderSample(far, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := OrderSample(near, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, tn := 0, 0
+	for g := range far {
+		tf += rf.Taken[g]
+		tn += rn.Taken[g]
+	}
+	if tn <= tf {
+		t.Errorf("close groups took %d samples, far groups %d", tn, tf)
+	}
+}
+
+func TestOrderSampleErrors(t *testing.T) {
+	if _, err := OrderSample(nil, 5, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := OrderSample([][]float64{{1}, {}}, 5, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty group err = %v", err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := BarChart([]string{"aa", "b"}, []float64{2, 4}, 8)
+	if !strings.Contains(s, "########") {
+		t.Errorf("chart:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("lines = %d", len(lines))
+	}
+	if BarChart(nil, nil, 10) != "" {
+		t.Error("empty chart")
+	}
+	if BarChart([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Error("mismatched chart")
+	}
+}
+
+func TestLineChartAndSparkline(t *testing.T) {
+	ys := noisySeries(500, 8)
+	s := LineChart(ys, 60, 12)
+	if !strings.Contains(s, "*") {
+		t.Error("line chart empty")
+	}
+	if LineChart(nil, 10, 5) != "" {
+		t.Error("nil series chart")
+	}
+	sp := Sparkline([]float64{1, 2, 3, 8})
+	if len([]rune(sp)) != 4 {
+		t.Errorf("sparkline = %q", sp)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("nil sparkline")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	got := Downsample([]float64{10, 20, 30}, []int{2, 0})
+	if len(got) != 2 || got[0] != 30 || got[1] != 10 {
+		t.Errorf("downsample = %v", got)
+	}
+}
+
+func TestNearlyEqualHelper(t *testing.T) {
+	if !nearlyEqual(1.0, 1.0000001, 1e-5) || nearlyEqual(1, 2, 0.5) {
+		t.Error("nearlyEqual")
+	}
+}
