@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet fuzz bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; the concurrency tests in
+# internal/core and internal/par are written to give it something to bite.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short exploratory fuzz of the SQL parser beyond the seed corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./internal/bench/

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dex [-load name=path.csv]... [-attach name=path.csv]... [-mode exact] [-e "SQL"]
+//	dex [-load name=path.csv]... [-attach name=path.csv]... [-mode exact] [-parallel N] [-e "SQL"]
 //
 // Without -e it reads statements from stdin (one per line). Shell commands:
 //
@@ -83,6 +83,8 @@ func main() {
 	modeFlag := flag.String("mode", "exact", "default execution mode")
 	exprFlag := flag.String("e", "", "execute one statement and exit")
 	seed := flag.Int64("seed", 1, "engine seed")
+	parallel := flag.Int("parallel", 0, "worker parallelism for exact queries (0 = GOMAXPROCS, 1 = sequential)")
+	morsel := flag.Int("morsel", 0, "rows per parallel scheduling unit (0 = default)")
 	flag.Parse()
 
 	mode, err := parseModes(*modeFlag)
@@ -90,7 +92,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dex:", err)
 		os.Exit(1)
 	}
-	e := dex.New(dex.Options{Seed: *seed})
+	e := dex.New(dex.Options{
+		Seed: *seed,
+		Exec: dex.ExecOptions{Parallelism: *parallel, MorselSize: *morsel},
+	})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

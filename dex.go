@@ -26,6 +26,7 @@ package dex
 
 import (
 	"dex/internal/core"
+	"dex/internal/exec"
 	"dex/internal/storage"
 )
 
@@ -43,6 +44,10 @@ type ColumnProfile = core.ColumnProfile
 
 // Options configures an Engine.
 type Options = core.Options
+
+// ExecOptions tunes the morsel-driven parallel operators used by Exact
+// mode (Options.Exec): Parallelism 0 means GOMAXPROCS, 1 is sequential.
+type ExecOptions = exec.ExecOptions
 
 // Mode selects how a query executes.
 type Mode = core.Mode

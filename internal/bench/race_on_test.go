@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Timing guards skip under -race: instrumentation inflates the
+// cost of the scheduler's atomic cursor far beyond production behaviour.
+const raceEnabled = true

@@ -79,6 +79,12 @@ type Options struct {
 	OnlineBatch int
 	// CrackOptions configures the adaptive indexes.
 	CrackOptions crack.Options
+	// Exec tunes the morsel-driven parallel operators used by the Exact
+	// mode (and the post-join query). The adaptive and approximate modes —
+	// cracking, AQP, online aggregation — keep their sequential semantics:
+	// cracking partitions columns in place, and the sampling modes depend
+	// on a deterministic row visit order.
+	Exec exec.ExecOptions
 }
 
 func (o *Options) fill() {
@@ -262,7 +268,7 @@ func (e *Engine) executeJoin(st *sqlparse.Statement) (*storage.Table, error) {
 		return nil, err
 	}
 	q := sqlparse.ExpandStar(st.Query, joined.Schema())
-	return exec.Execute(joined, q)
+	return exec.ExecuteOpts(joined, q, e.opt.Exec)
 }
 
 func allColumnsQuery(schema storage.Schema) exec.Query {
@@ -286,7 +292,7 @@ func (e *Engine) Execute(table string, q exec.Query, mode Mode) (*storage.Table,
 		if err != nil {
 			return nil, err
 		}
-		return exec.Execute(t, q)
+		return exec.ExecuteOpts(t, q, e.opt.Exec)
 	case Cracked:
 		return e.executeCracked(table, q)
 	case Approx:
@@ -604,7 +610,12 @@ func (e *Engine) executeOnline(table string, q exec.Query) (*storage.Table, erro
 	if err != nil {
 		return nil, err
 	}
-	r, err := onlineagg.New(t, aq, e.rng.Int63())
+	// The engine rand.Rand is shared state: concurrent sessions must not
+	// draw from it without holding the engine lock.
+	e.mu.Lock()
+	seed := e.rng.Int63()
+	e.mu.Unlock()
+	r, err := onlineagg.New(t, aq, seed)
 	if err != nil {
 		return nil, err
 	}

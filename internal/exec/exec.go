@@ -147,27 +147,17 @@ func (q Query) String() string {
 	return b.String()
 }
 
-// Execute runs the query against the table and returns a result table.
+// Execute runs the query against the table sequentially and returns a
+// result table. ExecuteOpts selects the morsel-driven parallel operators.
 func Execute(t *storage.Table, q Query) (*storage.Table, error) {
-	if len(q.Select) == 0 {
-		return nil, ErrEmptySelect
-	}
-	sel, err := expr.Filter(t, q.Where)
-	if err != nil {
-		return nil, err
-	}
-	var out *storage.Table
-	switch {
-	case q.HasAggregates() && len(q.GroupBy) == 0:
-		out, err = scalarAggregate(t, sel, q)
-	case len(q.GroupBy) > 0:
-		out, err = groupBy(t, sel, q)
-	default:
-		out, err = project(t, sel, q)
-	}
-	if err != nil {
-		return nil, err
-	}
+	return ExecuteOpts(t, q, ExecOptions{Parallelism: 1})
+}
+
+// finish applies the post-aggregation tail of a query — HAVING, ORDER BY
+// and LIMIT — to the operator output. These stages run sequentially in both
+// execution paths: they see at most the grouped output, which is small.
+func finish(out *storage.Table, q Query) (*storage.Table, error) {
+	var err error
 	if q.Having != nil {
 		if len(q.GroupBy) == 0 && !q.HasAggregates() {
 			return nil, fmt.Errorf("exec: HAVING without aggregation")
@@ -217,7 +207,12 @@ func renameResult(t *storage.Table, items []SelectItem) (*storage.Table, error) 
 	return storage.FromColumns(t.Name(), schema, cols)
 }
 
-// aggState accumulates one aggregate over a stream of values.
+// aggState accumulates one aggregate over a stream of values. A float NaN
+// is the engine's NULL: aggregates skip it entirely (SQL semantics —
+// COUNT(col), SUM, AVG, MIN and MAX all ignore NULLs; COUNT(*) counts every
+// row via addCountOnly). Skipping NaN also makes the state a commutative
+// monoid under merge, which the parallel operators rely on: without it,
+// MIN/MAX folds over incomparable values would depend on morsel boundaries.
 type aggState struct {
 	fn    AggFunc
 	count int64
@@ -228,6 +223,9 @@ type aggState struct {
 }
 
 func (a *aggState) add(v storage.Value) {
+	if v.Typ == storage.TFloat && math.IsNaN(v.F) {
+		return
+	}
 	a.count++
 	a.sum += v.AsFloat()
 	if !a.has {
@@ -243,6 +241,27 @@ func (a *aggState) add(v storage.Value) {
 }
 
 func (a *aggState) addCountOnly() { a.count++ }
+
+// merge folds another partial state (same aggregate function) into a. It is
+// the combine step of parallel aggregation: each worker accumulates its own
+// morsels, then partials merge pairwise.
+func (a *aggState) merge(b *aggState) {
+	a.count += b.count
+	a.sum += b.sum
+	if !b.has {
+		return
+	}
+	if !a.has {
+		a.min, a.max, a.has = b.min, b.max, true
+		return
+	}
+	if b.min.Compare(a.min) < 0 {
+		a.min = b.min
+	}
+	if b.max.Compare(a.max) > 0 {
+		a.max = b.max
+	}
+}
 
 func (a *aggState) result() storage.Value {
 	switch a.fn {
@@ -298,8 +317,9 @@ func aggColumn(t *storage.Table, item SelectItem) (storage.Column, error) {
 	return c, nil
 }
 
-func scalarAggregate(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
-	states := make([]*aggState, len(q.Select))
+// scalarInputs validates an aggregate-only select list and resolves the
+// input column of every item (nil for COUNT(*)).
+func scalarInputs(t *storage.Table, q Query) ([]storage.Column, error) {
 	inputs := make([]storage.Column, len(q.Select))
 	for i, item := range q.Select {
 		if item.Agg == AggNone {
@@ -309,10 +329,26 @@ func scalarAggregate(t *storage.Table, sel []int, q Query) (*storage.Table, erro
 		if err != nil {
 			return nil, err
 		}
-		states[i] = &aggState{fn: item.Agg}
 		inputs[i] = c
 	}
-	for _, row := range sel {
+	return inputs, nil
+}
+
+// newAggStates allocates one fresh state per select item (nil for plain
+// columns, which only occur in the group-by path).
+func newAggStates(q Query) []*aggState {
+	states := make([]*aggState, len(q.Select))
+	for i, item := range q.Select {
+		if item.Agg != AggNone {
+			states[i] = &aggState{fn: item.Agg}
+		}
+	}
+	return states
+}
+
+// accumulateScalar feeds rows sel[lo:hi] into the states.
+func accumulateScalar(inputs []storage.Column, states []*aggState, sel []int, lo, hi int) {
+	for _, row := range sel[lo:hi] {
 		for i, st := range states {
 			if inputs[i] == nil {
 				st.addCountOnly()
@@ -321,6 +357,20 @@ func scalarAggregate(t *storage.Table, sel []int, q Query) (*storage.Table, erro
 			}
 		}
 	}
+}
+
+func scalarAggregate(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
+	inputs, err := scalarInputs(t, q)
+	if err != nil {
+		return nil, err
+	}
+	states := newAggStates(q)
+	accumulateScalar(inputs, states, sel, 0, len(sel))
+	return buildScalarOutput(t, q, states)
+}
+
+// buildScalarOutput renders final aggregate states as a one-row table.
+func buildScalarOutput(t *storage.Table, q Query, states []*aggState) (*storage.Table, error) {
 	schema := make(storage.Schema, len(states))
 	cols := make([]storage.Column, len(states))
 	for i, st := range states {
@@ -345,18 +395,23 @@ func scalarAggregate(t *storage.Table, sel []int, q Query) (*storage.Table, erro
 type groupEntry struct {
 	key    []storage.Value
 	states []*aggState
+	// first is the position in the selection vector of the group's first
+	// row. The parallel path sorts merged groups by it so output order
+	// matches the sequential first-seen order exactly.
+	first int
 }
 
-func groupBy(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
-	groupCols := make([]storage.Column, len(q.GroupBy))
+// groupInputs resolves the grouping columns and per-item aggregate inputs,
+// validating that every plain select column is a grouping column.
+func groupInputs(t *storage.Table, q Query) (groupCols, inputs []storage.Column, err error) {
+	groupCols = make([]storage.Column, len(q.GroupBy))
 	for i, g := range q.GroupBy {
 		c, err := t.ColumnByName(g)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		groupCols[i] = c
 	}
-	// Every plain select column must be a grouping column.
 	inGroup := func(name string) bool {
 		for _, g := range q.GroupBy {
 			if g == name {
@@ -365,46 +420,57 @@ func groupBy(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
 		}
 		return false
 	}
-	inputs := make([]storage.Column, len(q.Select))
+	inputs = make([]storage.Column, len(q.Select))
 	for i, item := range q.Select {
 		if item.Agg == AggNone {
 			if !inGroup(item.Col) {
-				return nil, fmt.Errorf("column %q: %w", item.Col, ErrMixedSelect)
+				return nil, nil, fmt.Errorf("column %q: %w", item.Col, ErrMixedSelect)
 			}
 			continue
 		}
 		c, err := aggColumn(t, item)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		inputs[i] = c
 	}
+	return groupCols, inputs, nil
+}
 
-	groups := make(map[string]*groupEntry)
-	var order []string // deterministic first-seen order
+// groupTable is one hash-aggregation table: entries keyed by the encoded
+// group key, with insertion order preserved. The sequential path builds a
+// single one; the parallel path builds one per worker and merges.
+type groupTable struct {
+	groups map[string]*groupEntry
+	order  []string
+}
+
+func newGroupTable() *groupTable {
+	return &groupTable{groups: make(map[string]*groupEntry)}
+}
+
+// accumulate feeds rows sel[lo:hi] into the table. The recorded first-seen
+// position is the index into sel, which totally orders groups exactly as a
+// sequential scan of the whole selection vector would first meet them.
+func (gt *groupTable) accumulate(groupCols, inputs []storage.Column, q Query, sel []int, lo, hi int) {
 	var keyBuf strings.Builder
-	for _, row := range sel {
+	for idx := lo; idx < hi; idx++ {
+		row := sel[idx]
 		keyBuf.Reset()
 		for _, gc := range groupCols {
 			keyBuf.WriteString(gc.Value(row).String())
 			keyBuf.WriteByte('\x00')
 		}
 		k := keyBuf.String()
-		e, ok := groups[k]
+		e, ok := gt.groups[k]
 		if !ok {
 			key := make([]storage.Value, len(groupCols))
 			for i, gc := range groupCols {
 				key[i] = gc.Value(row)
 			}
-			states := make([]*aggState, len(q.Select))
-			for i, item := range q.Select {
-				if item.Agg != AggNone {
-					states[i] = &aggState{fn: item.Agg}
-				}
-			}
-			e = &groupEntry{key: key, states: states}
-			groups[k] = e
-			order = append(order, k)
+			e = &groupEntry{key: key, states: newAggStates(q), first: idx}
+			gt.groups[k] = e
+			gt.order = append(gt.order, k)
 		}
 		for i, st := range e.states {
 			if st == nil {
@@ -417,7 +483,43 @@ func groupBy(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
 			}
 		}
 	}
+}
 
+// merge folds another table's entries into gt, keeping the smaller
+// first-seen position per group.
+func (gt *groupTable) merge(o *groupTable) {
+	for _, k := range o.order {
+		oe := o.groups[k]
+		e, ok := gt.groups[k]
+		if !ok {
+			gt.groups[k] = oe
+			gt.order = append(gt.order, k)
+			continue
+		}
+		if oe.first < e.first {
+			e.first = oe.first
+		}
+		for i, st := range e.states {
+			if st != nil {
+				st.merge(oe.states[i])
+			}
+		}
+	}
+}
+
+func groupBy(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
+	groupCols, inputs, err := groupInputs(t, q)
+	if err != nil {
+		return nil, err
+	}
+	gt := newGroupTable()
+	gt.accumulate(groupCols, inputs, q, sel, 0, len(sel))
+	return buildGroupOutput(t, q, inputs, gt)
+}
+
+// buildGroupOutput renders a finished group table, one row per group in
+// first-seen order.
+func buildGroupOutput(t *storage.Table, q Query, inputs []storage.Column, gt *groupTable) (*storage.Table, error) {
 	// Build output schema: group columns keep their type; aggregates typed
 	// by function.
 	schema := make(storage.Schema, len(q.Select))
@@ -454,8 +556,8 @@ func groupBy(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
 			}
 		}
 	}
-	for _, k := range order {
-		e := groups[k]
+	for _, k := range gt.order {
+		e := gt.groups[k]
 		for i := range q.Select {
 			var v storage.Value
 			if gi := groupIdx[i]; gi >= 0 {

@@ -1,0 +1,156 @@
+// Morsel-driven parallel operators. The hot, order-insensitive operators —
+// filtered scan, scalar aggregation and hash group-by — fan work over
+// internal/par; everything downstream of aggregation (HAVING, ORDER BY,
+// LIMIT) stays sequential because it sees at most the grouped output.
+//
+// Parallel execution is semantically transparent: the selection vector is
+// merged back in morsel order (ascending row positions, as a sequential
+// scan produces), aggregate states are a commutative monoid under merge
+// (NaN inputs — the engine's NULL — are skipped, see aggState.add), and
+// merged groups are re-sorted by their first-seen position in the selection
+// vector. The only observable difference from sequential execution is the
+// floating-point association order of SUM/AVG partials, which can move the
+// result by an ulp.
+package exec
+
+import (
+	"sort"
+
+	"dex/internal/expr"
+	"dex/internal/par"
+	"dex/internal/storage"
+)
+
+// ExecOptions tunes query execution.
+type ExecOptions struct {
+	// Parallelism is the number of workers: 0 means GOMAXPROCS, 1 forces
+	// the sequential operators.
+	Parallelism int
+	// MorselSize is the rows per scheduling unit (0 = par.DefaultMorselSize).
+	// Inputs that fit in a single morsel always run sequentially.
+	MorselSize int
+}
+
+func (o ExecOptions) pool() *par.Pool {
+	return par.NewPool(par.Options{Parallelism: o.Parallelism, MorselSize: o.MorselSize})
+}
+
+// ExecuteOpts runs the query with the given execution options. It is
+// exactly Execute when opt.Parallelism == 1 (the sequential operators run,
+// same code path), and the morsel-driven operators otherwise.
+func ExecuteOpts(t *storage.Table, q Query, opt ExecOptions) (*storage.Table, error) {
+	if len(q.Select) == 0 {
+		return nil, ErrEmptySelect
+	}
+	pool := opt.pool()
+	sel, err := filterPar(t, q.Where, pool)
+	if err != nil {
+		return nil, err
+	}
+	var out *storage.Table
+	switch {
+	case q.HasAggregates() && len(q.GroupBy) == 0:
+		out, err = scalarAggregatePar(t, sel, q, pool)
+	case len(q.GroupBy) > 0:
+		out, err = groupByPar(t, sel, q, pool)
+	default:
+		out, err = project(t, sel, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finish(out, q)
+}
+
+// filterPar evaluates the predicate over morsels in parallel and merges the
+// per-morsel selection vectors in morsel order, yielding the same ascending
+// positions a sequential scan produces.
+func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool) ([]int, error) {
+	n := t.NumRows()
+	if p == nil || p.Kind == expr.KTrue || pool.WorkersFor(n) <= 1 {
+		return expr.Filter(t, p)
+	}
+	// Validate once up front so workers cannot race on error paths.
+	if err := p.Validate(t.Schema()); err != nil {
+		return nil, err
+	}
+	m := pool.MorselSize()
+	parts := make([][]int, storage.NumChunks(n, m))
+	err := pool.ForEachErr(n, func(_, lo, hi int) error {
+		s, ferr := expr.FilterRange(t, p, lo, hi)
+		if ferr != nil {
+			return ferr
+		}
+		parts[lo/m] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range parts {
+		total += len(s)
+	}
+	out := make([]int, 0, total)
+	for _, s := range parts {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// scalarAggregatePar accumulates per-morsel partial states and merges them
+// in morsel order. Morsel-indexed (rather than worker-indexed) partials
+// make the merge order — and so the floating-point sum — deterministic for
+// a given morsel size, independent of scheduling.
+func scalarAggregatePar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*storage.Table, error) {
+	if pool.WorkersFor(len(sel)) <= 1 {
+		return scalarAggregate(t, sel, q)
+	}
+	inputs, err := scalarInputs(t, q)
+	if err != nil {
+		return nil, err
+	}
+	m := pool.MorselSize()
+	partials := make([][]*aggState, storage.NumChunks(len(sel), m))
+	pool.ForEach(len(sel), func(_, lo, hi int) {
+		states := newAggStates(q)
+		accumulateScalar(inputs, states, sel, lo, hi)
+		partials[lo/m] = states
+	})
+	states := newAggStates(q)
+	for _, p := range partials {
+		for i, st := range states {
+			st.merge(p[i])
+		}
+	}
+	return buildScalarOutput(t, q, states)
+}
+
+// groupByPar builds one thread-local hash table per worker, merges them,
+// and restores the sequential first-seen group order by sorting merged
+// groups on the selection-vector position of their first row.
+func groupByPar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*storage.Table, error) {
+	w := pool.WorkersFor(len(sel))
+	if w <= 1 {
+		return groupBy(t, sel, q)
+	}
+	groupCols, inputs, err := groupInputs(t, q)
+	if err != nil {
+		return nil, err
+	}
+	locals := make([]*groupTable, w)
+	for i := range locals {
+		locals[i] = newGroupTable()
+	}
+	pool.ForEach(len(sel), func(worker, lo, hi int) {
+		locals[worker].accumulate(groupCols, inputs, q, sel, lo, hi)
+	})
+	gt := locals[0]
+	for _, o := range locals[1:] {
+		gt.merge(o)
+	}
+	sort.Slice(gt.order, func(a, b int) bool {
+		return gt.groups[gt.order[a]].first < gt.groups[gt.order[b]].first
+	})
+	return buildGroupOutput(t, q, inputs, gt)
+}

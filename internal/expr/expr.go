@@ -246,25 +246,41 @@ func (p *Pred) Matches(t *storage.Table, i int) bool {
 // It evaluates column-at-a-time into a boolean vector with typed fast paths
 // for comparison leaves, then collects positions.
 func Filter(t *storage.Table, p *Pred) ([]int, error) {
-	n := t.NumRows()
+	return FilterRange(t, p, 0, t.NumRows())
+}
+
+// FilterRange is Filter restricted to rows [lo, hi): it returns the
+// positions in that range that satisfy p, in ascending order. It is the
+// per-morsel unit of the parallel scan — each morsel evaluates its own
+// range and the selection vectors concatenate back into row order.
+func FilterRange(t *storage.Table, p *Pred, lo, hi int) ([]int, error) {
+	if hi > t.NumRows() {
+		hi = t.NumRows()
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil, nil
+	}
 	if p == nil || p.Kind == KTrue {
-		out := make([]int, n)
+		out := make([]int, hi-lo)
 		for i := range out {
-			out[i] = i
+			out[i] = lo + i
 		}
 		return out, nil
 	}
 	if err := p.Validate(t.Schema()); err != nil {
 		return nil, err
 	}
-	bits, err := evalVector(t, p)
+	bits, err := evalVector(t, p, lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, 0, n/4)
+	out := make([]int, 0, (hi-lo)/4)
 	for i, b := range bits {
 		if b {
-			out = append(out, i)
+			out = append(out, lo+i)
 		}
 	}
 	return out, nil
@@ -279,8 +295,10 @@ func Count(t *storage.Table, p *Pred) (int, error) {
 	return len(sel), nil
 }
 
-func evalVector(t *storage.Table, p *Pred) ([]bool, error) {
-	n := t.NumRows()
+// evalVector evaluates p over rows [lo, hi) into a boolean vector whose
+// index 0 corresponds to row lo.
+func evalVector(t *storage.Table, p *Pred, lo, hi int) ([]bool, error) {
+	n := hi - lo
 	switch p.Kind {
 	case KTrue:
 		out := make([]bool, n)
@@ -289,11 +307,11 @@ func evalVector(t *storage.Table, p *Pred) ([]bool, error) {
 		}
 		return out, nil
 	case KCmp:
-		return evalCmp(t, p)
+		return evalCmp(t, p, lo, hi)
 	case KLike:
-		return evalLike(t, p)
+		return evalLike(t, p, lo, hi)
 	case KNot:
-		out, err := evalVector(t, p.Kids[0])
+		out, err := evalVector(t, p.Kids[0], lo, hi)
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +322,7 @@ func evalVector(t *storage.Table, p *Pred) ([]bool, error) {
 	case KAnd, KOr:
 		var acc []bool
 		for _, k := range p.Kids {
-			v, err := evalVector(t, k)
+			v, err := evalVector(t, k, lo, hi)
 			if err != nil {
 				return nil, err
 			}
@@ -336,40 +354,40 @@ func evalVector(t *storage.Table, p *Pred) ([]bool, error) {
 	}
 }
 
-func evalCmp(t *storage.Table, p *Pred) ([]bool, error) {
+func evalCmp(t *storage.Table, p *Pred, lo, hi int) ([]bool, error) {
 	c, err := t.ColumnByName(p.Col)
 	if err != nil {
 		return nil, err
 	}
-	n := c.Len()
-	out := make([]bool, n)
+	out := make([]bool, hi-lo)
 	switch cc := c.(type) {
 	case *storage.IntColumn:
 		if p.Val.Typ == storage.TInt {
 			v, op := p.Val.I, p.Op
+			vals := cc.V[lo:hi]
 			switch op {
 			case LT:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x < v
 				}
 			case LE:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x <= v
 				}
 			case GT:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x > v
 				}
 			case GE:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x >= v
 				}
 			case EQ:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x == v
 				}
 			case NE:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x != v
 				}
 			}
@@ -378,29 +396,30 @@ func evalCmp(t *storage.Table, p *Pred) ([]bool, error) {
 	case *storage.FloatColumn:
 		if p.Val.IsNumeric() {
 			v, op := p.Val.AsFloat(), p.Op
+			vals := cc.V[lo:hi]
 			switch op {
 			case LT:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x < v
 				}
 			case LE:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x <= v
 				}
 			case GT:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x > v
 				}
 			case GE:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x >= v
 				}
 			case EQ:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x == v
 				}
 			case NE:
-				for i, x := range cc.V {
+				for i, x := range vals {
 					out[i] = x != v
 				}
 			}
@@ -409,35 +428,34 @@ func evalCmp(t *storage.Table, p *Pred) ([]bool, error) {
 	case *storage.StringColumn:
 		if p.Val.Typ == storage.TString {
 			v, op := p.Val.S, p.Op
-			for i, x := range cc.V {
+			for i, x := range cc.V[lo:hi] {
 				out[i] = op.apply(strings.Compare(x, v))
 			}
 			return out, nil
 		}
 	}
 	// Generic slow path for cross-type comparisons.
-	for i := 0; i < n; i++ {
-		out[i] = p.Op.apply(c.Value(i).Compare(p.Val))
+	for i := lo; i < hi; i++ {
+		out[i-lo] = p.Op.apply(c.Value(i).Compare(p.Val))
 	}
 	return out, nil
 }
 
-func evalLike(t *storage.Table, p *Pred) ([]bool, error) {
+func evalLike(t *storage.Table, p *Pred, lo, hi int) ([]bool, error) {
 	c, err := t.ColumnByName(p.Col)
 	if err != nil {
 		return nil, err
 	}
-	n := c.Len()
-	out := make([]bool, n)
+	out := make([]bool, hi-lo)
 	pat := p.Val.S
 	if sc, ok := c.(*storage.StringColumn); ok {
-		for i, s := range sc.V {
+		for i, s := range sc.V[lo:hi] {
 			out[i] = likeMatch(s, pat)
 		}
 		return out, nil
 	}
-	for i := 0; i < n; i++ {
-		out[i] = likeMatch(c.Value(i).String(), pat)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = likeMatch(c.Value(i).String(), pat)
 	}
 	return out, nil
 }

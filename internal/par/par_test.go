@@ -1,0 +1,176 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersForResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		n    int
+		want int
+	}{
+		{"serial cutoff", Options{Parallelism: 8}, 100, 1},
+		{"single morsel", Options{Parallelism: 8, MorselSize: 10, SerialCutoff: -1}, 9, 1},
+		{"capped by morsels", Options{Parallelism: 8, MorselSize: 10, SerialCutoff: -1}, 25, 3},
+		{"full parallelism", Options{Parallelism: 4, MorselSize: 10, SerialCutoff: -1}, 1000, 4},
+		{"explicit serial", Options{Parallelism: 1, MorselSize: 10, SerialCutoff: -1}, 1000, 1},
+	}
+	for _, tc := range cases {
+		if got := NewPool(tc.opt).WorkersFor(tc.n); got != tc.want {
+			t.Errorf("%s: WorkersFor(%d) = %d, want %d", tc.name, tc.n, got, tc.want)
+		}
+	}
+	if w := NewPool(Options{}).WorkersFor(1 << 20); w < 1 {
+		t.Errorf("GOMAXPROCS resolution gave %d workers", w)
+	}
+}
+
+// TestForEachCoversExactly checks every row is visited exactly once, with
+// morsel-aligned lower bounds, across ragged input sizes.
+func TestForEachCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 65, 1000, 1023} {
+		pool := NewPool(Options{Parallelism: 4, MorselSize: 64, SerialCutoff: -1})
+		visits := make([]int32, n)
+		pool.ForEach(n, func(_, lo, hi int) {
+			if lo != 0 && lo%64 != 0 {
+				t.Errorf("n=%d: morsel lower bound %d not aligned", n, lo)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: row %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsDisjoint(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 3, MorselSize: 8, SerialCutoff: -1})
+	n := 1000
+	w := pool.WorkersFor(n)
+	if w != 3 {
+		t.Fatalf("WorkersFor = %d, want 3", w)
+	}
+	// Per-worker state indexed by worker id must never race: guard each
+	// slot with its own mutex and assert no concurrent entry.
+	busy := make([]atomic.Bool, w)
+	counts := make([]int, w)
+	pool.ForEach(n, func(worker, lo, hi int) {
+		if worker < 0 || worker >= w {
+			t.Errorf("worker id %d out of range [0,%d)", worker, w)
+			return
+		}
+		if !busy[worker].CompareAndSwap(false, true) {
+			t.Errorf("worker slot %d entered concurrently", worker)
+		}
+		counts[worker] += hi - lo
+		busy[worker].Store(false)
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Errorf("rows processed = %d, want %d", total, n)
+	}
+}
+
+func TestForEachErrStopsEarly(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 2, MorselSize: 1, SerialCutoff: -1})
+	boom := errors.New("boom")
+	var after atomic.Int32
+	err := pool.ForEachErr(1000, func(_, lo, _ int) error {
+		if lo == 3 {
+			return boom
+		}
+		after.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := after.Load(); got >= 1000 {
+		t.Errorf("scheduler did not stop early: %d morsels ran", got)
+	}
+}
+
+func TestForEachPanicsPropagate(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 4, MorselSize: 1, SerialCutoff: -1})
+	defer func() {
+		if r := recover(); r != "worker panic" {
+			t.Fatalf("recovered %v, want worker panic", r)
+		}
+	}()
+	pool.ForEach(100, func(_, lo, _ int) {
+		if lo == 42 {
+			panic("worker panic")
+		}
+	})
+	t.Fatal("no panic propagated")
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 4})
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := pool.Do(37, func(task int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[task] {
+			t.Errorf("task %d ran twice", task)
+		}
+		seen[task] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 37 {
+		t.Errorf("ran %d tasks, want 37", len(seen))
+	}
+}
+
+func TestDoSerialOrderAndError(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 1})
+	var order []int
+	boom := errors.New("boom")
+	err := pool.Do(10, func(task int) error {
+		if task == 4 {
+			return boom
+		}
+		order = append(order, task)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(order) != 4 {
+		t.Errorf("serial Do ran %d tasks before error, want 4", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Errorf("serial Do out of order: %v", order)
+			break
+		}
+	}
+}
+
+func TestZeroAndNegativeInput(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 4})
+	ran := false
+	pool.ForEach(0, func(_, _, _ int) { ran = true })
+	pool.ForEach(-5, func(_, _, _ int) { ran = true })
+	if err := pool.Do(0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("callback ran on empty input")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dex/internal/exec"
 	"dex/internal/expr"
 	"dex/internal/metrics"
+	"dex/internal/par"
 	"dex/internal/storage"
 )
 
@@ -104,6 +105,13 @@ type Options struct {
 	Phases int
 	// Delta is the pruning confidence parameter (default 0.05).
 	Delta float64
+	// Parallelism fans candidate-view evaluation over a worker pool:
+	// 0 means GOMAXPROCS, 1 forces sequential execution. Exhaustive
+	// parallelizes across views (one scan each), SharedScan across morsels
+	// with per-worker accumulators. Pruned stays sequential: its phases are
+	// a serial dependence chain (each prune decision needs the previous
+	// phase's bounds).
+	Parallelism int
 }
 
 // Recommend scores every candidate view of the table, where the target
@@ -166,6 +174,30 @@ type agg struct {
 
 func newViewAcc(v View) *viewAcc {
 	return &viewAcc{view: v, tgt: map[string]*agg{}, ref: map[string]*agg{}}
+}
+
+// merge folds another accumulator for the same view into va (the combine
+// step of per-worker shared scans).
+func (va *viewAcc) merge(o *viewAcc) {
+	mergeMap := func(dst, src map[string]*agg) {
+		for g, b := range src {
+			a, ok := dst[g]
+			if !ok {
+				dst[g] = b
+				continue
+			}
+			a.sum += b.sum
+			a.count += b.count
+			if b.min < a.min {
+				a.min = b.min
+			}
+			if b.max > a.max {
+				a.max = b.max
+			}
+		}
+	}
+	mergeMap(va.tgt, o.tgt)
+	mergeMap(va.ref, o.ref)
 }
 
 func (va *viewAcc) add(group string, x float64, target bool) {
@@ -231,29 +263,36 @@ func (va *viewAcc) utility() float64 {
 	return metrics.EMD1D(p, q)
 }
 
-// scanViews feeds rows [lo,hi) into the accumulators; when sharedDims is
-// true the dimension/measure columns are resolved once and each row is read
-// once per distinct column rather than once per view.
-func scanViews(t *storage.Table, inTarget []bool, accs []*viewAcc, lo, hi int, stats *Stats) error {
-	type colPair struct {
-		dim storage.Column
-		mea storage.Column
-	}
+// colPair is one view's resolved dimension and measure columns.
+type colPair struct {
+	dim storage.Column
+	mea storage.Column
+}
+
+// resolvePairs resolves and type-checks the columns of every accumulator's
+// view once, so scan workers share them without re-resolving per morsel.
+func resolvePairs(t *storage.Table, accs []*viewAcc) ([]colPair, error) {
 	pairs := make([]colPair, len(accs))
 	for i, va := range accs {
 		dc, err := t.ColumnByName(va.view.Dim)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mc, err := t.ColumnByName(va.view.Measure)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if mc.Type() == storage.TString && va.view.Agg != exec.AggCount {
-			return fmt.Errorf("seedb: measure %q is TEXT", va.view.Measure)
+			return nil, fmt.Errorf("seedb: measure %q is TEXT", va.view.Measure)
 		}
 		pairs[i] = colPair{dim: dc, mea: mc}
 	}
+	return pairs, nil
+}
+
+// scanRange feeds rows [lo,hi) into the accumulators through pre-resolved
+// column pairs.
+func scanRange(pairs []colPair, inTarget []bool, accs []*viewAcc, lo, hi int, stats *Stats) {
 	for r := lo; r < hi; r++ {
 		stats.RowsScanned++
 		for i, va := range accs {
@@ -266,7 +305,24 @@ func scanViews(t *storage.Table, inTarget []bool, accs []*viewAcc, lo, hi int, s
 			va.add(g, x, inTarget[r])
 		}
 	}
+}
+
+// scanViews resolves the accumulators' columns and feeds rows [lo,hi) in.
+func scanViews(t *storage.Table, inTarget []bool, accs []*viewAcc, lo, hi int, stats *Stats) error {
+	pairs, err := resolvePairs(t, accs)
+	if err != nil {
+		return err
+	}
+	scanRange(pairs, inTarget, accs, lo, hi, stats)
 	return nil
+}
+
+// add accumulates another run's work counters into s.
+func (s *Stats) add(o Stats) {
+	s.RowsScanned += o.RowsScanned
+	s.ViewUpdates += o.ViewUpdates
+	s.ViewsPruned += o.ViewsPruned
+	s.Phases += o.Phases
 }
 
 func topK(accs []*viewAcc, k int) []Scored {
@@ -284,13 +340,25 @@ func topK(accs []*viewAcc, k int) []Scored {
 func runExhaustive(t *storage.Table, inTarget []bool, views []View, opt Options) ([]Scored, Stats, error) {
 	stats := Stats{}
 	accs := make([]*viewAcc, len(views))
-	// One separate full pass per view — the naive plan's cost.
 	for i, v := range views {
-		va := newViewAcc(v)
-		if err := scanViews(t, inTarget, []*viewAcc{va}, 0, t.NumRows(), &stats); err != nil {
-			return nil, stats, err
-		}
-		accs[i] = va
+		accs[i] = newViewAcc(v)
+	}
+	// Resolve (and type-check) every view's columns before fanning out so a
+	// bad view fails the whole call deterministically.
+	pairs, err := resolvePairs(t, accs)
+	if err != nil {
+		return nil, stats, err
+	}
+	// One separate full pass per view — the naive plan's cost. Views are
+	// independent, so they fan out across the pool one task per view.
+	pool := par.NewPool(par.Options{Parallelism: opt.Parallelism})
+	perView := make([]Stats, len(views))
+	_ = pool.Do(len(views), func(i int) error {
+		scanRange(pairs[i:i+1], inTarget, accs[i:i+1], 0, t.NumRows(), &perView[i])
+		return nil
+	})
+	for _, s := range perView {
+		stats.add(s)
 	}
 	return topK(accs, opt.K), stats, nil
 }
@@ -301,8 +369,35 @@ func runShared(t *storage.Table, inTarget []bool, views []View, opt Options) ([]
 	for i, v := range views {
 		accs[i] = newViewAcc(v)
 	}
-	if err := scanViews(t, inTarget, accs, 0, t.NumRows(), &stats); err != nil {
+	pairs, err := resolvePairs(t, accs)
+	if err != nil {
 		return nil, stats, err
+	}
+	n := t.NumRows()
+	pool := par.NewPool(par.Options{Parallelism: opt.Parallelism})
+	w := pool.WorkersFor(n)
+	if w <= 1 {
+		scanRange(pairs, inTarget, accs, 0, n, &stats)
+		return topK(accs, opt.K), stats, nil
+	}
+	// One shared pass split over morsels: each worker owns a full set of
+	// thread-local accumulators, merged per view afterwards.
+	locals := make([][]*viewAcc, w)
+	perWorker := make([]Stats, w)
+	for wi := range locals {
+		locals[wi] = make([]*viewAcc, len(views))
+		for i, v := range views {
+			locals[wi][i] = newViewAcc(v)
+		}
+	}
+	pool.ForEach(n, func(worker, lo, hi int) {
+		scanRange(pairs, inTarget, locals[worker], lo, hi, &perWorker[worker])
+	})
+	for wi := range locals {
+		stats.add(perWorker[wi])
+		for i := range accs {
+			accs[i].merge(locals[wi][i])
+		}
 	}
 	return topK(accs, opt.K), stats, nil
 }

@@ -1,0 +1,43 @@
+package storage
+
+// Range is a half-open interval of row positions [Lo, Hi) — the unit of
+// work ("morsel") the parallel operators hand to worker goroutines.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows covered by the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Chunks splits [0, n) into contiguous ranges of at most size rows each.
+// A non-positive size yields a single range covering everything; n <= 0
+// yields nil. The ranges tile [0, n) in ascending order, so results
+// computed per chunk can be concatenated back into row order.
+func Chunks(n, size int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 || size >= n {
+		return []Range{{0, n}}
+	}
+	out := make([]Range, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{lo, hi})
+	}
+	return out
+}
+
+// NumChunks returns len(Chunks(n, size)) without building the slice.
+func NumChunks(n, size int) int {
+	if n <= 0 {
+		return 0
+	}
+	if size <= 0 || size >= n {
+		return 1
+	}
+	return (n + size - 1) / size
+}

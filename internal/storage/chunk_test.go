@@ -1,0 +1,36 @@
+package storage
+
+import "testing"
+
+func TestChunksTile(t *testing.T) {
+	cases := []struct {
+		n, size, want int
+	}{
+		{0, 10, 0}, {-3, 10, 0}, {5, 0, 1}, {5, -1, 1}, {5, 10, 1},
+		{10, 10, 1}, {11, 10, 2}, {100, 10, 10}, {101, 10, 11},
+	}
+	for _, tc := range cases {
+		got := Chunks(tc.n, tc.size)
+		if len(got) != tc.want {
+			t.Errorf("Chunks(%d,%d): %d chunks, want %d", tc.n, tc.size, len(got), tc.want)
+			continue
+		}
+		if NumChunks(tc.n, tc.size) != tc.want {
+			t.Errorf("NumChunks(%d,%d) = %d, want %d", tc.n, tc.size, NumChunks(tc.n, tc.size), tc.want)
+		}
+		// Ranges must tile [0, n) in order.
+		next := 0
+		for _, r := range got {
+			if r.Lo != next || r.Hi <= r.Lo {
+				t.Fatalf("Chunks(%d,%d): bad range %+v at offset %d", tc.n, tc.size, r, next)
+			}
+			if r.Len() != r.Hi-r.Lo {
+				t.Fatalf("Range.Len() = %d, want %d", r.Len(), r.Hi-r.Lo)
+			}
+			next = r.Hi
+		}
+		if tc.want > 0 && next != tc.n {
+			t.Errorf("Chunks(%d,%d): tiles end at %d", tc.n, tc.size, next)
+		}
+	}
+}
