@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dex [-load name=path.csv]... [-attach name=path.csv]... [-mode exact] [-parallel N] [-e "SQL"]
+//	dex [-load name=path.csv]... [-attach name=path.csv]... [-mode exact] [-parallel N] [-timeout 500ms] [-e "SQL"]
 //
 // Without -e it reads statements from stdin (one per line). Shell commands:
 //
@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -61,21 +62,6 @@ type repeatedFlag []string
 func (r *repeatedFlag) String() string     { return strings.Join(*r, ",") }
 func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
 
-func parseModes(s string) (dex.Mode, error) {
-	switch strings.ToLower(s) {
-	case "exact":
-		return dex.Exact, nil
-	case "cracked":
-		return dex.Cracked, nil
-	case "approx":
-		return dex.Approx, nil
-	case "online":
-		return dex.Online, nil
-	default:
-		return dex.Exact, fmt.Errorf("unknown mode %q (exact|cracked|approx|online)", s)
-	}
-}
-
 func main() {
 	var loads, attaches repeatedFlag
 	flag.Var(&loads, "load", "name=path.csv to load eagerly (repeatable)")
@@ -85,9 +71,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "engine seed")
 	parallel := flag.Int("parallel", 0, "worker parallelism for exact queries (0 = GOMAXPROCS, 1 = sequential)")
 	morsel := flag.Int("morsel", 0, "rows per parallel scheduling unit (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline, e.g. 500ms (0 = none)")
 	flag.Parse()
 
-	mode, err := parseModes(*modeFlag)
+	mode, err := dex.ParseMode(*modeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dex:", err)
 		os.Exit(1)
@@ -128,7 +115,15 @@ func main() {
 
 	session := e.NewSession()
 	runOne := func(line string) {
-		res, err := session.Query(line, mode)
+		// The deadline rides the same context plumbing the dexd service
+		// uses: the morsel scheduler stops between morsels when it fires.
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		res, err := session.QueryContext(ctx, line, mode)
+		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return
@@ -185,7 +180,7 @@ func main() {
 				fmt.Print(p.Format())
 			}
 		case strings.HasPrefix(line, `\mode `):
-			m, err := parseModes(strings.TrimPrefix(line, `\mode `))
+			m, err := dex.ParseMode(strings.TrimPrefix(line, `\mode `))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			} else {

@@ -1,0 +1,138 @@
+// Command dexd serves the exploration engine over HTTP: per-connection
+// sessions, four execution modes, per-request deadlines, client-disconnect
+// cancellation, admission control and live stats.
+//
+// Usage:
+//
+//	dexd [-addr :8080] [-load name=path.csv]... [-demo sales -rows 1000000]
+//	     [-max-inflight N] [-max-queue N] [-queue-timeout 2s]
+//	     [-default-timeout 30s] [-cache-rows 1000000]
+//	     [-parallel N] [-morsel N] [-seed 1] [-drain-timeout 30s]
+//
+// On SIGINT/SIGTERM it drains gracefully: new queries get 503 while every
+// admitted query runs to completion (up to -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dex/internal/core"
+	"dex/internal/exec"
+	"dex/internal/server"
+	"dex/internal/storage"
+	"dex/internal/workload"
+)
+
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var loads repeatedFlag
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Var(&loads, "load", "name=path.csv to load eagerly (repeatable)")
+	demo := flag.String("demo", "", "load a synthetic demo table at startup (sales|sky|ticks)")
+	rows := flag.Int("rows", 1_000_000, "demo table size")
+	seed := flag.Int64("seed", 1, "engine + demo data seed")
+	parallel := flag.Int("parallel", 0, "worker parallelism for exact queries (0 = GOMAXPROCS)")
+	morsel := flag.Int("morsel", 0, "rows per parallel scheduling unit (0 = default)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max queries waiting for a slot (0 = 2x max-inflight, -1 = none)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "longest wait in the admission queue")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-query deadline when the client sends none")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	cacheRows := flag.Int64("cache-rows", 1_000_000, "shared result cache budget in rows (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dexd ", log.LstdFlags)
+	eng := core.New(core.Options{
+		Seed: *seed,
+		Exec: exec.ExecOptions{Parallelism: *parallel, MorselSize: *morsel},
+	})
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			logger.Fatalf("bad -load %q (want name=path)", spec)
+		}
+		if err := eng.LoadCSV(name, path); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("loaded table %q from %s", name, path)
+	}
+	if *demo != "" {
+		rng := rand.New(rand.NewSource(*seed))
+		var (
+			t   *storage.Table
+			err error
+		)
+		switch *demo {
+		case "sales":
+			t, err = workload.Sales(rng, *rows)
+		case "sky":
+			t, err = workload.SkyCatalog(rng, *rows)
+		case "ticks":
+			t, err = workload.Ticks(rng, *rows)
+		default:
+			err = fmt.Errorf("unknown -demo %q (sales|sky|ticks)", *demo)
+		}
+		if err == nil {
+			err = eng.Register(t)
+		}
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("loaded demo table %q (%d rows)", t.Name(), t.NumRows())
+	}
+
+	svc := server.New(eng, server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		CacheRows:      *cacheRows,
+		Log:            logger,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	// SIGINT/SIGTERM starts the drain: the listener keeps accepting (so
+	// in-flight clients can read responses and late arrivals get a clean
+	// 503), admitted queries run to completion, then the listener closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		logger.Printf("signal received; draining (up to %s)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := svc.Drain(drainCtx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+		} else {
+			logger.Printf("drained; all in-flight queries completed")
+		}
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+
+	logger.Printf("serving on %s (tables: %v)", *addr, eng.Tables())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,112 @@
+// Command dexload is the closed-loop load harness for dexd: it replays
+// synthetic exploration sessions (seeded, reproducible) from N concurrent
+// clients with think time between queries, and reports throughput and
+// client-observed latency quantiles per client count — the IDEBench-style
+// measurement that backs experiment E27.
+//
+// Usage:
+//
+//	dexload [-addr http://127.0.0.1:8080] [-clients 1,2,4,8,16]
+//	        [-queries 20] [-think 0] [-mode exact] [-seed 1]
+//	        [-timeout 0] [-demo sales -rows 1000000] [-json out.json]
+//
+// With -demo it first loads the demo table server-side (idempotent enough
+// for a fresh dexd). With -json it also writes the full reports as JSON —
+// the format BENCH_server.json records.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dex/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "dexd base URL")
+	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts, one run each")
+	queries := flag.Int("queries", 20, "queries per client per run")
+	think := flag.Duration("think", 0, "pause between a response and the next query")
+	mode := flag.String("mode", "exact", "execution mode for every query")
+	seed := flag.Int64("seed", 1, "workload seed (client i in a run uses seed+i)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline sent to the server (0 = server default)")
+	demo := flag.String("demo", "", "load this demo table server-side first (sales|sky|ticks)")
+	rows := flag.Int("rows", 1_000_000, "demo table size")
+	jsonOut := flag.String("json", "", "also write reports as JSON to this file")
+	flag.Parse()
+
+	var clientCounts []int
+	for _, f := range strings.Split(*clientsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("dexload: bad -clients entry %q", f)
+		}
+		clientCounts = append(clientCounts, n)
+	}
+
+	ctx := context.Background()
+	cl := server.NewClient(*addr)
+	if _, err := cl.Stats(ctx); err != nil {
+		log.Fatalf("dexload: cannot reach dexd at %s: %v", *addr, err)
+	}
+	if *demo != "" {
+		if err := cl.LoadDemo(ctx, *demo, *rows, *seed); err != nil {
+			log.Fatalf("dexload: load demo: %v", err)
+		}
+		fmt.Printf("loaded demo table %q (%d rows)\n", *demo, *rows)
+	}
+
+	fmt.Printf("target=%s mode=%s queries/client=%d think=%s seed=%d\n\n",
+		*addr, *mode, *queries, *think, *seed)
+	fmt.Printf("%8s %8s %8s %8s %9s %9s %9s %9s %9s\n",
+		"clients", "queries", "rejected", "dropped", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
+	var reports []*server.LoadReport
+	for _, n := range clientCounts {
+		rep, err := server.RunLoad(ctx, cl, server.LoadConfig{
+			Clients:          n,
+			QueriesPerClient: *queries,
+			Think:            *think,
+			Seed:             *seed,
+			Mode:             *mode,
+			Timeout:          *timeout,
+		})
+		if err != nil {
+			log.Fatalf("dexload: run with %d clients: %v", n, err)
+		}
+		if rep.Failed > 0 {
+			log.Fatalf("dexload: %d queries failed with non-admission errors at %d clients", rep.Failed, n)
+		}
+		reports = append(reports, rep)
+		fmt.Printf("%8d %8d %8d %8d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
+			rep.Clients, rep.Queries, rep.Rejected, rep.Dropped,
+			rep.Qps, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	}
+
+	if *jsonOut != "" {
+		out := map[string]any{
+			"bench":   "dexload",
+			"date":    time.Now().UTC().Format(time.RFC3339),
+			"addr":    *addr,
+			"mode":    *mode,
+			"queries": *queries,
+			"think":   think.String(),
+			"seed":    *seed,
+			"runs":    reports,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+}

@@ -89,6 +89,10 @@ const (
 // New creates an engine.
 func New(opt Options) *Engine { return core.New(opt) }
 
+// ParseMode parses a mode name ("exact", "cracked", "approx", "online";
+// "" means Exact). It returns ErrBadMode for anything else.
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema Schema) (*Table, error) {
 	return storage.NewTable(name, schema)

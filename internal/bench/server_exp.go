@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"dex/internal/core"
+	"dex/internal/server"
+	"dex/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E27",
+		Title:  "Query service under concurrent clients: throughput/latency vs admission limit",
+		Source: "IDEBench-style interactive workloads; admission control & graceful drain",
+		Run:    runE27,
+	})
+}
+
+// runE27 stands up the dexd service in-process over a loopback listener and
+// drives it with closed-loop synthetic exploration sessions at increasing
+// client counts, once per admission limit. The interesting comparison is
+// saturation behaviour: with a small in-flight bound, excess load turns
+// into fast 429s and p99 stays bounded; with a generous bound everything
+// queues inside the engine and the tail stretches instead. A final pass
+// checks the drain invariant — stopping the service mid-load loses none of
+// the admitted queries.
+func runE27(w io.Writer, cfg Config) error {
+	n := cfg.Scale(1_000_000, 100, 20_000)
+	perClient := cfg.Scale(12, 4, 3)
+	clientCounts := []int{1, 2, 4, 8, 16}
+	limits := []int{2}
+	if wide := runtime.GOMAXPROCS(0) * 2; wide > 2 {
+		limits = append(limits, wide)
+	}
+	if cfg.Quick {
+		clientCounts = []int{1, 4, 8}
+	}
+
+	newService := func(maxInFlight int) (*server.Server, *httptest.Server, error) {
+		eng := core.New(core.Options{Seed: cfg.Seed})
+		sales, err := workload.Sales(rand.New(rand.NewSource(cfg.Seed)), n)
+		if err == nil {
+			err = eng.Register(sales)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		svc := server.New(eng, server.Config{
+			MaxInFlight:  maxInFlight,
+			MaxQueue:     maxInFlight,
+			QueueTimeout: 250 * time.Millisecond,
+		})
+		return svc, httptest.NewServer(svc), nil
+	}
+
+	ctx := context.Background()
+	fmt.Fprintf(w, "rows=%d queries/client=%d GOMAXPROCS=%d\n\n", n, perClient, runtime.GOMAXPROCS(0))
+	tbl := NewTable("inflight-limit", "clients", "done", "rej", "qps", "p50", "p95", "p99")
+	for _, limit := range limits {
+		for _, clients := range clientCounts {
+			svc, ts, err := newService(limit)
+			if err != nil {
+				return err
+			}
+			_ = svc
+			rep, err := server.RunLoad(ctx, server.NewClient(ts.URL), server.LoadConfig{
+				Clients:          clients,
+				QueriesPerClient: perClient,
+				Seed:             cfg.Seed,
+			})
+			ts.Close()
+			if err != nil {
+				return err
+			}
+			if rep.Failed > 0 {
+				return fmt.Errorf("E27: %d queries failed outright at limit=%d clients=%d", rep.Failed, limit, clients)
+			}
+			tbl.Row(limit, clients, rep.Queries, rep.Rejected,
+				fmt.Sprintf("%.1f", rep.Qps),
+				time.Duration(rep.P50MS*1e6), time.Duration(rep.P95MS*1e6), time.Duration(rep.P99MS*1e6))
+		}
+	}
+	tbl.Fprint(w)
+
+	// Graceful-drain invariant: begin a drain mid-load; every query the
+	// service admitted must complete (the load generator treats anything
+	// other than success or a load-shed rejection as a hard failure).
+	svc, ts, err := newService(runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	defer ts.Close()
+	loadDone := make(chan struct {
+		rep *server.LoadReport
+		err error
+	}, 1)
+	go func() {
+		rep, err := server.RunLoad(ctx, server.NewClient(ts.URL), server.LoadConfig{
+			Clients:          8,
+			QueriesPerClient: perClient,
+			Seed:             cfg.Seed,
+			MaxRetries:       1,
+		})
+		loadDone <- struct {
+			rep *server.LoadReport
+			err error
+		}{rep, err}
+	}()
+	// Let the load ramp, then pull the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().Queries.Completed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		return fmt.Errorf("E27: drain: %w", err)
+	}
+	res := <-loadDone
+	if res.err != nil {
+		return fmt.Errorf("E27: load during drain: %w", res.err)
+	}
+	snap := svc.Stats()
+	fmt.Fprintf(w, "\ndrain: completed=%d shed=%d in-flight-lost=%d (failed=%d)\n",
+		res.rep.Queries, res.rep.Rejected, snap.Active, res.rep.Failed)
+	if res.rep.Failed > 0 || snap.Active != 0 {
+		return fmt.Errorf("E27: drain lost queries: failed=%d active=%d", res.rep.Failed, snap.Active)
+	}
+	return nil
+}

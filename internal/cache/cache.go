@@ -110,6 +110,14 @@ func (c *LRU[K, V]) Remove(key K) bool {
 	return true
 }
 
+// Clear drops every entry without counting evictions (stats are kept):
+// invalidation after a data change is not an eviction under pressure.
+func (c *LRU[K, V]) Clear() {
+	for el := c.ll.Back(); el != nil; el = c.ll.Back() {
+		c.removeElement(el)
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *LRU[K, V]) Len() int { return c.ll.Len() }
 

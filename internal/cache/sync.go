@@ -1,0 +1,85 @@
+package cache
+
+import "sync"
+
+// Sync wraps an LRU with a mutex, making it safe for concurrent use — the
+// form the service layer shares one result cache across request handlers.
+// Every operation (including the stats bookkeeping inside Get/Put) runs
+// under the lock, so counters never tear and the cost budget invariant
+// holds at all times.
+type Sync[K comparable, V any] struct {
+	mu  sync.Mutex
+	lru *LRU[K, V]
+}
+
+// NewSync creates a synchronized LRU with the given total cost budget.
+func NewSync[K comparable, V any](budget int64) (*Sync[K, V], error) {
+	lru, err := New[K, V](budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Sync[K, V]{lru: lru}, nil
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Sync[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Get(key)
+}
+
+// Contains reports presence without touching recency or stats.
+func (c *Sync[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Contains(key)
+}
+
+// Put inserts or refreshes a value with the given cost.
+func (c *Sync[K, V]) Put(key K, val V, cost int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Put(key, val, cost)
+}
+
+// Remove drops a key if present.
+func (c *Sync[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Remove(key)
+}
+
+// Clear drops every entry (stats are kept).
+func (c *Sync[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Clear()
+}
+
+// Len returns the number of cached entries.
+func (c *Sync[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Used returns the total cost of cached entries.
+func (c *Sync[K, V]) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Used()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Sync[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Stats()
+}
+
+// ResetStats zeroes the counters (entries are kept).
+func (c *Sync[K, V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.ResetStats()
+}

@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSyncConcurrentGetPut hammers one shared Sync cache from many
+// goroutines mixing get/put/remove/len/stats — the access pattern of the
+// query service, where every request handler shares the result cache.
+// Under -race this is the test that catches an unguarded path; without it,
+// the invariant checks still pin budget and counter consistency.
+func TestSyncConcurrentGetPut(t *testing.T) {
+	const budget = 1 << 12
+	c, err := NewSync[string, int](budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const ops = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("q%d", rng.Intn(200))
+				switch rng.Intn(10) {
+				case 0:
+					c.Remove(key)
+				case 1, 2, 3:
+					c.Put(key, g*ops+i, int64(1+rng.Intn(64)))
+				default:
+					if v, ok := c.Get(key); ok && v < 0 {
+						t.Errorf("impossible cached value %d", v)
+					}
+				}
+				if used := c.Used(); used > budget {
+					t.Errorf("budget exceeded: used %d > %d", used, budget)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 || st.Puts == 0 {
+		t.Fatalf("counters did not move: %+v", st)
+	}
+	if c.Used() > budget || c.Len() < 0 {
+		t.Fatalf("final state violates invariants: used=%d len=%d", c.Used(), c.Len())
+	}
+	if hr := st.HitRate(); hr < 0 || hr > 1 {
+		t.Fatalf("hit rate %f out of range", hr)
+	}
+}
+
+// TestSyncClear checks Clear empties the cache without counting evictions.
+func TestSyncClear(t *testing.T) {
+	c, err := NewSync[int, string](100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Put(i, "v", 10)
+	}
+	before := c.Stats().Evictions
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatalf("Clear left len=%d used=%d", c.Len(), c.Used())
+	}
+	if c.Stats().Evictions != before {
+		t.Fatal("Clear counted invalidations as evictions")
+	}
+	// The cache stays usable after Clear.
+	if !c.Put(1, "again", 10) {
+		t.Fatal("Put after Clear failed")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("Get after Clear missed")
+	}
+}

@@ -6,11 +6,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dex/internal/aqp"
 	"dex/internal/catalog"
@@ -104,7 +107,12 @@ func (o *Options) fill() {
 
 // Engine is the exploration engine.
 type Engine struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// crackMu serializes cracked-mode probes: database cracking reorganizes
+	// the index in place on every lookup, so concurrent cracked queries are
+	// inherently a write-write race. Exact/approx/online queries run fully
+	// in parallel; only the adaptive-index mutation is single-file.
+	crackMu  sync.Mutex
 	opt      Options
 	cat      *catalog.Catalog
 	rng      *rand.Rand
@@ -119,6 +127,13 @@ type Engine struct {
 // New creates an engine.
 func New(opt Options) *Engine {
 	opt.fill()
+	// The engine always counts scanned rows: the service layer reads the
+	// counter live to tell a progressing query from a stalled one, and the
+	// per-morsel atomic add is noise against the scan itself. A caller that
+	// supplies its own counter keeps it.
+	if opt.Exec.Scanned == nil {
+		opt.Exec.Scanned = new(atomic.Int64)
+	}
 	return &Engine{
 		opt:      opt,
 		cat:      catalog.New(),
@@ -133,6 +148,31 @@ func New(opt Options) *Engine {
 // Register adds an in-memory table.
 func (e *Engine) Register(t *storage.Table) error {
 	return e.cat.Register(t)
+}
+
+// RowsScanned returns the engine's cumulative scanned-row count: rows
+// visited by predicate evaluation and aggregate accumulation across all
+// queries so far. It advances live, morsel by morsel, while queries run —
+// the observability signal /admin/stats exposes and the cancellation tests
+// watch stop.
+func (e *Engine) RowsScanned() int64 {
+	return e.opt.Exec.Scanned.Load()
+}
+
+// ParseMode parses a mode name (exact|cracked|approx|online).
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "exact":
+		return Exact, nil
+	case "cracked":
+		return Cracked, nil
+	case "approx":
+		return Approx, nil
+	case "online":
+		return Online, nil
+	default:
+		return Exact, fmt.Errorf("unknown mode %q: %w", s, ErrBadMode)
+	}
 }
 
 // LoadCSV loads a CSV file eagerly into the catalog.
@@ -234,18 +274,27 @@ func columnsOf(q exec.Query, schema storage.Schema) []string {
 // joined table in Exact mode; the adaptive/approximate modes apply to
 // single-table statements.
 func (e *Engine) SQL(sql string, mode Mode) (*storage.Table, error) {
+	return e.SQLContext(context.Background(), sql, mode)
+}
+
+// SQLContext is SQL under a context: a cancelled or expired ctx stops
+// execution cooperatively (the morsel scheduler checks it between morsel
+// claims; online aggregation between batches) and returns ctx.Err(). This
+// is the entry point the service layer uses to plumb per-request deadlines
+// and client-disconnect cancellation down to the operators.
+func (e *Engine) SQLContext(ctx context.Context, sql string, mode Mode) (*storage.Table, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	if st.JoinTable != "" {
-		return e.executeJoin(st)
+		return e.executeJoin(ctx, st)
 	}
-	return e.Execute(st.Table, st.Query, mode)
+	return e.ExecuteContext(ctx, st.Table, st.Query, mode)
 }
 
 // executeJoin runs a two-table statement: hash-join then query.
-func (e *Engine) executeJoin(st *sqlparse.Statement) (*storage.Table, error) {
+func (e *Engine) executeJoin(ctx context.Context, st *sqlparse.Statement) (*storage.Table, error) {
 	// Joins need the whole tables materialized.
 	lschema, err := e.schemaOf(st.Table)
 	if err != nil {
@@ -263,12 +312,15 @@ func (e *Engine) executeJoin(st *sqlparse.Statement) (*storage.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	joined, err := exec.Join(left, right, st.LeftKey, st.RightKey)
 	if err != nil {
 		return nil, err
 	}
 	q := sqlparse.ExpandStar(st.Query, joined.Schema())
-	return exec.ExecuteOpts(joined, q, e.opt.Exec)
+	return exec.ExecuteCtx(ctx, joined, q, e.opt.Exec)
 }
 
 func allColumnsQuery(schema storage.Schema) exec.Query {
@@ -281,6 +333,17 @@ func allColumnsQuery(schema storage.Schema) exec.Query {
 
 // Execute runs a parsed query against a named table under the given mode.
 func (e *Engine) Execute(table string, q exec.Query, mode Mode) (*storage.Table, error) {
+	return e.ExecuteContext(context.Background(), table, q, mode)
+}
+
+// ExecuteContext is Execute under a context. Cancellation points per mode:
+// Exact checks between morsels (and between morsel claims when parallel),
+// Cracked before and after the crack, Online between batches, Approx at the
+// mode boundaries (sample lookups are sub-millisecond once built).
+func (e *Engine) ExecuteContext(ctx context.Context, table string, q exec.Query, mode Mode) (*storage.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	schema, err := e.schemaOf(table)
 	if err != nil {
 		return nil, err
@@ -292,13 +355,13 @@ func (e *Engine) Execute(table string, q exec.Query, mode Mode) (*storage.Table,
 		if err != nil {
 			return nil, err
 		}
-		return exec.ExecuteOpts(t, q, e.opt.Exec)
+		return exec.ExecuteCtx(ctx, t, q, e.opt.Exec)
 	case Cracked:
-		return e.executeCracked(table, q)
+		return e.executeCracked(ctx, table, q)
 	case Approx:
-		return e.executeApprox(table, q)
+		return e.executeApprox(ctx, table, q)
 	case Online:
-		return e.executeOnline(table, q)
+		return e.executeOnline(ctx, table, q)
 	default:
 		return nil, fmt.Errorf("%v: %w", mode, ErrBadMode)
 	}
@@ -413,32 +476,46 @@ func minI(a, b int64) int64 {
 	return b
 }
 
-func (e *Engine) executeCracked(table string, q exec.Query) (*storage.Table, error) {
+// seqExec is the execution options of the intentionally sequential modes
+// (cracking, AQP fallbacks): one worker, but the context and scan counter
+// still plumbed through so cancellation and observability hold everywhere.
+func (e *Engine) seqExec() exec.ExecOptions {
+	return exec.ExecOptions{Parallelism: 1, MorselSize: e.opt.Exec.MorselSize, Scanned: e.opt.Exec.Scanned}
+}
+
+func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query) (*storage.Table, error) {
 	t, err := e.table(table, q)
 	if err != nil {
 		return nil, err
 	}
 	col, isFloat, iLo, iHi, fLo, fHi, ok := rangePred(q, t.Schema())
 	if !ok {
-		return exec.Execute(t, q) // fallback: not a crackable shape
+		return exec.ExecuteCtx(ctx, t, q, e.seqExec()) // fallback: not a crackable shape
 	}
 	var rows []int
+	e.crackMu.Lock()
 	if isFloat {
 		ix, ferr := e.crackIndexFloat(table, t, col)
 		if ferr != nil {
+			e.crackMu.Unlock()
 			return nil, ferr
 		}
 		rows = ix.Query(fLo, fHi)
 	} else {
 		ix, ierr := e.crackIndex(table, t, col)
 		if ierr != nil {
+			e.crackMu.Unlock()
 			return nil, ierr
 		}
 		rows = ix.Query(iLo, iHi)
 	}
+	e.crackMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sub := t.Gather(rows)
 	q.Where = nil
-	return exec.Execute(sub, q)
+	return exec.ExecuteCtx(ctx, sub, q, e.seqExec())
 }
 
 // crackIndexFloat returns (building on demand) the float cracker index.
@@ -573,13 +650,16 @@ func estimatesTable(name, groupCol, aggName string, ests []aqp.GroupEstimate) (*
 	return out, nil
 }
 
-func (e *Engine) executeApprox(table string, q exec.Query) (*storage.Table, error) {
+func (e *Engine) executeApprox(ctx context.Context, table string, q exec.Query) (*storage.Table, error) {
 	aq, aggName, err := approxShape(q)
 	if err != nil {
 		return nil, err
 	}
 	t, err := e.table(table, q)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
@@ -601,7 +681,7 @@ func (e *Engine) executeApprox(table string, q exec.Query) (*storage.Table, erro
 	return estimatesTable(table, aq.GroupBy, aggName, res.Groups)
 }
 
-func (e *Engine) executeOnline(table string, q exec.Query) (*storage.Table, error) {
+func (e *Engine) executeOnline(ctx context.Context, table string, q exec.Query) (*storage.Table, error) {
 	aq, aggName, err := approxShape(q)
 	if err != nil {
 		return nil, err
@@ -619,7 +699,7 @@ func (e *Engine) executeOnline(table string, q exec.Query) (*storage.Table, erro
 	if err != nil {
 		return nil, err
 	}
-	if _, err := r.RunUntil(e.opt.OnlineRelCI, e.opt.OnlineBatch); err != nil {
+	if _, err := r.RunUntilCtx(ctx, e.opt.OnlineRelCI, e.opt.OnlineBatch); err != nil {
 		return nil, err
 	}
 	return estimatesTable(table, aq.GroupBy, aggName, r.Estimates())

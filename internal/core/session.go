@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"sync"
+
 	"dex/internal/recommend"
 	"dex/internal/sqlparse"
 	"dex/internal/storage"
@@ -9,9 +12,18 @@ import (
 // Session tracks one user's exploration: every executed query is
 // fingerprinted into the session history, which powers next-query
 // recommendation against the engine's archive of past sessions.
+//
+// A Session is safe for concurrent use: the history is guarded by its own
+// mutex, so one session shared across goroutines (the service layer allows
+// pipelined requests on a single session) records every query exactly once.
+// Query execution itself happens outside the lock — concurrent queries on
+// one session run in parallel; only the history append serializes.
 type Session struct {
-	engine  *Engine
+	engine *Engine
+
+	mu      sync.Mutex
 	history recommend.Session
+	ended   bool
 }
 
 // NewSession starts a session on the engine.
@@ -21,37 +33,62 @@ func (e *Engine) NewSession() *Session {
 
 // Query parses, executes and records a statement.
 func (s *Session) Query(sql string, mode Mode) (*storage.Table, error) {
+	return s.QueryContext(context.Background(), sql, mode)
+}
+
+// QueryContext is Query under a context: cancellation and deadlines
+// propagate to the operators (see Engine.SQLContext). A cancelled query is
+// not recorded in the session history — it produced no result the user saw.
+func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (*storage.Table, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.engine.Execute(st.Table, st.Query, mode)
+	var res *storage.Table
+	if st.JoinTable != "" {
+		res, err = s.engine.executeJoin(ctx, st)
+	} else {
+		res, err = s.engine.ExecuteContext(ctx, st.Table, st.Query, mode)
+	}
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.history = append(s.history, recommend.Fingerprint(st.Query))
+	s.mu.Unlock()
 	return res, nil
 }
 
-// History returns the session's query fingerprints.
+// History returns a copy of the session's query fingerprints.
 func (s *Session) History() recommend.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append(recommend.Session(nil), s.history...)
 }
 
 // Len returns the number of recorded queries.
-func (s *Session) Len() int { return len(s.history) }
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
 
 // End archives the session into the engine's log, making it available to
-// future recommendations.
+// future recommendations. Ending twice archives once.
 func (s *Session) End() {
-	if len(s.history) == 0 {
+	s.mu.Lock()
+	hist := s.history
+	s.history = nil
+	ended := s.ended
+	s.ended = true
+	s.mu.Unlock()
+	if ended || len(hist) == 0 {
 		return
 	}
 	e := s.engine
 	e.mu.Lock()
-	e.pastSessions = append(e.pastSessions, s.History())
+	e.pastSessions = append(e.pastSessions, hist)
 	e.mu.Unlock()
-	s.history = nil
 }
 
 // SuggestNext recommends likely next queries for the session from the
@@ -69,5 +106,8 @@ func (s *Session) SuggestNext(k int) ([]recommend.QuerySuggestion, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.SuggestNextQuery(s.history, k)
+	s.mu.Lock()
+	prefix := append([][]string(nil), s.history...)
+	s.mu.Unlock()
+	return r.SuggestNextQuery(prefix, k)
 }

@@ -11,10 +11,18 @@
 // vector. The only observable difference from sequential execution is the
 // floating-point association order of SUM/AVG partials, which can move the
 // result by an ulp.
+//
+// ExecuteCtx adds the service layer's two needs on top: cooperative
+// cancellation (the scheduler checks ctx between morsel claims, so a
+// cancelled query stops within one morsel per worker) and a live
+// rows-scanned counter (ExecOptions.Scanned) that advances morsel by morsel
+// while the query runs — the observability hook /admin/stats reads.
 package exec
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"dex/internal/expr"
 	"dex/internal/par"
@@ -29,34 +37,76 @@ type ExecOptions struct {
 	// MorselSize is the rows per scheduling unit (0 = par.DefaultMorselSize).
 	// Inputs that fit in a single morsel always run sequentially.
 	MorselSize int
+	// Scanned, when non-nil, is incremented live with the number of rows
+	// each operator stage visits (predicate evaluation and aggregate
+	// accumulation). Several queries may share one counter; it advances
+	// with morsel granularity while execution is in flight, so a stalled
+	// counter means a stalled (or cancelled) query.
+	Scanned *atomic.Int64
 }
 
 func (o ExecOptions) pool() *par.Pool {
 	return par.NewPool(par.Options{Parallelism: o.Parallelism, MorselSize: o.MorselSize})
 }
 
+// tracer carries the per-query observability state through the operators:
+// the cancellation context and the optional live scan counter. When neither
+// is armed (background context, nil counter) the operators take exactly the
+// pre-context fast paths.
+type tracer struct {
+	ctx     context.Context
+	scanned *atomic.Int64
+}
+
+// active reports whether execution must go through the morsel-granular
+// paths: either the context can be cancelled or scan progress is counted.
+func (tr tracer) active() bool { return tr.ctx.Done() != nil || tr.scanned != nil }
+
+func (tr tracer) count(rows int) {
+	if tr.scanned != nil {
+		tr.scanned.Add(int64(rows))
+	}
+}
+
 // ExecuteOpts runs the query with the given execution options. It is
 // exactly Execute when opt.Parallelism == 1 (the sequential operators run,
 // same code path), and the morsel-driven operators otherwise.
 func ExecuteOpts(t *storage.Table, q Query, opt ExecOptions) (*storage.Table, error) {
+	return ExecuteCtx(context.Background(), t, q, opt)
+}
+
+// ExecuteCtx is ExecuteOpts under a context: cancellation is checked
+// between morsel claims (parallel) or between morsels (sequential), so a
+// cancelled or timed-out query returns ctx.Err() within one morsel's worth
+// of work per worker, never mid-morsel.
+func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions) (*storage.Table, error) {
 	if len(q.Select) == 0 {
 		return nil, ErrEmptySelect
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pool := opt.pool()
-	sel, err := filterPar(t, q.Where, pool)
+	tr := tracer{ctx: ctx, scanned: opt.Scanned}
+	sel, err := filterPar(t, q.Where, pool, tr)
 	if err != nil {
 		return nil, err
 	}
 	var out *storage.Table
 	switch {
 	case q.HasAggregates() && len(q.GroupBy) == 0:
-		out, err = scalarAggregatePar(t, sel, q, pool)
+		out, err = scalarAggregatePar(t, sel, q, pool, tr)
 	case len(q.GroupBy) > 0:
-		out, err = groupByPar(t, sel, q, pool)
+		out, err = groupByPar(t, sel, q, pool, tr)
 	default:
-		out, err = project(t, sel, q)
+		if err = ctx.Err(); err == nil {
+			out, err = project(t, sel, q)
+		}
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return finish(out, q)
@@ -65,9 +115,17 @@ func ExecuteOpts(t *storage.Table, q Query, opt ExecOptions) (*storage.Table, er
 // filterPar evaluates the predicate over morsels in parallel and merges the
 // per-morsel selection vectors in morsel order, yielding the same ascending
 // positions a sequential scan produces.
-func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool) ([]int, error) {
+func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer) ([]int, error) {
 	n := t.NumRows()
-	if p == nil || p.Kind == expr.KTrue || pool.WorkersFor(n) <= 1 {
+	if p == nil || p.Kind == expr.KTrue {
+		// Identity selection: no data is touched, so nothing counts as
+		// scanned; a single cancellation check bounds the latency.
+		if err := tr.ctx.Err(); err != nil {
+			return nil, err
+		}
+		return expr.Filter(t, p)
+	}
+	if pool.WorkersFor(n) <= 1 && !tr.active() {
 		return expr.Filter(t, p)
 	}
 	// Validate once up front so workers cannot race on error paths.
@@ -76,12 +134,13 @@ func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool) ([]int, error) {
 	}
 	m := pool.MorselSize()
 	parts := make([][]int, storage.NumChunks(n, m))
-	err := pool.ForEachErr(n, func(_, lo, hi int) error {
+	err := pool.ForEachErrCtx(tr.ctx, n, func(_, lo, hi int) error {
 		s, ferr := expr.FilterRange(t, p, lo, hi)
 		if ferr != nil {
 			return ferr
 		}
 		parts[lo/m] = s
+		tr.count(hi - lo)
 		return nil
 	})
 	if err != nil {
@@ -102,9 +161,32 @@ func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool) ([]int, error) {
 // in morsel order. Morsel-indexed (rather than worker-indexed) partials
 // make the merge order — and so the floating-point sum — deterministic for
 // a given morsel size, independent of scheduling.
-func scalarAggregatePar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*storage.Table, error) {
+func scalarAggregatePar(t *storage.Table, sel []int, q Query, pool *par.Pool, tr tracer) (*storage.Table, error) {
 	if pool.WorkersFor(len(sel)) <= 1 {
-		return scalarAggregate(t, sel, q)
+		if !tr.active() {
+			return scalarAggregate(t, sel, q)
+		}
+		// Serial with observability: accumulate into one state morsel by
+		// morsel — identical float association to the sequential operator,
+		// with cancellation checks and counter updates between morsels.
+		inputs, err := scalarInputs(t, q)
+		if err != nil {
+			return nil, err
+		}
+		states := newAggStates(q)
+		m := pool.MorselSize()
+		for lo := 0; lo < len(sel); lo += m {
+			if err := tr.ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := lo + m
+			if hi > len(sel) {
+				hi = len(sel)
+			}
+			accumulateScalar(inputs, states, sel, lo, hi)
+			tr.count(hi - lo)
+		}
+		return buildScalarOutput(t, q, states)
 	}
 	inputs, err := scalarInputs(t, q)
 	if err != nil {
@@ -112,11 +194,15 @@ func scalarAggregatePar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*
 	}
 	m := pool.MorselSize()
 	partials := make([][]*aggState, storage.NumChunks(len(sel), m))
-	pool.ForEach(len(sel), func(_, lo, hi int) {
+	err = pool.ForEachCtx(tr.ctx, len(sel), func(_, lo, hi int) {
 		states := newAggStates(q)
 		accumulateScalar(inputs, states, sel, lo, hi)
 		partials[lo/m] = states
+		tr.count(hi - lo)
 	})
+	if err != nil {
+		return nil, err
+	}
 	states := newAggStates(q)
 	for _, p := range partials {
 		for i, st := range states {
@@ -129,10 +215,13 @@ func scalarAggregatePar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*
 // groupByPar builds one thread-local hash table per worker, merges them,
 // and restores the sequential first-seen group order by sorting merged
 // groups on the selection-vector position of their first row.
-func groupByPar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*storage.Table, error) {
+func groupByPar(t *storage.Table, sel []int, q Query, pool *par.Pool, tr tracer) (*storage.Table, error) {
 	w := pool.WorkersFor(len(sel))
-	if w <= 1 {
+	if w <= 1 && !tr.active() {
 		return groupBy(t, sel, q)
+	}
+	if w < 1 {
+		w = 1
 	}
 	groupCols, inputs, err := groupInputs(t, q)
 	if err != nil {
@@ -142,9 +231,13 @@ func groupByPar(t *storage.Table, sel []int, q Query, pool *par.Pool) (*storage.
 	for i := range locals {
 		locals[i] = newGroupTable()
 	}
-	pool.ForEach(len(sel), func(worker, lo, hi int) {
+	err = pool.ForEachCtx(tr.ctx, len(sel), func(worker, lo, hi int) {
 		locals[worker].accumulate(groupCols, inputs, q, sel, lo, hi)
+		tr.count(hi - lo)
 	})
+	if err != nil {
+		return nil, err
+	}
 	gt := locals[0]
 	for _, o := range locals[1:] {
 		gt.merge(o)

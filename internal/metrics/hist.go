@@ -1,0 +1,119 @@
+package metrics
+
+import "math"
+
+// LogHist is a fixed-footprint histogram with logarithmically spaced
+// buckets, built for latency distributions: tail quantiles (p95/p99) need
+// fine resolution near zero and coarse resolution in the tail, which
+// log-spaced buckets give at a few hundred bytes regardless of how many
+// observations stream in. Values are dimensionless (the service layer feeds
+// seconds); each bucket spans a constant ratio Growth, so any quantile is
+// reported with bounded relative error ~(Growth-1).
+//
+// LogHist is not synchronized, like the rest of this package; concurrent
+// writers wrap it in a mutex.
+type LogHist struct {
+	counts []int64
+	n      int64
+	sum    float64
+	max    float64
+}
+
+// Log-bucket geometry: bucket i covers [Floor*Growth^i, Floor*Growth^(i+1)).
+// Floor 1e-6 (a microsecond, in seconds) to ~70 s at Growth 1.08 needs
+// ~230 buckets; values outside the range clamp to the edge buckets.
+const (
+	histFloor   = 1e-6
+	histGrowth  = 1.08
+	histBuckets = 240
+)
+
+// NewLogHist returns an empty histogram.
+func NewLogHist() *LogHist {
+	return &LogHist{counts: make([]int64, histBuckets)}
+}
+
+func bucketOf(x float64) int {
+	if x <= histFloor {
+		return 0
+	}
+	b := int(math.Log(x/histFloor) / math.Log(histGrowth))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketValue returns the geometric midpoint of bucket b — the value
+// quantile queries report for observations that landed there.
+func bucketValue(b int) float64 {
+	return histFloor * math.Pow(histGrowth, float64(b)+0.5)
+}
+
+// Add folds one observation in.
+func (h *LogHist) Add(x float64) {
+	h.counts[bucketOf(x)]++
+	h.n++
+	h.sum += x
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// N returns the number of observations.
+func (h *LogHist) N() int64 { return h.n }
+
+// Mean returns the exact running mean (0 if empty) — the sum is tracked
+// outside the buckets, so the mean carries no bucketing error.
+func (h *LogHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation seen (exact).
+func (h *LogHist) Max() float64 { return h.max }
+
+// Quantile returns the q-th quantile (0<=q<=1) with relative error bounded
+// by the bucket growth factor (~8%). Empty histograms yield 0.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketValue(b)
+		}
+	}
+	return h.max
+}
+
+// Merge folds another histogram into h (same fixed geometry).
+func (h *LogHist) Merge(o *LogHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset zeroes the histogram in place.
+func (h *LogHist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n, h.sum, h.max = 0, 0, 0
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLogHistQuantileAccuracy checks histogram quantiles track exact
+// quantiles within the documented relative error on a lognormal latency
+// shape (the distribution service latencies actually follow).
+func TestLogHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewLogHist()
+	xs := make([]float64, 50_000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*1.2 - 6) // around ~2.5ms
+		h.Add(xs[i])
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		if rel := RelErr(got, exact); rel > 0.10 {
+			t.Errorf("q=%.2f: hist=%g exact=%g rel err %.3f > 0.10", q, got, exact, rel)
+		}
+	}
+	if h.N() != int64(len(xs)) {
+		t.Errorf("N = %d, want %d", h.N(), len(xs))
+	}
+	if rel := RelErr(h.Mean(), Mean(xs)); rel > 1e-12 {
+		t.Errorf("mean drifted: hist=%g exact=%g", h.Mean(), Mean(xs))
+	}
+}
+
+// TestLogHistEdges pins empty/clamping/merge behavior.
+func TestLogHistEdges(t *testing.T) {
+	h := NewLogHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Add(0)        // clamps to the floor bucket
+	h.Add(1e9)      // clamps to the last bucket
+	h.Add(3e-3)     // a normal latency
+	if h.N() != 3 {
+		t.Fatalf("N = %d, want 3", h.N())
+	}
+	if h.Max() != 1e9 {
+		t.Fatalf("Max = %g, want 1e9 (max is exact, not bucketed)", h.Max())
+	}
+	if q := h.Quantile(0); q <= 0 {
+		t.Fatalf("Quantile(0) = %g, want > 0", q)
+	}
+
+	o := NewLogHist()
+	for i := 0; i < 100; i++ {
+		o.Add(1e-3)
+	}
+	h.Merge(o)
+	if h.N() != 103 {
+		t.Fatalf("merged N = %d, want 103", h.N())
+	}
+	if med := h.Quantile(0.5); RelErr(med, 1e-3) > 0.10 {
+		t.Fatalf("merged median %g, want ~1e-3", med)
+	}
+	h.Reset()
+	if h.N() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}

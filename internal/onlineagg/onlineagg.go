@@ -6,6 +6,7 @@
 package onlineagg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -215,11 +216,22 @@ type Snapshot struct {
 // at or below target (or the scan completes), returning the full
 // convergence trajectory. A target <= 0 runs to completion.
 func (r *Runner) RunUntil(target float64, batch int) ([]Snapshot, error) {
+	return r.RunUntilCtx(context.Background(), target, batch)
+}
+
+// RunUntilCtx is RunUntil under a context, checked between batches: online
+// aggregation is the engine's longest-running mode, and a cancelled request
+// must stop the scan at the next batch boundary rather than running to its
+// CI target. The snapshots accumulated so far are returned with ctx.Err().
+func (r *Runner) RunUntilCtx(ctx context.Context, target float64, batch int) ([]Snapshot, error) {
 	if batch <= 0 {
 		return nil, ErrBadBatch
 	}
 	var snaps []Snapshot
 	for !r.Done() {
+		if err := ctx.Err(); err != nil {
+			return snaps, err
+		}
 		ge, err := r.Step(batch)
 		if err != nil {
 			return snaps, err

@@ -1,0 +1,91 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCtxCompletes checks the ctx variants cover every row exactly
+// once when the context never fires, at both serial and parallel widths.
+func TestForEachCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, n := range []int{1, 63, 64, 1000} {
+			pool := NewPool(Options{Parallelism: workers, MorselSize: 64, SerialCutoff: -1})
+			visits := make([]int32, n)
+			err := pool.ForEachCtx(context.Background(), n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: unexpected error %v", workers, n, err)
+			}
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: row %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachCtxCancelStops checks that a context cancelled mid-run stops
+// the scheduler early and surfaces ctx.Err(), both when the serial morsel
+// loop runs and when workers pull from the shared cursor.
+func TestForEachCtxCancelStops(t *testing.T) {
+	const n = 1 << 20
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(Options{Parallelism: workers, MorselSize: 256, SerialCutoff: -1})
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen atomic.Int64
+		err := pool.ForEachErrCtx(ctx, n, func(_, lo, hi int) error {
+			if seen.Add(int64(hi-lo)) > 10*256 {
+				cancel() // fire mid-run, from inside a morsel callback
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Cancellation latency is bounded: each of the workers may finish
+		// at most the morsel it already claimed.
+		limit := int64((10 + 2*workers + 2) * 256)
+		if got := seen.Load(); got > limit {
+			t.Fatalf("workers=%d: scanned %d rows after cancel, want <= %d", workers, got, limit)
+		}
+	}
+}
+
+// TestForEachCtxPreCancelled checks an already-dead context does no work.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 4, MorselSize: 64, SerialCutoff: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := pool.ForEachCtx(ctx, 1000, func(_, _, _ int) { called = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("callback ran under a pre-cancelled context")
+	}
+}
+
+// TestForEachCtxErrorWins checks a worker error is reported even when the
+// context also dies later.
+func TestForEachCtxErrorWins(t *testing.T) {
+	pool := NewPool(Options{Parallelism: 2, MorselSize: 8, SerialCutoff: -1})
+	boom := errors.New("boom")
+	err := pool.ForEachErrCtx(context.Background(), 1000, func(_, lo, _ int) error {
+		if lo >= 16 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

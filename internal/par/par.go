@@ -15,6 +15,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -118,6 +119,52 @@ func (p *Pool) ForEachErr(n int, fn func(worker, lo, hi int) error) error {
 	return p.run(n, fn)
 }
 
+// ForEachCtx is ForEach under a context: the scheduler checks ctx between
+// morsel claims, so a cancelled context stops execution within one morsel's
+// worth of work per worker and the context error is returned. Unlike
+// ForEach, the serial fallback also proceeds morsel by morsel — bounded
+// cancellation latency (and per-morsel accounting in fn) holds at every
+// parallelism, at the cost of one loop iteration per morsel.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(worker, lo, hi int)) error {
+	return p.runCtx(ctx, n, func(worker, lo, hi int) error {
+		fn(worker, lo, hi)
+		return nil
+	})
+}
+
+// ForEachErrCtx is ForEachCtx for fallible work; the first error (a worker's
+// or the context's) wins.
+func (p *Pool) ForEachErrCtx(ctx context.Context, n int, fn func(worker, lo, hi int) error) error {
+	return p.runCtx(ctx, n, fn)
+}
+
+func (p *Pool) runCtx(ctx context.Context, n int, fn func(worker, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := p.WorkersFor(n)
+	if w <= 1 {
+		m := p.morsel
+		for lo := 0; lo < n; lo += m {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + m
+			if hi > n {
+				hi = n
+			}
+			if err := fn(0, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return p.fanOut(ctx, n, w, fn)
+}
+
 func (p *Pool) run(n int, fn func(worker, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
@@ -126,6 +173,14 @@ func (p *Pool) run(n int, fn func(worker, lo, hi int) error) error {
 	if w <= 1 {
 		return fn(0, 0, n)
 	}
+	return p.fanOut(context.Background(), n, w, fn)
+}
+
+// fanOut is the shared worker loop: w goroutines pull morsel-aligned ranges
+// from an atomic cursor until none remain, an error occurs, or ctx is
+// cancelled. The ctx check sits between morsel claims so cancellation never
+// interrupts a morsel mid-flight.
+func (p *Pool) fanOut(ctx context.Context, n, w int, fn func(worker, lo, hi int) error) error {
 	var (
 		cursor atomic.Int64
 		failed atomic.Bool
@@ -134,6 +189,15 @@ func (p *Pool) run(n int, fn func(worker, lo, hi int) error) error {
 		panicV atomic.Value
 		wg     sync.WaitGroup
 	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	done := ctx.Done()
 	m := p.morsel
 	for id := 0; id < w; id++ {
 		wg.Add(1)
@@ -146,6 +210,14 @@ func (p *Pool) run(n int, fn func(worker, lo, hi int) error) error {
 				}
 			}()
 			for !failed.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						setErr(ctx.Err())
+						return
+					default:
+					}
+				}
 				lo := int(cursor.Add(int64(m))) - m
 				if lo >= n {
 					return
@@ -155,12 +227,7 @@ func (p *Pool) run(n int, fn func(worker, lo, hi int) error) error {
 					hi = n
 				}
 				if err := fn(worker, lo, hi); err != nil {
-					errMu.Lock()
-					if first == nil {
-						first = err
-					}
-					errMu.Unlock()
-					failed.Store(true)
+					setErr(err)
 					return
 				}
 			}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RejectedError is the typed form of a 429/503 load-shed response, so
+// clients (and the load harness) can tell "busy, back off" apart from
+// "your query is wrong".
+type RejectedError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("server rejected request (%d): %s", e.Status, e.Message)
+}
+
+// IsRejected reports whether err is a load-shedding rejection (saturated or
+// draining) rather than a query failure.
+func IsRejected(err error) bool {
+	var re *RejectedError
+	return errors.As(err, &re)
+}
+
+// StatusError is any other non-2xx response.
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server error (%d): %s", e.Status, e.Message)
+}
+
+// Client is a typed HTTP client for the dexd service, used by the tests,
+// the load harness and cmd/dexload.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient targets a dexd instance, e.g. NewClient("http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{}}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			return &RejectedError{
+				Status:     resp.StatusCode,
+				Message:    msg,
+				RetryAfter: time.Duration(eb.RetryAfterMS) * time.Millisecond,
+			}
+		}
+		return &StatusError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession opens a session and returns its id.
+func (c *Client) CreateSession(ctx context.Context) (string, error) {
+	var out struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", struct{}{}, &out); err != nil {
+		return "", err
+	}
+	return out.SessionID, nil
+}
+
+// Query runs one statement inside a session.
+func (c *Client) Query(ctx context.Context, sessionID string, req QueryRequest) (*QueryResult, error) {
+	var out QueryResult
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Suggest asks for up to k recommended next queries.
+func (c *Client) Suggest(ctx context.Context, sessionID string, k int) ([]Suggestion, error) {
+	var out struct {
+		Suggestions []Suggestion `json:"suggestions"`
+	}
+	body := struct {
+		K int `json:"k"`
+	}{K: k}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/suggest", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Suggestions, nil
+}
+
+// EndSession archives a session.
+func (c *Client) EndSession(ctx context.Context, sessionID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+}
+
+// Tables lists loaded tables.
+func (c *Client) Tables(ctx context.Context) ([]string, error) {
+	var out struct {
+		Tables []string `json:"tables"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/tables", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Tables, nil
+}
+
+// LoadCSV asks the server to load a CSV it can reach on its filesystem.
+func (c *Client) LoadCSV(ctx context.Context, name, path string) error {
+	body := struct {
+		Name string `json:"name"`
+		Path string `json:"path"`
+	}{name, path}
+	return c.do(ctx, http.MethodPost, "/v1/tables/load", body, nil)
+}
+
+// LoadDemo synthesizes a demo table (sales|sky|ticks) server-side.
+func (c *Client) LoadDemo(ctx context.Context, kind string, rows int, seed int64) error {
+	body := struct {
+		Kind string `json:"kind"`
+		Rows int    `json:"rows"`
+		Seed int64  `json:"seed"`
+	}{kind, rows, seed}
+	return c.do(ctx, http.MethodPost, "/v1/tables/demo", body, nil)
+}
+
+// Stats fetches /admin/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
+	var out StatsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/admin/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,549 @@
+// Package server is the networked query service over the exploration
+// engine — the piece that turns dex from a single-process library into a
+// shared multi-user system. It is an HTTP/JSON service with per-connection
+// sessions (create/query/suggest/end), per-request deadlines and
+// client-disconnect cancellation plumbed as context.Context down to the
+// morsel scheduler, admission control (bounded in-flight queries, a bounded
+// wait queue with timeout, immediate 429 beyond that), an optional shared
+// result cache, graceful drain, and an /admin/stats endpoint with per-mode
+// latency histograms and live rows-scanned counters.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions              -> {"session_id": ...}
+//	POST   /v1/sessions/{id}/query   {"sql","mode","timeout_ms"} -> result
+//	POST   /v1/sessions/{id}/suggest {"k"} -> {"suggestions": [...]}
+//	DELETE /v1/sessions/{id}         archive the session
+//	GET    /v1/tables                list tables
+//	POST   /v1/tables/load           {"name","path"} load a CSV server-side
+//	POST   /v1/tables/demo           {"kind","rows","seed"} synthesize data
+//	GET    /admin/stats              StatsSnapshot
+//	GET    /healthz                  200 ok / 503 draining
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dex/internal/cache"
+	"dex/internal/core"
+	"dex/internal/storage"
+	"dex/internal/workload"
+)
+
+// ErrDraining is returned (as HTTP 503) for new queries once drain begins.
+var ErrDraining = errors.New("server: draining")
+
+// Config tunes the service.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (0 = GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for a slot (0 = 2*MaxInFlight;
+	// negative = no queue, reject immediately when saturated).
+	MaxQueue int
+	// QueueTimeout is the longest a query waits in the queue before a 429
+	// (default 2s).
+	QueueTimeout time.Duration
+	// DefaultTimeout is the per-query deadline when the client sends none
+	// (default 30s). MaxTimeout caps client-requested deadlines (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheRows is the shared result cache budget in rows; 0 disables the
+	// cache. Only Exact-mode results are cached (the adaptive and
+	// approximate modes have useful side effects or non-deterministic
+	// output); any data change invalidates the whole cache.
+	CacheRows int64
+	// MaxSessions bounds live sessions (default 4096).
+	MaxSessions int
+	// Log receives request-level errors (default: log.Default()).
+	Log *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+}
+
+// Server is the query service. Create with New, serve via ServeHTTP (it is
+// an http.Handler), stop with Drain.
+type Server struct {
+	eng *core.Engine
+	cfg Config
+	adm *admission
+	st  *stats
+
+	results *cache.Sync[string, *QueryResult]
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+	seq      int64
+	salt     uint32
+
+	mux *http.ServeMux
+}
+
+// New wires a service around an engine whose tables the caller has already
+// loaded (or will load through /v1/tables endpoints).
+func New(eng *core.Engine, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
+		st:       newStats(),
+		sessions: map[string]*core.Session{},
+		salt:     rand.Uint32(),
+		mux:      http.NewServeMux(),
+	}
+	if cfg.CacheRows > 0 {
+		s.results, _ = cache.NewSync[string, *QueryResult](cfg.CacheRows)
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.handleSuggest)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEndSession)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("POST /v1/tables/load", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/tables/demo", s.handleDemo)
+	s.mux.HandleFunc("GET /admin/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain begins graceful shutdown: new queries are rejected with 503 while
+// every admitted or queued query runs to completion. It returns when the
+// last in-flight request finishes or ctx expires (the error then is
+// ctx.Err(); in-flight queries keep their own deadlines either way).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats returns the same snapshot /admin/stats serves.
+func (s *Server) Stats() StatsSnapshot {
+	s.mu.Lock()
+	activeSessions := len(s.sessions)
+	s.mu.Unlock()
+	var cs *cache.Stats
+	var entries int
+	var used int64
+	if s.results != nil {
+		st := s.results.Stats()
+		cs, entries, used = &st, s.results.Len(), s.results.Used()
+	}
+	snap := s.st.snapshot(activeSessions, cs, entries, used)
+	snap.Active = s.adm.active()
+	snap.Queued = s.adm.queued()
+	snap.Draining = s.draining.Load()
+	snap.RowsScanned = s.eng.RowsScanned()
+	return snap
+}
+
+// ---- protocol types ----
+
+// QueryRequest is the /query body.
+type QueryRequest struct {
+	SQL       string `json:"sql"`
+	Mode      string `json:"mode,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// QueryResult is the /query response: a column-major-encoded result table.
+type QueryResult struct {
+	Columns   []string `json:"columns"`
+	Types     []string `json:"types"`
+	Rows      [][]any  `json:"rows"`
+	Mode      string   `json:"mode"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Cached    bool     `json:"cached,omitempty"`
+}
+
+// Suggestion is one recommended next query.
+type Suggestion struct {
+	Fragments []string `json:"fragments"`
+	Score     float64  `json:"score"`
+}
+
+// errorBody is every non-200 payload.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
+		return
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.reject(w, http.StatusTooManyRequests, fmt.Errorf("server: session limit %d reached", s.cfg.MaxSessions), &s.st.rejBusy)
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("s%08x-%d", s.salt, s.seq)
+	s.sessions[id] = s.eng.NewSession()
+	s.mu.Unlock()
+	s.st.count(&s.st.sessionsCreated)
+	writeJSON(w, http.StatusCreated, map[string]string{"session_id": id})
+}
+
+func (s *Server) session(r *http.Request) (*core.Session, string, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	return sess, id, ok
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
+		return
+	}
+	sess, _, ok := s.session(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be JSON with a non-empty \"sql\""})
+		return
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	// Serve from the shared result cache before burning an execution slot.
+	cacheKey := ""
+	if s.results != nil && mode == core.Exact {
+		cacheKey = "exact\x00" + req.SQL
+		if res, ok := s.results.Get(cacheKey); ok {
+			hit := *res
+			hit.Cached = true
+			s.st.observe(mode.String(), 0, true)
+			writeJSON(w, http.StatusOK, &hit)
+			return
+		}
+	}
+
+	// Admission control: bounded in-flight, bounded queue, reject beyond.
+	if err := s.adm.acquire(r.Context()); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueTimeout):
+			s.reject(w, http.StatusTooManyRequests, err, &s.st.rejBusy)
+		default: // client gave up while queued
+			s.st.count(&s.st.cancelled)
+		}
+		return
+	}
+	defer s.adm.release()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	// r.Context() is cancelled when the client disconnects; the deadline
+	// layers the per-request budget on top. Both propagate through
+	// core -> exec -> par and stop the morsel scheduler.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := sess.QueryContext(ctx, req.SQL, mode)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	out := encodeTable(res, mode.String(), elapsed)
+	if cacheKey != "" {
+		s.results.Put(cacheKey, out, int64(res.NumRows())+1)
+	}
+	s.st.observe(mode.String(), elapsed, false)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryError classifies a failed query: client disconnects count as
+// cancelled (there is no one left to answer), deadline overruns are 504,
+// unknown tables 404, and anything else the engine rejects is a 400 — the
+// engine's errors are user-query errors by construction.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.st.count(&s.st.cancelled)
+		if r.Context().Err() == nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.st.count(&s.st.timedOut)
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query deadline exceeded"})
+	case errors.Is(err, core.ErrNoSuchTable):
+		s.st.count(&s.st.failed)
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	default:
+		s.st.count(&s.st.failed)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
+		return
+	}
+	sess, _, ok := s.session(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session"})
+		return
+	}
+	var req struct {
+		K int `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON body"})
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	sugs, err := sess.SuggestNext(req.K)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	out := make([]Suggestion, 0, len(sugs))
+	for _, sg := range sugs {
+		out = append(out, Suggestion{Fragments: sg.Fragments, Score: sg.Score})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"suggestions": out})
+}
+
+func (s *Server) handleEndSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session"})
+		return
+	}
+	sess.End()
+	s.st.count(&s.st.sessionsEnded)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ended"})
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": s.eng.Tables()})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name == "" || req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be JSON with \"name\" and \"path\""})
+		return
+	}
+	if err := s.eng.LoadCSV(req.Name, req.Path); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.invalidateCache()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "loaded", "table": req.Name})
+}
+
+func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
+		return
+	}
+	var req struct {
+		Kind string `json:"kind"`
+		Rows int    `json:"rows"`
+		Seed int64  `json:"seed"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON body"})
+		return
+	}
+	if req.Rows <= 0 {
+		req.Rows = 100_000
+	}
+	if req.Rows > 10_000_000 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "rows capped at 10M"})
+		return
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	var (
+		t   *storage.Table
+		err error
+	)
+	switch req.Kind {
+	case "", "sales":
+		t, err = workload.Sales(rng, req.Rows)
+	case "sky":
+		t, err = workload.SkyCatalog(rng, req.Rows)
+	case "ticks":
+		t, err = workload.Ticks(rng, req.Rows)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown demo kind %q (sales|sky|ticks)", req.Kind)})
+		return
+	}
+	if err == nil {
+		err = s.eng.Register(t)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.invalidateCache()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "loaded", "table": t.Name(), "rows": t.NumRows()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ---- helpers ----
+
+func (s *Server) invalidateCache() {
+	if s.results != nil {
+		s.results.Clear()
+	}
+}
+
+// reject writes a load-shedding response with a Retry-After hint and bumps
+// the matching counter.
+func (s *Server) reject(w http.ResponseWriter, status int, err error, counter *int64) {
+	s.st.count(counter)
+	retry := s.cfg.QueueTimeout
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+	writeJSON(w, status, errorBody{Error: err.Error(), RetryAfterMS: retry.Milliseconds()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// encodeTable renders a result table as the wire format. NaN (the engine's
+// NULL) becomes JSON null; ints stay integral.
+func encodeTable(t *storage.Table, mode string, elapsed time.Duration) *QueryResult {
+	schema := t.Schema()
+	out := &QueryResult{
+		Columns:   make([]string, len(schema)),
+		Types:     make([]string, len(schema)),
+		Rows:      make([][]any, t.NumRows()),
+		Mode:      mode,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+	}
+	for i, f := range schema {
+		out.Columns[i] = f.Name
+		out.Types[i] = f.Type.String()
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]any, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			row[c] = encodeValue(t.Column(c).Value(r))
+		}
+		out.Rows[r] = row
+	}
+	return out
+}
+
+func encodeValue(v storage.Value) any {
+	switch v.Typ {
+	case storage.TInt:
+		return v.I
+	case storage.TFloat:
+		if math.IsNaN(v.F) {
+			return nil
+		}
+		return v.F
+	default:
+		return v.S
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExplorationSQL generates one synthetic exploration session against the
+// Sales table: n SQL statements following the overview → drill-down →
+// refine arc that interactive-exploration benchmarks (IDEBench, the UMD
+// adaptive-exploration traces) model. The session opens with a broad
+// group-by overview, then zooms: each drill-down narrows the amount range
+// around a focus point (the ZoomRanges locality pattern), switches grouping
+// dimension occasionally, and sprinkles scalar-aggregate "checks" the way a
+// user pins a number mid-exploration.
+//
+// Statements are plain mini-SQL over the Sales schema (region, product,
+// quarter, amount, qty), so any execution mode can replay them. The
+// generator is deterministic in rng: one seed → one session, which load
+// tests rely on to make different clients replay different but
+// reproducible sessions.
+func ExplorationSQL(rng *rand.Rand, n int) []string {
+	dims := []string{"region", "product", "quarter"}
+	measures := []string{"amount", "qty"}
+	aggs := []string{"sum", "avg", "count", "max"}
+	out := make([]string, 0, n)
+
+	// The drill-down state: a closing window over amount around a focus.
+	lo, hi := 50.0, 260.0
+	focus := 80 + rng.Float64()*120
+	dim := dims[rng.Intn(len(dims))]
+
+	for i := 0; i < n; i++ {
+		switch {
+		case i == 0 || rng.Float64() < 0.15:
+			// Overview: full-table group-by on a (possibly new) dimension.
+			dim = dims[rng.Intn(len(dims))]
+			agg := aggs[rng.Intn(len(aggs))]
+			m := measures[rng.Intn(len(measures))]
+			out = append(out, fmt.Sprintf(
+				"SELECT %s, %s(%s) FROM sales GROUP BY %s", dim, agg, m, dim))
+			// Re-open the window: a new overview restarts the drill-down.
+			lo, hi = 50.0, 260.0
+			focus = 80 + rng.Float64()*120
+		case rng.Float64() < 0.25:
+			// Pin a number: scalar aggregate over the current window.
+			agg := aggs[rng.Intn(len(aggs))]
+			out = append(out, fmt.Sprintf(
+				"SELECT %s(amount), count(*) FROM sales WHERE amount >= %.1f AND amount < %.1f",
+				agg, lo, hi))
+		default:
+			// Drill down: shrink the window toward the focus and group.
+			width := (hi - lo) * 0.75
+			if width < 4 {
+				width = 4
+			}
+			lo = focus - width/2
+			hi = focus + width/2
+			agg := aggs[rng.Intn(len(aggs))]
+			m := measures[rng.Intn(len(measures))]
+			out = append(out, fmt.Sprintf(
+				"SELECT %s, %s(%s) FROM sales WHERE amount >= %.1f AND amount < %.1f GROUP BY %s",
+				dim, agg, m, lo, hi, dim))
+		}
+	}
+	return out
+}
