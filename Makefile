@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench
+.PHONY: all build test race vet fuzz bench chaos
 
 all: vet build test
 
@@ -24,3 +24,9 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./internal/bench/
+
+# Seeded chaos harness + cross-mode differential oracles under the race
+# detector, twice per seed (CI runs the same line with DEX_CHAOS_SEED
+# pinned per matrix job). `go run ./cmd/dexchaos` drives bigger schedules.
+chaos:
+	$(GO) test -race -run 'Chaos|Oracle' -count=2 ./internal/chaos/ ./internal/exec/

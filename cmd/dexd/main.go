@@ -29,6 +29,7 @@ import (
 
 	"dex/internal/core"
 	"dex/internal/exec"
+	"dex/internal/fault"
 	"dex/internal/server"
 	"dex/internal/storage"
 	"dex/internal/workload"
@@ -55,12 +56,24 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	cacheRows := flag.Int64("cache-rows", 1_000_000, "shared result cache budget in rows (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	degrade := flag.Bool("degrade", false, "answer over-deadline exact queries with a sampled approximation tagged degraded:true")
+	degradeGrace := flag.Duration("degrade-grace", 2*time.Second, "time budget for computing a degraded answer")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dexd ", log.LstdFlags)
+	// Failpoints from the environment (DEX_FAILPOINTS / DEX_FAULT_SEED):
+	// inert unless set, so production runs pay one atomic load per site.
+	if err := fault.InitFromEnv(); err != nil {
+		logger.Fatalf("bad %s: %v", fault.EnvPoints, err)
+	}
+	if active := fault.Active(); len(active) > 0 {
+		logger.Printf("FAULT INJECTION ACTIVE (seed %d): %v", fault.Seed(), active)
+	}
 	eng := core.New(core.Options{
-		Seed: *seed,
-		Exec: exec.ExecOptions{Parallelism: *parallel, MorselSize: *morsel},
+		Seed:         *seed,
+		Exec:         exec.ExecOptions{Parallelism: *parallel, MorselSize: *morsel},
+		Degrade:      *degrade,
+		DegradeGrace: *degradeGrace,
 	})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")

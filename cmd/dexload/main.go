@@ -65,8 +65,8 @@ func main() {
 
 	fmt.Printf("target=%s mode=%s queries/client=%d think=%s seed=%d\n\n",
 		*addr, *mode, *queries, *think, *seed)
-	fmt.Printf("%8s %8s %8s %8s %9s %9s %9s %9s %9s\n",
-		"clients", "queries", "rejected", "dropped", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
+	fmt.Printf("%8s %8s %8s %8s %6s %6s %9s %9s %9s %9s %9s\n",
+		"clients", "queries", "rejected", "dropped", "xport", "degrd", "qps", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
 	var reports []*server.LoadReport
 	for _, n := range clientCounts {
 		rep, err := server.RunLoad(ctx, cl, server.LoadConfig{
@@ -80,12 +80,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("dexload: run with %d clients: %v", n, err)
 		}
+		// Transport errors and server-side failures are different diagnoses:
+		// the former means the network or process is flapping, the latter
+		// that the workload or server is broken. Report them apart.
+		if rep.Transport > 0 {
+			log.Fatalf("dexload: %d queries hit transport errors (connection refused/reset) at %d clients — is dexd up?", rep.Transport, n)
+		}
 		if rep.Failed > 0 {
 			log.Fatalf("dexload: %d queries failed with non-admission errors at %d clients", rep.Failed, n)
 		}
 		reports = append(reports, rep)
-		fmt.Printf("%8d %8d %8d %8d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
-			rep.Clients, rep.Queries, rep.Rejected, rep.Dropped,
+		fmt.Printf("%8d %8d %8d %8d %6d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
+			rep.Clients, rep.Queries, rep.Rejected, rep.Dropped, rep.Transport, rep.Degraded,
 			rep.Qps, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
 	}
 

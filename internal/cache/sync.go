@@ -1,6 +1,19 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"dex/internal/fault"
+)
+
+// Cache failpoints model an unavailable or slow cache tier: an injected
+// error on get reads as a miss, on put the insert is dropped — the service
+// must keep answering (from the engine) either way. Latency policies
+// simulate a slow cache without failing it.
+var (
+	fpGet = fault.Register("cache/get")
+	fpPut = fault.Register("cache/put")
+)
 
 // Sync wraps an LRU with a mutex, making it safe for concurrent use — the
 // form the service layer shares one result cache across request handlers.
@@ -21,8 +34,13 @@ func NewSync[K comparable, V any](budget int64) (*Sync[K, V], error) {
 	return &Sync[K, V]{lru: lru}, nil
 }
 
-// Get returns the cached value and marks it most recently used.
+// Get returns the cached value and marks it most recently used. An
+// injected cache/get fault reads as a miss.
 func (c *Sync[K, V]) Get(key K) (V, bool) {
+	if fpGet.Hit() != nil {
+		var zero V
+		return zero, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Get(key)
@@ -35,8 +53,12 @@ func (c *Sync[K, V]) Contains(key K) bool {
 	return c.lru.Contains(key)
 }
 
-// Put inserts or refreshes a value with the given cost.
+// Put inserts or refreshes a value with the given cost. An injected
+// cache/put fault drops the insert.
 func (c *Sync[K, V]) Put(key K, val V, cost int64) bool {
+	if fpPut.Hit() != nil {
+		return false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Put(key, val, cost)

@@ -1,0 +1,359 @@
+// Package chaos is the seeded fault-schedule harness for the dexd service:
+// it stands up an in-process server, replays synthetic exploration sessions
+// against it while a scheduler arms and disarms failpoints at planned
+// offsets, and checks the three liveness invariants the service claims to
+// hold under faults:
+//
+//  1. No goroutine leaks: after the run drains and every connection
+//     closes, the process settles back to its pre-run goroutine count.
+//  2. Every issued query terminates: it completes (possibly degraded),
+//     is rejected with a typed load-shed error, or fails with a typed
+//     HTTP/transport error. Nothing hangs, nothing returns an error the
+//     client cannot classify.
+//  3. The server drains cleanly mid-chaos: Drain — exactly what dexd runs
+//     on SIGTERM — returns with zero queries in flight while faults are
+//     still firing.
+//
+// Everything is seeded: the workload streams, the retry jitter, and the
+// failpoint decision streams all derive from Config.Seed, so a failing
+// run is replayed by re-running its seed (see cmd/dexchaos).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dex/internal/core"
+	"dex/internal/exec"
+	"dex/internal/fault"
+	"dex/internal/server"
+	"dex/internal/workload"
+)
+
+// FaultEvent arms one failpoint at an offset from run start. A zero For
+// leaves it armed until the run ends.
+type FaultEvent struct {
+	At   time.Duration `json:"at"`
+	Site string        `json:"site"`
+	Spec string        `json:"spec"`
+	For  time.Duration `json:"for,omitempty"`
+}
+
+// Config parameterizes one chaos run.
+type Config struct {
+	Seed             int64
+	Clients          int           // concurrent synthetic explorers (default 3)
+	QueriesPerClient int           // statements per session (default 10)
+	Rows             int           // demo table size (default 20000)
+	Mode             string        // execution mode ("" = exact)
+	Timeout          time.Duration // per-query deadline (default 150ms)
+	Faults           []FaultEvent  // the fault schedule
+	// DrainAt, when > 0, initiates a server drain (the SIGTERM path) at
+	// that offset; queries issued afterwards must get clean 503s.
+	DrainAt     time.Duration
+	Parallelism int
+	MorselSize  int
+	Log         *log.Logger // optional narration of the fault schedule
+}
+
+// Outcome buckets: every issued query must land in exactly one.
+type Outcomes struct {
+	Completed int64 `json:"completed"` // 2xx, exact or cached
+	Degraded  int64 `json:"degraded"`  // 2xx with degraded:true
+	Rejected  int64 `json:"rejected"`  // load-shed (429/503) after retries
+	Typed     int64 `json:"typed"`     // other HTTP status errors (4xx/5xx)
+	Transport int64 `json:"transport"` // network-level failures after retries
+	Timeout   int64 `json:"timeout"`   // 504: deadline exceeded, not degradable
+}
+
+func (o *Outcomes) total() int64 {
+	return o.Completed + o.Degraded + o.Rejected + o.Typed + o.Transport + o.Timeout
+}
+
+// Report is the outcome of one chaos run. Violations is the verdict:
+// empty means every invariant held.
+type Report struct {
+	Seed       int64                       `json:"seed"`
+	Issued     int64                       `json:"issued"`
+	Outcomes   Outcomes                    `json:"outcomes"`
+	Drained    bool                        `json:"drained"`
+	DrainMS    float64                     `json:"drain_ms,omitempty"`
+	WallS      float64                     `json:"wall_s"`
+	Goroutines [2]int                      `json:"goroutines"` // [baseline, settled]
+	FaultStats map[string]fault.PointStats `json:"fault_stats"`
+	Violations []string                    `json:"violations"`
+}
+
+func (c *Config) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 3
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 10
+	}
+	if c.Rows <= 0 {
+		c.Rows = 20_000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 150 * time.Millisecond
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log.Printf(format, args...)
+	}
+}
+
+// Run executes one seeded chaos run and reports whether the invariants
+// held. It owns the global failpoint registry for its duration: it resets
+// every site on entry and on exit.
+func Run(cfg Config) (*Report, error) {
+	cfg.fill()
+	rep := &Report{Seed: cfg.Seed}
+
+	// The failpoint decision streams derive from the run seed.
+	fault.Reset()
+	defer fault.Reset()
+	fault.SetSeed(cfg.Seed)
+
+	// In-process service: degradation on, a small admission envelope so
+	// the schedule can actually saturate it.
+	eng := core.New(core.Options{
+		Seed:         cfg.Seed,
+		Degrade:      true,
+		DegradeGrace: time.Second,
+		Exec:         exec.ExecOptions{Parallelism: cfg.Parallelism, MorselSize: cfg.MorselSize},
+	})
+	sales, err := workload.Sales(rand.New(rand.NewSource(42)), cfg.Rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Register(sales); err != nil {
+		return nil, err
+	}
+	srv := server.New(eng, server.Config{
+		MaxInFlight:  4,
+		MaxQueue:     8,
+		QueueTimeout: 100 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Warm the server (TCP pool, lazy engine state) before taking the
+	// goroutine baseline, so steady-state helpers are not counted as leaks.
+	warm := server.NewClient(ts.URL)
+	if _, err := warm.Tables(context.Background()); err != nil {
+		return nil, fmt.Errorf("chaos: warmup: %w", err)
+	}
+	warm.HTTP.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	// The fault scheduler: a sorted timeline of arm/disarm actions.
+	type action struct {
+		at   time.Duration
+		site string
+		spec string // "" = disarm
+	}
+	var timeline []action
+	for _, ev := range cfg.Faults {
+		timeline = append(timeline, action{ev.At, ev.Site, ev.Spec})
+		if ev.For > 0 {
+			timeline = append(timeline, action{ev.At + ev.For, ev.Site, ""})
+		}
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].at < timeline[j].at })
+
+	start := time.Now()
+	stopSched := make(chan struct{})
+	var schedWG sync.WaitGroup
+	schedWG.Add(1)
+	go func() {
+		defer schedWG.Done()
+		for _, act := range timeline {
+			wait := act.at - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-stopSched:
+					return
+				}
+			}
+			if act.spec == "" {
+				cfg.logf("chaos %8s disarm %s", time.Since(start).Round(time.Millisecond), act.site)
+				fault.Disable(act.site)
+			} else {
+				cfg.logf("chaos %8s arm    %s=%s", time.Since(start).Round(time.Millisecond), act.site, act.spec)
+				if err := fault.Enable(act.site, act.spec); err != nil {
+					cfg.logf("chaos: arm %s=%s: %v", act.site, act.spec, err)
+				}
+			}
+		}
+	}()
+
+	// Mid-run drain: the same call dexd makes on SIGTERM.
+	drainDone := make(chan struct{})
+	if cfg.DrainAt > 0 {
+		go func() {
+			defer close(drainDone)
+			time.Sleep(cfg.DrainAt)
+			cfg.logf("chaos %8s drain  (SIGTERM path)", time.Since(start).Round(time.Millisecond))
+			t0 := time.Now()
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			err := srv.Drain(dctx)
+			rep.DrainMS = float64(time.Since(t0).Microseconds()) / 1e3
+			rep.Drained = err == nil
+		}()
+	} else {
+		close(drainDone)
+	}
+
+	// The synthetic explorers. Each classifies every query into exactly
+	// one outcome bucket; anything unclassifiable is an invariant-2
+	// violation.
+	var (
+		mu         sync.Mutex
+		out        Outcomes
+		issued     int64
+		violations []string
+	)
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		violations = append(violations, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := server.NewClient(ts.URL)
+			cl.Retry = &server.RetryPolicy{
+				MaxAttempts: 3,
+				BaseBackoff: 5 * time.Millisecond,
+				MaxBackoff:  100 * time.Millisecond,
+				Seed:        cfg.Seed + int64(c),
+			}
+			defer cl.HTTP.CloseIdleConnections()
+			ctx := context.Background()
+			id, err := cl.CreateSession(ctx)
+			if err != nil {
+				// The server may already be draining or the transport
+				// faulted past the retry budget: a typed, terminal answer
+				// for the whole session is a legal outcome for each of its
+				// queries.
+				var se *server.StatusError
+				n := int64(cfg.QueriesPerClient)
+				mu.Lock()
+				switch {
+				case server.IsRejected(err):
+					issued, out.Rejected = issued+n, out.Rejected+n
+				case server.IsTransport(err):
+					issued, out.Transport = issued+n, out.Transport+n
+				case errors.As(err, &se):
+					issued, out.Typed = issued+n, out.Typed+n
+				default:
+					mu.Unlock()
+					violate("client %d: session create failed untyped: %v", c, err)
+					return
+				}
+				mu.Unlock()
+				return
+			}
+			defer cl.EndSession(ctx, id)
+			stmts := workload.ExplorationSQL(rand.New(rand.NewSource(cfg.Seed+int64(c))), cfg.QueriesPerClient)
+			for _, sql := range stmts {
+				req := server.QueryRequest{SQL: sql, Mode: cfg.Mode, TimeoutMS: cfg.Timeout.Milliseconds()}
+				res, err := cl.Query(ctx, id, req)
+				mu.Lock()
+				issued++
+				mu.Unlock()
+				switch {
+				case err == nil:
+					mu.Lock()
+					if res.Degraded {
+						out.Degraded++
+					} else {
+						out.Completed++
+					}
+					mu.Unlock()
+				case server.IsRejected(err):
+					mu.Lock()
+					out.Rejected++
+					mu.Unlock()
+				case server.IsTransport(err):
+					mu.Lock()
+					out.Transport++
+					mu.Unlock()
+				default:
+					var se *server.StatusError
+					if !errors.As(err, &se) {
+						violate("client %d: query failed untyped: %v", c, err)
+						continue
+					}
+					mu.Lock()
+					if se.Status == 504 {
+						out.Timeout++
+					} else {
+						out.Typed++
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopSched)
+	schedWG.Wait()
+	<-drainDone
+	rep.WallS = time.Since(start).Seconds()
+	rep.FaultStats = fault.Stats()
+	fault.Reset() // disarm everything before the invariant checks
+
+	// Invariant 3: if a drain was scheduled it must have finished cleanly
+	// with no queries left in flight.
+	if cfg.DrainAt > 0 {
+		if !rep.Drained {
+			violate("drain did not complete within its deadline")
+		}
+		if n := srv.Stats().Active; n != 0 {
+			violate("%d queries still in flight after drain", n)
+		}
+	}
+
+	// Invariant 2: the books must balance — every issued query landed in
+	// exactly one bucket (untyped errors were flagged as they happened).
+	rep.Issued = issued
+	rep.Outcomes = out
+	if got := out.total(); got != issued {
+		violate("outcome accounting: %d issued, %d classified", issued, got)
+	}
+
+	// Invariant 1: tear everything down and wait for the goroutine count
+	// to settle back to the baseline (small slack for runtime helpers).
+	ts.Close()
+	settled := runtime.NumGoroutine()
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		settled = runtime.NumGoroutine()
+		if settled <= baseline+2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rep.Goroutines = [2]int{baseline, settled}
+	if settled > baseline+2 {
+		violate("goroutine leak: %d before run, %d after settle", baseline, settled)
+	}
+
+	rep.Violations = violations
+	return rep, nil
+}

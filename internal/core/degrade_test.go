@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dex/internal/workload"
+)
+
+func degradeEngine(t *testing.T, degrade bool) *Engine {
+	t.Helper()
+	eng := New(Options{Seed: 1, Degrade: degrade})
+	sales, err := workload.Sales(rand.New(rand.NewSource(7)), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(sales); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// expiredCtx returns a context whose deadline has already passed — the
+// cheapest way to make any exact execution report DeadlineExceeded.
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestDegradedAnswerReplacesDeadlineError is the degradation contract: an
+// exact aggregate query over its deadline comes back as a sampled
+// approximation tagged Degraded, and the estimate is close to the truth.
+func TestDegradedAnswerReplacesDeadlineError(t *testing.T) {
+	eng := degradeEngine(t, true)
+	sess := eng.NewSession()
+	const sql = "SELECT sum(amount) FROM sales WHERE amount >= 50 AND amount < 200"
+
+	exactT, err := sess.Query(sql, Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactT.Column(0).Value(0).AsFloat()
+
+	ans, err := sess.AnswerContext(expiredCtx(t), sql, Exact)
+	if err != nil {
+		t.Fatalf("degradable query returned error: %v", err)
+	}
+	if !ans.Degraded || ans.Mode != Approx {
+		t.Fatalf("answer not degraded: degraded=%v mode=%v", ans.Degraded, ans.Mode)
+	}
+	// Degraded results use the approximate wire shape: estimate, ci95,
+	// sample_n.
+	names := ans.Table.Schema().Names()
+	if len(names) != 3 || names[1] != "ci95" || names[2] != "sample_n" {
+		t.Fatalf("degraded schema = %v", names)
+	}
+	est := ans.Table.Column(0).Value(0).AsFloat()
+	ci := ans.Table.Column(1).Value(0).AsFloat()
+	if math.Abs(est-exact) > math.Max(4*ci, 0.25*math.Abs(exact)) {
+		t.Fatalf("degraded estimate %.1f too far from exact %.1f (ci95 %.1f)", est, exact, ci)
+	}
+	// The degraded answer still lands in the session history.
+	if sess.Len() != 2 {
+		t.Fatalf("history length = %d, want 2", sess.Len())
+	}
+}
+
+// TestDegradeRefusals: shapes the approximate path cannot serve, disabled
+// degradation, and client cancellation all keep their original error.
+func TestDegradeRefusals(t *testing.T) {
+	eng := degradeEngine(t, true)
+	sess := eng.NewSession()
+
+	// Two aggregates: not an approximable shape.
+	_, err := sess.AnswerContext(expiredCtx(t), "SELECT sum(amount), count(*) FROM sales", Exact)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("non-approximable shape: err = %v, want DeadlineExceeded", err)
+	}
+
+	// Online mode is already approximate; it never degrades.
+	_, err = sess.AnswerContext(expiredCtx(t), "SELECT sum(amount) FROM sales", Online)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("online mode: err = %v, want DeadlineExceeded", err)
+	}
+
+	// Client cancellation (no deadline) must not burn a degraded answer.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sess.AnswerContext(cancelled, "SELECT sum(amount) FROM sales", Exact)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want Canceled", err)
+	}
+
+	// Degradation off: the deadline error stands.
+	off := degradeEngine(t, false)
+	_, err = off.NewSession().AnswerContext(expiredCtx(t), "SELECT sum(amount) FROM sales", Exact)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("degrade off: err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dex/internal/aqp"
 	"dex/internal/catalog"
@@ -88,6 +89,16 @@ type Options struct {
 	// cracking partitions columns in place, and the sampling modes depend
 	// on a deterministic row visit order.
 	Exec exec.ExecOptions
+	// Degrade enables graceful degradation: an Exact or Cracked query that
+	// exceeds its deadline returns a sampled approximate answer tagged
+	// Degraded instead of a DeadlineExceeded error, when its shape allows
+	// it (exactly one aggregate, at most one GROUP BY column — the same
+	// shapes Approx mode serves). Client cancellation never degrades: a
+	// disconnected client is not waiting for any answer.
+	Degrade bool
+	// DegradeGrace is the time budget for computing the approximate
+	// fallback answer after the exact deadline fired (default 2s).
+	DegradeGrace time.Duration
 }
 
 func (o *Options) fill() {
@@ -102,6 +113,9 @@ func (o *Options) fill() {
 	}
 	if o.OnlineBatch <= 0 {
 		o.OnlineBatch = 4096
+	}
+	if o.DegradeGrace <= 0 {
+		o.DegradeGrace = 2 * time.Second
 	}
 }
 
@@ -334,6 +348,54 @@ func allColumnsQuery(schema storage.Schema) exec.Query {
 // Execute runs a parsed query against a named table under the given mode.
 func (e *Engine) Execute(table string, q exec.Query, mode Mode) (*storage.Table, error) {
 	return e.ExecuteContext(context.Background(), table, q, mode)
+}
+
+// Answer is a query result plus the execution metadata the service layer
+// surfaces to clients.
+type Answer struct {
+	Table *storage.Table
+	// Degraded marks a result produced by the degradation contract: the
+	// requested exact execution exceeded its deadline and a sampled
+	// approximation (with estimate, ci95 and sample_n columns) was
+	// returned in its place.
+	Degraded bool
+	// Mode is the mode that actually produced the table — Approx when
+	// Degraded, the requested mode otherwise.
+	Mode Mode
+}
+
+// ExecuteAnswer is ExecuteContext with the degradation contract applied:
+// when Options.Degrade is set and an Exact or Cracked query returns
+// context.DeadlineExceeded, the engine computes a sampled approximate
+// answer under a fresh DegradeGrace budget and returns it tagged
+// Degraded, instead of the error. Queries whose shape the approximate
+// path cannot serve, and client cancellations, keep the original error.
+func (e *Engine) ExecuteAnswer(ctx context.Context, table string, q exec.Query, mode Mode) (Answer, error) {
+	res, err := e.ExecuteContext(ctx, table, q, mode)
+	if err == nil {
+		return Answer{Table: res, Mode: mode}, nil
+	}
+	if !e.opt.Degrade || (mode != Exact && mode != Cracked) || !errors.Is(err, context.DeadlineExceeded) {
+		return Answer{}, err
+	}
+	dres, derr := e.degradedAnswer(table, q)
+	if derr != nil {
+		return Answer{}, err // surface the original deadline overrun
+	}
+	return Answer{Table: dres, Degraded: true, Mode: Approx}, nil
+}
+
+// degradedAnswer computes the approximate stand-in for a timed-out exact
+// query under its own grace budget, detached from the expired request
+// context.
+func (e *Engine) degradedAnswer(table string, q exec.Query) (*storage.Table, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), e.opt.DegradeGrace)
+	defer cancel()
+	schema, err := e.schemaOf(table)
+	if err != nil {
+		return nil, err
+	}
+	return e.executeApprox(ctx, table, sqlparse.ExpandStar(q, schema))
 }
 
 // ExecuteContext is Execute under a context. Cancellation points per mode:

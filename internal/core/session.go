@@ -40,23 +40,34 @@ func (s *Session) Query(sql string, mode Mode) (*storage.Table, error) {
 // propagate to the operators (see Engine.SQLContext). A cancelled query is
 // not recorded in the session history — it produced no result the user saw.
 func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (*storage.Table, error) {
+	ans, err := s.AnswerContext(ctx, sql, mode)
+	return ans.Table, err
+}
+
+// AnswerContext is QueryContext returning the full Answer, including the
+// Degraded tag the degradation contract sets (see Engine.ExecuteAnswer) —
+// the entry point the service layer uses. A degraded answer still counts
+// as a result the user saw, so it is recorded in the session history.
+func (s *Session) AnswerContext(ctx context.Context, sql string, mode Mode) (Answer, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return Answer{}, err
 	}
-	var res *storage.Table
+	var ans Answer
 	if st.JoinTable != "" {
-		res, err = s.engine.executeJoin(ctx, st)
+		// Joins have no approximate stand-in; they never degrade.
+		ans.Mode = mode
+		ans.Table, err = s.engine.executeJoin(ctx, st)
 	} else {
-		res, err = s.engine.ExecuteContext(ctx, st.Table, st.Query, mode)
+		ans, err = s.engine.ExecuteAnswer(ctx, st.Table, st.Query, mode)
 	}
 	if err != nil {
-		return nil, err
+		return Answer{}, err
 	}
 	s.mu.Lock()
 	s.history = append(s.history, recommend.Fingerprint(st.Query))
 	s.mu.Unlock()
-	return res, nil
+	return ans, nil
 }
 
 // History returns a copy of the session's query fingerprints.

@@ -25,9 +25,16 @@ import (
 	"sync/atomic"
 
 	"dex/internal/expr"
+	"dex/internal/fault"
 	"dex/internal/par"
 	"dex/internal/storage"
 )
+
+// fpScan injects scan-level faults: hit once before a whole-table filter
+// and once per morsel on the morsel-granular paths. Latency policies here
+// are how tests make a query overrun its deadline on demand (and so how
+// the degradation contract in core is exercised).
+var fpScan = fault.Register("exec/scan")
 
 // ExecOptions tunes query execution.
 type ExecOptions struct {
@@ -126,6 +133,9 @@ func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer) ([]int
 		return expr.Filter(t, p)
 	}
 	if pool.WorkersFor(n) <= 1 && !tr.active() {
+		if err := fpScan.Hit(); err != nil {
+			return nil, err
+		}
 		return expr.Filter(t, p)
 	}
 	// Validate once up front so workers cannot race on error paths.
@@ -135,6 +145,9 @@ func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer) ([]int
 	m := pool.MorselSize()
 	parts := make([][]int, storage.NumChunks(n, m))
 	err := pool.ForEachErrCtx(tr.ctx, n, func(_, lo, hi int) error {
+		if ferr := fpScan.Hit(); ferr != nil {
+			return ferr
+		}
 		s, ferr := expr.FilterRange(t, p, lo, hi)
 		if ferr != nil {
 			return ferr

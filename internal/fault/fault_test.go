@@ -1,0 +1,248 @@
+package fault_test
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"dex/internal/fault"
+)
+
+// Test sites are registered once at init so the tests survive -count=N
+// (Register panics on duplicates by design).
+var (
+	ptAlways  = fault.Register("test/always")
+	ptOnce    = fault.Register("test/once")
+	ptRate    = fault.Register("test/rate")
+	ptLatency = fault.Register("test/latency")
+	ptPanic   = fault.Register("test/panic")
+	ptEnv     = fault.Register("test/env")
+)
+
+func TestUnarmedHitIsNil(t *testing.T) {
+	fault.Reset()
+	for i := 0; i < 1000; i++ {
+		if err := ptAlways.Hit(); err != nil {
+			t.Fatalf("unarmed hit %d returned %v", i, err)
+		}
+	}
+	if h, f := ptAlways.Stats(); h != 0 || f != 0 {
+		t.Fatalf("unarmed hits counted: hits=%d fires=%d", h, f)
+	}
+}
+
+func TestErrorPolicyAlwaysFires(t *testing.T) {
+	fault.Reset()
+	if err := fault.Enable("test/always", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("test/always")
+	for i := 0; i < 10; i++ {
+		err := ptAlways.Hit()
+		if err == nil {
+			t.Fatalf("armed hit %d returned nil", i)
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+		}
+		var fe *fault.Error
+		if !errors.As(err, &fe) || fe.Site != "test/always" {
+			t.Fatalf("injected error lost its site: %v", err)
+		}
+	}
+	if h, f := ptAlways.Stats(); h != 10 || f != 10 {
+		t.Fatalf("got hits=%d fires=%d, want 10/10", h, f)
+	}
+}
+
+func TestErrorOnceDisarmsAfterOneFire(t *testing.T) {
+	fault.Reset()
+	if err := fault.Enable("test/once", "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ptOnce.Hit(); err == nil {
+		t.Fatal("first hit of error-once did not fire")
+	}
+	for i := 0; i < 5; i++ {
+		if err := ptOnce.Hit(); err != nil {
+			t.Fatalf("hit after the one fire returned %v", err)
+		}
+	}
+	if len(fault.Active()) != 0 {
+		t.Fatalf("error-once left sites armed: %v", fault.Active())
+	}
+}
+
+// TestRateDeterminism is the property the chaos harness depends on: with
+// the same seed, the i-th hit of a site makes the same decision, run after
+// run — and a different seed gives a different sequence.
+func TestRateDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		fault.Reset()
+		fault.SetSeed(seed)
+		if err := fault.Enable("test/rate", "error(0.5)"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = ptRate.Hit() != nil
+		}
+		fault.Disable("test/rate")
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across runs with the same seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d times; rng not engaged", fired, len(a))
+	}
+	c := pattern(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced the identical decision sequence")
+	}
+}
+
+func TestLatencyPolicySleeps(t *testing.T) {
+	fault.Reset()
+	if err := fault.Enable("test/latency", "latency(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("test/latency")
+	start := time.Now()
+	if err := ptLatency.Hit(); err != nil {
+		t.Fatalf("latency policy returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency hit returned after %v, want >= ~30ms", d)
+	}
+}
+
+func TestPanicPolicyPanicsOnce(t *testing.T) {
+	fault.Reset()
+	if err := fault.Enable("test/panic", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic policy did not panic")
+			}
+			fe, ok := r.(*fault.Error)
+			if !ok || fe.Site != "test/panic" {
+				t.Fatalf("panic value %v is not the site's *fault.Error", r)
+			}
+		}()
+		ptPanic.Hit()
+	}()
+	if err := ptPanic.Hit(); err != nil {
+		t.Fatalf("second hit after panic-once: %v", err)
+	}
+}
+
+func TestEnableRejectsBadSpecs(t *testing.T) {
+	fault.Reset()
+	for _, spec := range []string{
+		"", "explode", "error(2)", "error(-0.1)", "error(0.5", "latency",
+		"latency(nope)", "latency(5ms,1.5)", "panic(1)", "error-once(0.5)",
+	} {
+		if err := fault.Enable("test/always", spec); err == nil {
+			t.Errorf("Enable accepted bad spec %q", spec)
+		}
+	}
+	if err := fault.Enable("no/such-site", "error"); err == nil {
+		t.Error("Enable accepted an unregistered site")
+	}
+}
+
+func TestInitFromEnv(t *testing.T) {
+	fault.Reset()
+	t.Setenv(fault.EnvSeed, "7")
+	t.Setenv(fault.EnvPoints, "test/env=error(1.0); test/latency=latency(1ms,0.5)")
+	if err := fault.InitFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	if fault.Seed() != 7 {
+		t.Fatalf("seed = %d, want 7", fault.Seed())
+	}
+	got := fault.Active()
+	if len(got) != 2 || got[0] != "test/env" || got[1] != "test/latency" {
+		t.Fatalf("active sites = %v", got)
+	}
+	if err := ptEnv.Hit(); err == nil {
+		t.Fatal("env-armed site did not fire")
+	}
+
+	os.Unsetenv(fault.EnvPoints)
+	os.Unsetenv(fault.EnvSeed)
+	fault.Reset()
+	if err := fault.InitFromEnv(); err != nil {
+		t.Fatalf("InitFromEnv with no env: %v", err)
+	}
+	if len(fault.Active()) != 0 {
+		t.Fatalf("no-env init armed sites: %v", fault.Active())
+	}
+}
+
+func TestStatsTracksHitsAndFires(t *testing.T) {
+	fault.Reset()
+	fault.SetSeed(1)
+	if err := fault.Enable("test/rate", "error(0.3)"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("test/rate")
+	fires := 0
+	for i := 0; i < 100; i++ {
+		if ptRate.Hit() != nil {
+			fires++
+		}
+	}
+	st := fault.Stats()["test/rate"]
+	if st.Hits != 100 || st.Fires != int64(fires) {
+		t.Fatalf("stats = %+v, want hits=100 fires=%d", st, fires)
+	}
+}
+
+// BenchmarkHitUnarmed is the number behind the "<3% with failpoints
+// inactive" claim: the unarmed fast path is a single atomic pointer load,
+// so even the hottest instrumented loops (per-morsel scan claims) pay
+// low-single-digit nanoseconds per hit.
+func BenchmarkHitUnarmed(b *testing.B) {
+	fault.Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ptAlways.Hit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitArmedRate prices the armed slow path (seeded rng draw under
+// the point lock) for comparison.
+func BenchmarkHitArmedRate(b *testing.B) {
+	fault.Reset()
+	fault.SetSeed(1)
+	if err := fault.Enable("test/rate", "error(0.0)"); err != nil {
+		b.Fatal(err)
+	}
+	defer fault.Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ptRate.Hit()
+	}
+}

@@ -19,7 +19,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dex/internal/fault"
 )
+
+// fpClaim injects scheduler-level faults: it is hit before every morsel
+// claim (parallel and serial paths alike), so an error policy kills an
+// operation partway through its morsels and a latency policy stalls
+// workers — the "slow worker" case morsel stealing is supposed to absorb.
+var fpClaim = fault.Register("par/claim")
 
 // Tuning defaults.
 const (
@@ -106,10 +114,17 @@ func (p *Pool) WorkersFor(n int) int {
 // inline once with the full range. A panic in any worker is re-raised on
 // the calling goroutine after all workers stop.
 func (p *Pool) ForEach(n int, fn func(worker, lo, hi int)) {
-	_ = p.run(n, func(worker, lo, hi int) error {
+	err := p.run(n, func(worker, lo, hi int) error {
 		fn(worker, lo, hi)
 		return nil
 	})
+	if err != nil {
+		// fn cannot fail here, so the only error source is an injected
+		// par/claim fault. Swallowing it would silently return a partial
+		// result; re-raise it instead so callers without an error path
+		// still observe the fault.
+		panic(err)
+	}
 }
 
 // ForEachErr is ForEach for fallible work: the first error stops the
@@ -152,6 +167,9 @@ func (p *Pool) runCtx(ctx context.Context, n int, fn func(worker, lo, hi int) er
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if err := fpClaim.Hit(); err != nil {
+				return err
+			}
 			hi := lo + m
 			if hi > n {
 				hi = n
@@ -171,6 +189,9 @@ func (p *Pool) run(n int, fn func(worker, lo, hi int) error) error {
 	}
 	w := p.WorkersFor(n)
 	if w <= 1 {
+		if err := fpClaim.Hit(); err != nil {
+			return err
+		}
 		return fn(0, 0, n)
 	}
 	return p.fanOut(context.Background(), n, w, fn)
@@ -217,6 +238,10 @@ func (p *Pool) fanOut(ctx context.Context, n, w int, fn func(worker, lo, hi int)
 						return
 					default:
 					}
+				}
+				if err := fpClaim.Hit(); err != nil {
+					setErr(err)
+					return
 				}
 				lo := int(cursor.Add(int64(m))) - m
 				if lo >= n {

@@ -19,7 +19,17 @@ import (
 
 	"dex/internal/exec"
 	"dex/internal/expr"
+	"dex/internal/fault"
 	"dex/internal/storage"
+)
+
+// Failpoints on the two raw-file seams: the lazy file read and the per-row
+// tokenizer loop. A rate policy on rawload/tokenize fails a query midway
+// through materializing a column — the in-situ analogue of a disk read
+// error halfway through a scan.
+var (
+	fpRead     = fault.Register("rawload/read")
+	fpTokenize = fault.Register("rawload/tokenize")
 )
 
 // Package-level sentinel errors.
@@ -213,6 +223,9 @@ func (r *RawTable) ensureLines() error {
 	if r.data != nil {
 		return nil
 	}
+	if err := fpRead.Hit(); err != nil {
+		return err
+	}
 	data, err := os.ReadFile(r.path)
 	if err != nil {
 		return fmt.Errorf("rawload: %w", err)
@@ -297,6 +310,9 @@ func (r *RawTable) parseColumnInto(idx int) (storage.Column, []int32, Stats, err
 		}
 	}
 	for row := 0; row < n; row++ {
+		if err := fpTokenize.Hit(); err != nil {
+			return nil, nil, st, err
+		}
 		lineStart := int(r.lineOff[row])
 		end := lineEnd(r.data, lineStart)
 		// Position of field `base+1`'s start.

@@ -3,8 +3,17 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
+
+	"dex/internal/fault"
 )
+
+// fpAdmit injects admission faults: an error policy sheds the query as if
+// the queue were full (a well-formed 429 with Retry-After), a latency
+// policy delays admission — overload shapes beyond what real load can
+// produce deterministically.
+var fpAdmit = fault.Register("server/admit")
 
 // Admission-control rejections. Both map to HTTP 429 with a Retry-After
 // hint: the service is up, just saturated — IDEBench-style load generators
@@ -43,6 +52,11 @@ func newAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration) *admiss
 // context error if the client gave up while queued. On nil the caller must
 // release().
 func (a *admission) acquire(ctx context.Context) error {
+	if err := fpAdmit.Hit(); err != nil {
+		// Injected admission failure surfaces as the queue-full rejection:
+		// the client contract (429 + Retry-After, safe to retry) holds.
+		return fmt.Errorf("%w (%v)", ErrQueueFull, err)
+	}
 	select {
 	case a.slots <- struct{}{}:
 		return nil

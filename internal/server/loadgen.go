@@ -37,11 +37,22 @@ type LoadConfig struct {
 
 // LoadReport is the outcome of one load run.
 type LoadReport struct {
-	Clients   int     `json:"clients"`
-	Queries   int64   `json:"queries"`
-	Rejected  int64   `json:"rejected"` // load-shed responses (pre-retry)
-	Dropped   int64   `json:"dropped"`  // queries abandoned after MaxRetries
-	Failed    int64   `json:"failed"`
+	Clients  int   `json:"clients"`
+	Queries  int64 `json:"queries"`
+	Rejected int64 `json:"rejected"` // load-shed responses (pre-retry)
+	Dropped  int64 `json:"dropped"`  // queries abandoned after MaxRetries
+	// Failed counts queries the server answered with a non-admission error
+	// (bad SQL, unknown session, internal failure) — something is wrong
+	// with the workload or the server, and retrying would not help.
+	Failed int64 `json:"failed"`
+	// Transport counts queries that never got an HTTP response: connection
+	// refused, reset, EOF mid-body. Separated from Failed because the
+	// remedies differ — transport errors mean the server is unreachable or
+	// flapping, not that the queries are wrong.
+	Transport int64 `json:"transport_errors"`
+	// Degraded counts completed queries whose answer was an approximate
+	// stand-in for an over-deadline exact result (degraded:true on the wire).
+	Degraded  int64   `json:"degraded"`
 	WallS     float64 `json:"wall_s"`
 	Qps       float64 `json:"qps"`
 	MeanMS    float64 `json:"mean_ms"`
@@ -73,6 +84,8 @@ func RunLoad(ctx context.Context, cl *Client, cfg LoadConfig) (*LoadReport, erro
 		rejected  int64
 		dropped   int64
 		failed    int64
+		transport int64
+		degraded  int64
 		cacheHits int64
 		err       error
 	}
@@ -106,6 +119,9 @@ func RunLoad(ctx context.Context, cl *Client, cfg LoadConfig) (*LoadReport, erro
 					if out.Cached {
 						res.cacheHits++
 					}
+					if out.Degraded {
+						res.degraded++
+					}
 				case errors.As(err, &rej):
 					// Well-behaved client: honor Retry-After, retry a
 					// bounded number of times, then give up on this query.
@@ -127,6 +143,12 @@ func RunLoad(ctx context.Context, cl *Client, cfg LoadConfig) (*LoadReport, erro
 				case ctx.Err() != nil:
 					res.err = ctx.Err()
 					return
+				case IsTransport(err):
+					// The server never answered. Retrying is the client
+					// retry policy's job (if one is set, it already gave
+					// up); here we just refuse to miscount an unreachable
+					// server as a workload failure.
+					res.transport++
 				default:
 					res.failed++
 				}
@@ -156,6 +178,8 @@ func RunLoad(ctx context.Context, cl *Client, cfg LoadConfig) (*LoadReport, erro
 		rep.Rejected += r.rejected
 		rep.Dropped += r.dropped
 		rep.Failed += r.failed
+		rep.Transport += r.transport
+		rep.Degraded += r.degraded
 		rep.CacheHits += r.cacheHits
 	}
 	if wall > 0 {

@@ -38,9 +38,15 @@ import (
 
 	"dex/internal/cache"
 	"dex/internal/core"
+	"dex/internal/fault"
 	"dex/internal/storage"
 	"dex/internal/workload"
 )
+
+// fpHandler injects request-handler faults at the top of the query path:
+// latency policies make slow handlers, error policies fail the request as
+// an internal error before the engine runs.
+var fpHandler = fault.Register("server/handler")
 
 // ErrDraining is returned (as HTTP 503) for new queries once drain begins.
 var ErrDraining = errors.New("server: draining")
@@ -66,6 +72,9 @@ type Config struct {
 	CacheRows int64
 	// MaxSessions bounds live sessions (default 4096).
 	MaxSessions int
+	// MaxBody caps request body size in bytes; larger bodies get 413
+	// (default 1 MiB).
+	MaxBody int64
 	// Log receives request-level errors (default: log.Default()).
 	Log *log.Logger
 }
@@ -92,6 +101,9 @@ func (c *Config) fill() {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4096
 	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
@@ -108,15 +120,31 @@ type Server struct {
 	results *cache.Sync[string, *QueryResult]
 
 	draining atomic.Bool
-	inflight sync.WaitGroup
+
+	// drainMu guards the in-flight count against the drain transition: a
+	// plain WaitGroup is not enough, because Add racing Wait around zero is
+	// undefined (and the race detector says so) — a request could slip in
+	// after Wait returned and outlive a "clean" drain. enter/exit/Drain
+	// make admission-vs-drain a single atomic decision.
+	drainMu  sync.Mutex
+	inflight int
+	drained  chan struct{} // created by Drain, closed when inflight hits 0
 
 	mu       sync.Mutex
 	sessions map[string]*core.Session
 	seq      int64
 	salt     uint32
+	// idem maps Idempotency-Key headers of session creates to the session
+	// id they produced, so a client retrying a lost create response gets
+	// the same session instead of leaking a fresh one. Bounded FIFO.
+	idem      map[string]string
+	idemOrder []string
 
 	mux *http.ServeMux
 }
+
+// maxIdemKeys bounds the idempotency-key memory (FIFO eviction).
+const maxIdemKeys = 8192
 
 // New wires a service around an engine whose tables the caller has already
 // loaded (or will load through /v1/tables endpoints).
@@ -128,6 +156,7 @@ func New(eng *core.Engine, cfg Config) *Server {
 		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
 		st:       newStats(),
 		sessions: map[string]*core.Session{},
+		idem:     map[string]string{},
 		salt:     rand.Uint32(),
 		mux:      http.NewServeMux(),
 	}
@@ -156,18 +185,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // last in-flight request finishes or ctx expires (the error then is
 // ctx.Err(); in-flight queries keep their own deadlines either way).
 func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+		if s.inflight == 0 {
+			close(s.drained)
+		}
+	}
+	done := s.drained
+	s.drainMu.Unlock()
 	select {
 	case <-done:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// enter admits one tracked request unless a drain has begun. Checking the
+// flag and bumping the count under one lock means Drain's "no new work"
+// line is exact: after Drain observes the count it can only go down.
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) exit() {
+	s.drainMu.Lock()
+	s.inflight--
+	// Once draining, enter admits nothing, so the count strictly falls and
+	// crosses zero at most once — the close below cannot double-fire.
+	if s.inflight == 0 && s.drained != nil {
+		close(s.drained)
+	}
+	s.drainMu.Unlock()
 }
 
 // Draining reports whether drain has begun.
@@ -210,6 +267,9 @@ type QueryResult struct {
 	Mode      string   `json:"mode"`
 	ElapsedMS float64  `json:"elapsed_ms"`
 	Cached    bool     `json:"cached,omitempty"`
+	// Degraded marks an exact query that overran its deadline and was
+	// answered with a sampled approximation (see core.Answer).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Suggestion is one recommended next query.
@@ -231,7 +291,18 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
 	s.mu.Lock()
+	// Session create is the one non-idempotent call in the API: a client
+	// that retries a lost response would otherwise leak sessions. With an
+	// Idempotency-Key the replay returns the original session id.
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]string{"session_id": id})
+			return
+		}
+	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		s.reject(w, http.StatusTooManyRequests, fmt.Errorf("server: session limit %d reached", s.cfg.MaxSessions), &s.st.rejBusy)
@@ -240,6 +311,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.seq++
 	id := fmt.Sprintf("s%08x-%d", s.salt, s.seq)
 	s.sessions[id] = s.eng.NewSession()
+	if key != "" {
+		if len(s.idemOrder) >= maxIdemKeys {
+			delete(s.idem, s.idemOrder[0])
+			s.idemOrder = s.idemOrder[1:]
+		}
+		s.idem[key] = id
+		s.idemOrder = append(s.idemOrder, key)
+	}
 	s.mu.Unlock()
 	s.st.count(&s.st.sessionsCreated)
 	writeJSON(w, http.StatusCreated, map[string]string{"session_id": id})
@@ -254,10 +333,14 @@ func (s *Server) session(r *http.Request) (*core.Session, string, bool) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.inflight.Add(1)
-	defer s.inflight.Done()
-	if s.draining.Load() {
+	if !s.enter() {
 		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
+		return
+	}
+	defer s.exit()
+	if err := fpHandler.Hit(); err != nil {
+		s.st.count(&s.st.injected)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
 	sess, _, ok := s.session(r)
@@ -266,7 +349,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be JSON with a non-empty \"sql\""})
 		return
 	}
@@ -315,26 +401,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	res, err := sess.QueryContext(ctx, req.SQL, mode)
+	ans, err := sess.AnswerContext(ctx, req.SQL, mode)
 	elapsed := time.Since(start)
 	if err != nil {
 		s.queryError(w, r, err)
 		return
 	}
-	out := encodeTable(res, mode.String(), elapsed)
-	if cacheKey != "" {
-		s.results.Put(cacheKey, out, int64(res.NumRows())+1)
+	out := encodeTable(ans.Table, ans.Mode.String(), elapsed)
+	out.Degraded = ans.Degraded
+	// Degraded answers are approximations; they must never seed the exact
+	// result cache.
+	if cacheKey != "" && !ans.Degraded {
+		s.results.Put(cacheKey, out, int64(ans.Table.NumRows())+1)
+	}
+	if ans.Degraded {
+		s.st.count(&s.st.degraded)
 	}
 	s.st.observe(mode.String(), elapsed, false)
 	writeJSON(w, http.StatusOK, out)
 }
 
+// decodeBody decodes a JSON request body under the configured size cap,
+// writing the typed 4xx response itself on failure: 413 for an oversized
+// body, 400 for malformed JSON.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON body: " + err.Error()})
+		}
+		return false
+	}
+	return true
+}
+
 // queryError classifies a failed query: client disconnects count as
 // cancelled (there is no one left to answer), deadline overruns are 504,
-// unknown tables 404, and anything else the engine rejects is a 400 — the
-// engine's errors are user-query errors by construction.
+// unknown tables 404, injected faults 500 (the infrastructure failed, not
+// the query), and anything else the engine rejects is a 400 — the
+// engine's remaining errors are user-query errors by construction.
 func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
+	case errors.Is(err, fault.ErrInjected):
+		s.st.count(&s.st.injected)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	case errors.Is(err, context.Canceled):
 		s.st.count(&s.st.cancelled)
 		if r.Context().Err() == nil {
@@ -353,12 +467,11 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	s.inflight.Add(1)
-	defer s.inflight.Done()
-	if s.draining.Load() {
+	if !s.enter() {
 		s.reject(w, http.StatusServiceUnavailable, ErrDraining, &s.st.rejDrain)
 		return
 	}
+	defer s.exit()
 	sess, _, ok := s.session(r)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session"})
@@ -367,8 +480,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		K int `json:"k"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON body"})
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.K <= 0 {
@@ -414,7 +526,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 		Path string `json:"path"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name == "" || req.Path == "" {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Path == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be JSON with \"name\" and \"path\""})
 		return
 	}
@@ -436,8 +551,7 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 		Rows int    `json:"rows"`
 		Seed int64  `json:"seed"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON body"})
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Rows <= 0 {
@@ -503,14 +617,24 @@ func (s *Server) reject(w http.ResponseWriter, status int, err error, counter *i
 	writeJSON(w, status, errorBody{Error: err.Error(), RetryAfterMS: retry.Milliseconds()})
 }
 
+// writeJSON marshals before touching the ResponseWriter: once the status
+// line is out there is no way to signal an encode failure, and a 200 with
+// an empty body reaches clients as a bare io.EOF they cannot classify
+// (the chaos harness caught exactly that, via ±Inf CI values). A payload
+// that will not marshal becomes a typed 500 instead.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		buf, _ = json.Marshal(errorBody{Error: "response encoding failed: " + err.Error()})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	w.Write(append(buf, '\n'))
 }
 
 // encodeTable renders a result table as the wire format. NaN (the engine's
-// NULL) becomes JSON null; ints stay integral.
+// NULL) and ±Inf (unbounded CI) become JSON null; ints stay integral.
 func encodeTable(t *storage.Table, mode string, elapsed time.Duration) *QueryResult {
 	schema := t.Schema()
 	out := &QueryResult{
@@ -539,7 +663,9 @@ func encodeValue(v storage.Value) any {
 	case storage.TInt:
 		return v.I
 	case storage.TFloat:
-		if math.IsNaN(v.F) {
+		// JSON carries neither NaN (the engine's NULL) nor ±Inf (the
+		// estimator's "no finite CI" for sample extremes); both become null.
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
 			return nil
 		}
 		return v.F

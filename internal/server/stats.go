@@ -20,6 +20,8 @@ type stats struct {
 	cancelled int64
 	timedOut  int64
 	failed    int64
+	degraded  int64 // deadline overruns answered approximately
+	injected  int64 // failures injected by an armed failpoint
 	rejBusy   int64 // 429: queue full or queue timeout
 	rejDrain  int64 // 503: draining
 
@@ -70,6 +72,8 @@ type QueryStats struct {
 	Cancelled     int64 `json:"cancelled"`
 	TimedOut      int64 `json:"timed_out"`
 	Failed        int64 `json:"failed"`
+	Degraded      int64 `json:"degraded"`
+	Injected      int64 `json:"injected"`
 	RejectedBusy  int64 `json:"rejected_busy"`
 	RejectedDrain int64 `json:"rejected_drain"`
 }
@@ -119,6 +123,8 @@ func (s *stats) snapshot(activeSessions int, cacheStats *cache.Stats, cacheEntri
 			Cancelled:     s.cancelled,
 			TimedOut:      s.timedOut,
 			Failed:        s.failed,
+			Degraded:      s.degraded,
+			Injected:      s.injected,
 			RejectedBusy:  s.rejBusy,
 			RejectedDrain: s.rejDrain,
 		},

@@ -5,7 +5,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"dex/internal/fault"
 )
+
+// fpCSVRead injects storage-layer read failures: it is hit once when a CSV
+// load begins and once per record, so policies can fail a load at its start
+// (error-once) or partway through (error-rate) — the mid-load storage-error
+// case the chaos harness exercises.
+var fpCSVRead = fault.Register("storage/csv-read")
 
 // ReadCSV parses an entire CSV stream into a table. The first record is the
 // header. Column types are inferred from the first data record (INT, then
@@ -15,6 +23,9 @@ import (
 // error returned instead. This is the "load everything upfront" baseline the
 // adaptive-loading work (NoDB [8,28]) compares against.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
+	if err := fpCSVRead.Hit(); err != nil {
+		return nil, err
+	}
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -65,6 +76,9 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		return nil, err
 	}
 	for {
+		if err := fpCSVRead.Hit(); err != nil {
+			return nil, err
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
