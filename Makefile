@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench chaos
+.PHONY: all build test race vet fmt-check fuzz bench chaos metrics-smoke
 
-all: vet build test
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,10 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file is not gofmt-clean; prints the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # Short exploratory fuzz of the SQL parser beyond the seed corpus.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse/
@@ -30,3 +34,8 @@ bench:
 # pinned per matrix job). `go run ./cmd/dexchaos` drives bigger schedules.
 chaos:
 	$(GO) test -race -run 'Chaos|Oracle' -count=2 ./internal/chaos/ ./internal/exec/
+
+# End-to-end observability smoke: builds dexd, boots it, drives a traced
+# session, validates /metrics exposition and /admin/slow, SIGTERM-drains.
+metrics-smoke:
+	$(GO) run ./cmd/dexsmoke

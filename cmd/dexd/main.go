@@ -8,6 +8,11 @@
 //	     [-max-inflight N] [-max-queue N] [-queue-timeout 2s]
 //	     [-default-timeout 30s] [-cache-rows 1000000]
 //	     [-parallel N] [-morsel N] [-seed 1] [-drain-timeout 30s]
+//	     [-slowms 500] [-slow-ring 64] [-pprof] [-reqlog]
+//
+// Observability: /metrics serves Prometheus text exposition, /admin/slow
+// the traces of queries slower than -slowms, -pprof mounts
+// net/http/pprof, and -reqlog logs one structured line per query.
 //
 // On SIGINT/SIGTERM it drains gracefully: new queries get 503 while every
 // admitted query runs to completion (up to -drain-timeout).
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -58,6 +64,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	degrade := flag.Bool("degrade", false, "answer over-deadline exact queries with a sampled approximation tagged degraded:true")
 	degradeGrace := flag.Duration("degrade-grace", 2*time.Second, "time budget for computing a degraded answer")
+	slowMS := flag.Int64("slowms", 500, "keep traces of queries at or above this many milliseconds in /admin/slow (0 = off)")
+	slowRing := flag.Int("slow-ring", 64, "how many slow-query traces /admin/slow retains")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	reqLog := flag.Bool("reqlog", false, "log one structured line per query request to stderr")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dexd ", log.LstdFlags)
@@ -110,7 +120,7 @@ func main() {
 		logger.Printf("loaded demo table %q (%d rows)", t.Name(), t.NumRows())
 	}
 
-	svc := server.New(eng, server.Config{
+	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		QueueTimeout:   *queueTimeout,
@@ -118,7 +128,14 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheRows:      *cacheRows,
 		Log:            logger,
-	})
+		SlowThreshold:  time.Duration(*slowMS) * time.Millisecond,
+		SlowRing:       *slowRing,
+		Pprof:          *pprofOn,
+	}
+	if *reqLog {
+		cfg.RequestLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	svc := server.New(eng, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
 	// SIGINT/SIGTERM starts the drain: the listener keeps accepting (so

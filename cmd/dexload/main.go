@@ -9,10 +9,13 @@
 //	dexload [-addr http://127.0.0.1:8080] [-clients 1,2,4,8,16]
 //	        [-queries 20] [-think 0] [-mode exact] [-seed 1]
 //	        [-timeout 0] [-demo sales -rows 1000000] [-json out.json]
+//	        [-metrics] [-slow]
 //
 // With -demo it first loads the demo table server-side (idempotent enough
 // for a fresh dexd). With -json it also writes the full reports as JSON —
-// the format BENCH_server.json records.
+// the format BENCH_server.json records. -metrics validates and prints the
+// server's /metrics exposition after all runs; -slow dumps the slow-query
+// traces retained in /admin/slow (requires dexd -slowms > 0).
 package main
 
 import (
@@ -26,8 +29,26 @@ import (
 	"strings"
 	"time"
 
+	"dex/internal/metrics"
 	"dex/internal/server"
+	"dex/internal/trace"
 )
+
+// printSpan renders one span tree as an indented stage listing.
+func printSpan(sp *trace.SpanJSON, indent string) {
+	if sp == nil {
+		return
+	}
+	fmt.Printf("%s%-12s %8.3fms", indent, sp.Name, sp.DurationMS)
+	if len(sp.Attrs) > 0 {
+		buf, _ := json.Marshal(sp.Attrs)
+		fmt.Printf("  %s", buf)
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, indent+"  ")
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "dexd base URL")
@@ -40,6 +61,8 @@ func main() {
 	demo := flag.String("demo", "", "load this demo table server-side first (sales|sky|ticks)")
 	rows := flag.Int("rows", 1_000_000, "demo table size")
 	jsonOut := flag.String("json", "", "also write reports as JSON to this file")
+	showMetrics := flag.Bool("metrics", false, "validate and print /metrics after the runs")
+	showSlow := flag.Bool("slow", false, "dump the server's /admin/slow trace ring after the runs")
 	flag.Parse()
 
 	var clientCounts []int
@@ -93,6 +116,29 @@ func main() {
 		fmt.Printf("%8d %8d %8d %8d %6d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
 			rep.Clients, rep.Queries, rep.Rejected, rep.Dropped, rep.Transport, rep.Degraded,
 			rep.Qps, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	}
+
+	if *showMetrics {
+		expo, err := cl.Metrics(ctx)
+		if err != nil {
+			log.Fatalf("dexload: scrape /metrics: %v", err)
+		}
+		if err := metrics.ValidateExposition(strings.NewReader(expo)); err != nil {
+			log.Fatalf("dexload: /metrics exposition invalid: %v", err)
+		}
+		fmt.Printf("\n--- /metrics (valid exposition) ---\n%s", expo)
+	}
+	if *showSlow {
+		entries, err := cl.Slow(ctx)
+		if err != nil {
+			log.Fatalf("dexload: fetch /admin/slow: %v", err)
+		}
+		fmt.Printf("\n--- /admin/slow: %d retained traces (newest first) ---\n", len(entries))
+		for _, e := range entries {
+			fmt.Printf("%s session=%s mode=%s outcome=%s elapsed=%.2fms sql=%q\n",
+				e.Time.Format(time.RFC3339), e.Session, e.Mode, e.Outcome, e.ElapsedMS, e.SQL)
+			printSpan(e.Trace, "  ")
+		}
 	}
 
 	if *jsonOut != "" {

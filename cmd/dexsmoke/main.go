@@ -1,0 +1,165 @@
+// Command dexsmoke is the end-to-end observability smoke test behind
+// `make metrics-smoke`: it builds dexd, boots it on a free port with the
+// slow-query ring armed, drives a short session through the HTTP client
+// (including a cache hit and a traced query), then checks the three
+// observability surfaces — the per-response span tree, /admin/slow, and
+// /metrics as valid Prometheus text exposition — before shutting the
+// server down with SIGTERM and verifying a clean exit.
+//
+// It prints "metrics smoke OK" and exits 0 on success; any failure is
+// fatal with a diagnostic on stderr.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"dex/internal/metrics"
+	"dex/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dexsmoke: ")
+
+	tmp, err := os.MkdirTemp("", "dexsmoke")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "dexd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dexd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		log.Fatalf("build dexd: %v", err)
+	}
+
+	// Reserve a free port, release it, and hand it to dexd. The race
+	// window between Close and ListenAndServe is tolerable for a smoke
+	// test on localhost.
+	l, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	// -slowms 1 so ordinary queries land in the slow ring; -reqlog so the
+	// structured request log path is exercised end to end.
+	srv := exec.Command(bin,
+		"-addr", addr,
+		"-demo", "sales", "-rows", "200000",
+		"-slowms", "1", "-slow-ring", "16",
+		"-reqlog",
+	)
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		log.Fatalf("start dexd: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- srv.Wait() }()
+	defer srv.Process.Kill()
+
+	base := "http://" + addr
+	cl := server.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Wait for the server to come up.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, err := cl.Tables(ctx); err == nil {
+			break
+		}
+		select {
+		case err := <-exited:
+			log.Fatalf("dexd exited during startup: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("dexd not healthy at %s within 5s", base)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	id, err := cl.CreateSession(ctx)
+	if err != nil {
+		log.Fatalf("create session: %v", err)
+	}
+
+	// A repeated exact query (second run is a cache hit) plus a traced
+	// group-by: together they touch the exact, cached, and traced paths.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Query(ctx, id, server.QueryRequest{SQL: "SELECT COUNT(*) FROM sales"}); err != nil {
+			log.Fatalf("exact query (run %d): %v", i+1, err)
+		}
+	}
+	res, err := cl.Query(ctx, id, server.QueryRequest{
+		SQL:   "SELECT region, AVG(amount) FROM sales GROUP BY region",
+		Trace: true,
+	})
+	if err != nil {
+		log.Fatalf("traced query: %v", err)
+	}
+	if res.Trace == nil {
+		log.Fatal("trace:true response carried no span tree")
+	}
+	if res.Trace.Name != "query" || len(res.Trace.Children) == 0 {
+		log.Fatalf("malformed trace root: name=%q children=%d", res.Trace.Name, len(res.Trace.Children))
+	}
+
+	expo, err := cl.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("scrape /metrics: %v", err)
+	}
+	if err := metrics.ValidateExposition(strings.NewReader(expo)); err != nil {
+		log.Fatalf("/metrics exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		`dex_queries_total{outcome="completed"}`,
+		`dex_queries_total{outcome="cache_hit"}`,
+		`dex_query_duration_seconds_bucket`,
+	} {
+		if !strings.Contains(expo, want) {
+			log.Fatalf("/metrics missing expected series %s", want)
+		}
+	}
+
+	slow, err := cl.Slow(ctx)
+	if err != nil {
+		log.Fatalf("fetch /admin/slow: %v", err)
+	}
+	if len(slow) == 0 {
+		log.Fatal("/admin/slow empty despite -slowms 1")
+	}
+	if slow[0].Trace == nil {
+		log.Fatal("slow ring entry has no trace")
+	}
+
+	if err := cl.EndSession(ctx, id); err != nil {
+		log.Fatalf("end session: %v", err)
+	}
+
+	// SIGTERM must drain and exit cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatalf("signal dexd: %v", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			log.Fatalf("dexd exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		log.Fatal("dexd did not exit within 15s of SIGTERM")
+	}
+
+	fmt.Println("metrics smoke OK")
+}

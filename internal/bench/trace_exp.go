@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+
+	"dex/internal/core"
+	"dex/internal/server"
+	"dex/internal/trace"
+	"dex/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E29",
+		Title:  "Per-query tracing: stage breakdown of an exploration session",
+		Source: "observability layer over the mode seams; span accounting vs wall time",
+		Run:    runE29,
+	})
+}
+
+// runE29 drives one synthetic exploration session against the in-process
+// service with trace:true on every request and aggregates the returned
+// span trees: where does an interactive session actually spend its time,
+// per stage and per execution mode? It also audits the accounting — for
+// every trace, the direct children must explain most of the root span
+// (the unattributed remainder is handler glue: JSON encode, cache put).
+func runE29(w io.Writer, cfg Config) error {
+	n := cfg.Scale(1_000_000, 100, 20_000)
+	perMode := cfg.Scale(12, 4, 3)
+
+	eng := core.New(core.Options{Seed: cfg.Seed})
+	sales, err := workload.Sales(rand.New(rand.NewSource(cfg.Seed)), n)
+	if err == nil {
+		err = eng.Register(sales)
+	}
+	if err != nil {
+		return err
+	}
+	svc := server.New(eng, server.Config{CacheRows: int64(n)})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl := server.NewClient(ts.URL)
+	id, err := cl.CreateSession(ctx)
+	if err != nil {
+		return err
+	}
+	defer cl.EndSession(ctx, id)
+
+	type stageAgg struct {
+		calls int
+		ms    float64
+	}
+	stages := map[string]*stageAgg{}
+	var walk func(sp *trace.SpanJSON)
+	walk = func(sp *trace.SpanJSON) {
+		a := stages[sp.Name]
+		if a == nil {
+			a = &stageAgg{}
+			stages[sp.Name] = a
+		}
+		a.calls++
+		a.ms += sp.DurationMS
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	childMS := func(sp *trace.SpanJSON) float64 {
+		var s float64
+		for _, c := range sp.Children {
+			s += c.DurationMS
+		}
+		return s
+	}
+
+	fmt.Fprintf(w, "rows=%d queries/mode=%d (every request traced)\n\n", n, perMode)
+	modeTbl := NewTable("mode", "queries", "total(ms)", "traced(ms)", "attributed")
+	var totalRoot, totalAttr float64
+	// The approximate modes accept only single-aggregate shapes, so they
+	// get a seeded drill-down of their own; exact and cracked replay the
+	// full exploration stream.
+	approxStmts := func(rng *rand.Rand) []string {
+		out := make([]string, perMode)
+		for i := range out {
+			lo := rng.Float64() * 400
+			out[i] = fmt.Sprintf("SELECT AVG(amount) FROM sales WHERE amount >= %.1f AND amount < %.1f", lo, lo+50+rng.Float64()*200)
+		}
+		return out
+	}
+	for _, mode := range []string{"exact", "cracked", "approx", "online"} {
+		rng := rand.New(rand.NewSource(cfg.Seed + 29))
+		var stmts []string
+		switch mode {
+		case "approx", "online":
+			stmts = approxStmts(rng)
+		default:
+			stmts = workload.ExplorationSQL(rng, perMode)
+		}
+		var rootMS, attrMS float64
+		for _, sql := range stmts {
+			res, err := cl.Query(ctx, id, server.QueryRequest{SQL: sql, Mode: mode, Trace: true})
+			if err != nil {
+				return fmt.Errorf("E29: %s (%s): %w", sql, mode, err)
+			}
+			if res.Trace == nil {
+				return fmt.Errorf("E29: %s (%s): no trace in response", sql, mode)
+			}
+			walk(res.Trace)
+			rootMS += res.Trace.DurationMS
+			attrMS += childMS(res.Trace)
+		}
+		totalRoot += rootMS
+		totalAttr += attrMS
+		modeTbl.Row(mode, len(stmts), rootMS, attrMS, fmt.Sprintf("%.1f%%", 100*attrMS/rootMS))
+	}
+	modeTbl.Fprint(w)
+
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		if name == "query" {
+			continue // the root; its children are the interesting rows
+		}
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return stages[names[i]].ms > stages[names[j]].ms })
+	fmt.Fprintf(w, "\nstage totals across the session (share of traced wall time):\n\n")
+	stageTbl := NewTable("stage", "spans", "total(ms)", "share")
+	for _, name := range names {
+		a := stages[name]
+		stageTbl.Row(name, a.calls, a.ms, fmt.Sprintf("%.1f%%", 100*a.ms/totalRoot))
+	}
+	stageTbl.Fprint(w)
+	fmt.Fprintf(w, "\nspan accounting: %.1f%% of root time attributed to stages overall\n", 100*totalAttr/totalRoot)
+	return nil
+}

@@ -28,12 +28,14 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dex/internal/core"
 	"dex/internal/exec"
 	"dex/internal/fault"
+	"dex/internal/metrics"
 	"dex/internal/server"
 	"dex/internal/workload"
 )
@@ -144,6 +146,10 @@ func Run(cfg Config) (*Report, error) {
 		MaxInFlight:  4,
 		MaxQueue:     8,
 		QueueTimeout: 100 * time.Millisecond,
+		// Tracing on: the slow ring must keep working while faults fire,
+		// and the post-run scrape validates /metrics under chaos.
+		SlowThreshold: 25 * time.Millisecond,
+		SlowRing:      32,
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -318,6 +324,20 @@ func Run(cfg Config) (*Report, error) {
 	rep.WallS = time.Since(start).Seconds()
 	rep.FaultStats = fault.Stats()
 	fault.Reset() // disarm everything before the invariant checks
+
+	// Observability must survive the chaos it just observed: /metrics has
+	// to parse as valid Prometheus exposition and /admin/slow has to answer
+	// after a run full of injected failures.
+	scrapeCl := server.NewClient(ts.URL)
+	if expo, err := scrapeCl.Metrics(context.Background()); err != nil {
+		violate("post-run /metrics scrape failed: %v", err)
+	} else if err := metrics.ValidateExposition(strings.NewReader(expo)); err != nil {
+		violate("post-run /metrics exposition invalid: %v", err)
+	}
+	if _, err := scrapeCl.Slow(context.Background()); err != nil {
+		violate("post-run /admin/slow fetch failed: %v", err)
+	}
+	scrapeCl.HTTP.CloseIdleConnections()
 
 	// Invariant 3: if a drain was scheduled it must have finished cleanly
 	// with no queries left in flight.

@@ -26,6 +26,7 @@ import (
 	"dex/internal/recommend"
 	"dex/internal/sqlparse"
 	"dex/internal/storage"
+	"dex/internal/trace"
 )
 
 // Package-level sentinel errors.
@@ -224,8 +225,10 @@ func (e *Engine) Tables() []string {
 }
 
 // table resolves a name to an in-memory table, materializing the needed
-// columns of an in-situ table when necessary.
-func (e *Engine) table(name string, q exec.Query) (*storage.Table, error) {
+// columns of an in-situ table when necessary. The materialization — the
+// only storage-layer work here that can dominate a query — gets its own
+// trace span; catalog hits are sub-microsecond and stay unspanned.
+func (e *Engine) table(ctx context.Context, name string, q exec.Query) (*storage.Table, error) {
 	if t, err := e.cat.Get(name); err == nil {
 		return t, nil
 	}
@@ -236,7 +239,15 @@ func (e *Engine) table(name string, q exec.Query) (*storage.Table, error) {
 		return nil, fmt.Errorf("%q: %w", name, ErrNoSuchTable)
 	}
 	cols := columnsOf(q, r.Schema())
-	return r.Materialize(cols...)
+	sp := trace.FromContext(ctx).Child("materialize")
+	sp.SetStr("table", name)
+	sp.SetInt("columns", int64(len(cols)))
+	t, err := r.Materialize(cols...)
+	if err == nil {
+		sp.SetInt("rows", int64(t.NumRows()))
+	}
+	sp.End()
+	return t, err
 }
 
 // schemaOf returns the schema for star expansion.
@@ -318,18 +329,25 @@ func (e *Engine) executeJoin(ctx context.Context, st *sqlparse.Statement) (*stor
 	if err != nil {
 		return nil, err
 	}
-	left, err := e.table(st.Table, allColumnsQuery(lschema))
+	left, err := e.table(ctx, st.Table, allColumnsQuery(lschema))
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.table(st.JoinTable, allColumnsQuery(rschema))
+	right, err := e.table(ctx, st.JoinTable, allColumnsQuery(rschema))
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	jsp := trace.FromContext(ctx).Child("join")
+	jsp.SetInt("left_rows", int64(left.NumRows()))
+	jsp.SetInt("right_rows", int64(right.NumRows()))
 	joined, err := exec.Join(left, right, st.LeftKey, st.RightKey)
+	if err == nil {
+		jsp.SetInt("rows_out", int64(joined.NumRows()))
+	}
+	jsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +396,7 @@ func (e *Engine) ExecuteAnswer(ctx context.Context, table string, q exec.Query, 
 	if !e.opt.Degrade || (mode != Exact && mode != Cracked) || !errors.Is(err, context.DeadlineExceeded) {
 		return Answer{}, err
 	}
-	dres, derr := e.degradedAnswer(table, q)
+	dres, derr := e.degradedAnswer(ctx, table, q)
 	if derr != nil {
 		return Answer{}, err // surface the original deadline overrun
 	}
@@ -387,9 +405,12 @@ func (e *Engine) ExecuteAnswer(ctx context.Context, table string, q exec.Query, 
 
 // degradedAnswer computes the approximate stand-in for a timed-out exact
 // query under its own grace budget, detached from the expired request
-// context.
-func (e *Engine) degradedAnswer(table string, q exec.Query) (*storage.Table, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), e.opt.DegradeGrace)
+// context. Only the trace span survives the detachment, so the fallback
+// work still shows up in the query's profile.
+func (e *Engine) degradedAnswer(parent context.Context, table string, q exec.Query) (*storage.Table, error) {
+	sp := trace.FromContext(parent).Child("degrade")
+	defer sp.End()
+	ctx, cancel := context.WithTimeout(trace.With(context.Background(), sp), e.opt.DegradeGrace)
 	defer cancel()
 	schema, err := e.schemaOf(table)
 	if err != nil {
@@ -406,14 +427,19 @@ func (e *Engine) ExecuteContext(ctx context.Context, table string, q exec.Query,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	psp := trace.FromContext(ctx).Child("plan")
+	psp.SetStr("table", table)
+	psp.SetStr("mode", mode.String())
 	schema, err := e.schemaOf(table)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
 	q = sqlparse.ExpandStar(q, schema)
+	psp.End()
 	switch mode {
 	case Exact:
-		t, err := e.table(table, q)
+		t, err := e.table(ctx, table, q)
 		if err != nil {
 			return nil, err
 		}
@@ -546,7 +572,7 @@ func (e *Engine) seqExec() exec.ExecOptions {
 }
 
 func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query) (*storage.Table, error) {
-	t, err := e.table(table, q)
+	t, err := e.table(ctx, table, q)
 	if err != nil {
 		return nil, err
 	}
@@ -554,12 +580,15 @@ func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query)
 	if !ok {
 		return exec.ExecuteCtx(ctx, t, q, e.seqExec()) // fallback: not a crackable shape
 	}
+	csp := trace.FromContext(ctx).Child("crack")
+	csp.SetStr("col", col)
 	var rows []int
 	e.crackMu.Lock()
 	if isFloat {
 		ix, ferr := e.crackIndexFloat(table, t, col)
 		if ferr != nil {
 			e.crackMu.Unlock()
+			csp.End()
 			return nil, ferr
 		}
 		rows = ix.Query(fLo, fHi)
@@ -567,15 +596,25 @@ func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query)
 		ix, ierr := e.crackIndex(table, t, col)
 		if ierr != nil {
 			e.crackMu.Unlock()
+			csp.End()
 			return nil, ierr
 		}
 		rows = ix.Query(iLo, iHi)
 	}
 	e.crackMu.Unlock()
+	csp.SetInt("rows_out", int64(len(rows)))
+	if pieces, cracks, ok := e.CrackStats(table, col); ok {
+		csp.SetInt("pieces", int64(pieces))
+		csp.SetInt("cracks", int64(cracks))
+	}
+	csp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	gsp := trace.FromContext(ctx).Child("gather")
+	gsp.SetInt("rows", int64(len(rows)))
 	sub := t.Gather(rows)
+	gsp.End()
 	q.Where = nil
 	return exec.ExecuteCtx(ctx, sub, q, e.seqExec())
 }
@@ -717,13 +756,14 @@ func (e *Engine) executeApprox(ctx context.Context, table string, q exec.Query) 
 	if err != nil {
 		return nil, err
 	}
-	t, err := e.table(table, q)
+	t, err := e.table(ctx, table, q)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ssp := trace.FromContext(ctx).Child("sample")
 	e.mu.Lock()
 	cat, ok := e.samples[table]
 	if !ok {
@@ -733,10 +773,13 @@ func (e *Engine) executeApprox(ctx context.Context, table string, q exec.Query) 
 		}
 	}
 	e.mu.Unlock()
+	ssp.SetBool("built", !ok)
 	if err != nil {
+		ssp.End()
 		return nil, err
 	}
 	res, err := cat.Approx(aq, aqp.Bound{RelErr: e.opt.ApproxRelErr})
+	ssp.End()
 	if err != nil && res == nil {
 		return nil, err
 	}
@@ -748,7 +791,7 @@ func (e *Engine) executeOnline(ctx context.Context, table string, q exec.Query) 
 	if err != nil {
 		return nil, err
 	}
-	t, err := e.table(table, q)
+	t, err := e.table(ctx, table, q)
 	if err != nil {
 		return nil, err
 	}
@@ -757,11 +800,18 @@ func (e *Engine) executeOnline(ctx context.Context, table string, q exec.Query) 
 	e.mu.Lock()
 	seed := e.rng.Int63()
 	e.mu.Unlock()
+	// The span covers runner construction too: the random-permutation
+	// setup dominates short online runs and must not vanish from traces.
+	osp := trace.FromContext(ctx).Child("online")
 	r, err := onlineagg.New(t, aq, seed)
 	if err != nil {
+		osp.End()
 		return nil, err
 	}
-	if _, err := r.RunUntilCtx(ctx, e.opt.OnlineRelCI, e.opt.OnlineBatch); err != nil {
+	snaps, err := r.RunUntilCtx(ctx, e.opt.OnlineRelCI, e.opt.OnlineBatch)
+	osp.SetInt("batches", int64(len(snaps)))
+	osp.End()
+	if err != nil {
 		return nil, err
 	}
 	return estimatesTable(table, aq.GroupBy, aggName, r.Estimates())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,7 +57,7 @@ func (e *Engine) Profile(table string) (*TableProfile, error) {
 	for _, f := range schema {
 		allQ.Select = append(allQ.Select, exec.SelectItem{Col: f.Name})
 	}
-	t, err := e.table(table, allQ)
+	t, err := e.table(context.Background(), table, allQ)
 	if err != nil {
 		return nil, err
 	}

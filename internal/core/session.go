@@ -7,6 +7,7 @@ import (
 	"dex/internal/recommend"
 	"dex/internal/sqlparse"
 	"dex/internal/storage"
+	"dex/internal/trace"
 )
 
 // Session tracks one user's exploration: every executed query is
@@ -49,7 +50,9 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (*sto
 // the entry point the service layer uses. A degraded answer still counts
 // as a result the user saw, so it is recorded in the session history.
 func (s *Session) AnswerContext(ctx context.Context, sql string, mode Mode) (Answer, error) {
+	psp := trace.FromContext(ctx).Child("parse")
 	st, err := sqlparse.Parse(sql)
+	psp.End()
 	if err != nil {
 		return Answer{}, err
 	}

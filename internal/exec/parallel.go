@@ -28,7 +28,13 @@ import (
 	"dex/internal/fault"
 	"dex/internal/par"
 	"dex/internal/storage"
+	"dex/internal/trace"
 )
+
+// disableTrace skips the per-query span extraction entirely — the
+// pre-tracing baseline the overhead guard in trace_guard_test.go
+// compares against. Test-only; never set in production code.
+var disableTrace bool
 
 // fpScan injects scan-level faults: hit once before a whole-table filter
 // and once per morsel on the morsel-granular paths. Latency policies here
@@ -95,20 +101,47 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 	}
 	pool := opt.pool()
 	tr := tracer{ctx: ctx, scanned: opt.Scanned}
+	// The span is extracted once per query, never per morsel; when the
+	// request is untraced sp is nil and every call below is a no-op.
+	var sp *trace.Span
+	if !disableTrace {
+		sp = trace.FromContext(ctx)
+	}
+	n := t.NumRows()
+	scanSp := sp.Child("scan")
 	sel, err := filterPar(t, q.Where, pool, tr)
+	if scanSp != nil {
+		scanSp.SetInt("rows_in", int64(n))
+		scanSp.SetInt("rows_out", int64(len(sel)))
+		scanSp.SetInt("morsels", int64(pool.Morsels(n)))
+		scanSp.SetInt("workers", int64(pool.WorkersFor(n)))
+		scanSp.End()
+	}
 	if err != nil {
 		return nil, err
 	}
 	var out *storage.Table
 	switch {
 	case q.HasAggregates() && len(q.GroupBy) == 0:
+		st := sp.Child("aggregate")
+		st.SetInt("rows_in", int64(len(sel)))
 		out, err = scalarAggregatePar(t, sel, q, pool, tr)
+		st.End()
 	case len(q.GroupBy) > 0:
+		st := sp.Child("group_by")
+		st.SetInt("rows_in", int64(len(sel)))
 		out, err = groupByPar(t, sel, q, pool, tr)
+		if err == nil {
+			st.SetInt("groups", int64(out.NumRows()))
+		}
+		st.End()
 	default:
+		st := sp.Child("project")
+		st.SetInt("rows_out", int64(len(sel)))
 		if err = ctx.Err(); err == nil {
 			out, err = project(t, sel, q)
 		}
+		st.End()
 	}
 	if err != nil {
 		return nil, err
@@ -116,7 +149,10 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return finish(out, q)
+	fsp := sp.Child("finish")
+	out, err = finish(out, q)
+	fsp.End()
+	return out, err
 }
 
 // filterPar evaluates the predicate over morsels in parallel and merges the

@@ -223,7 +223,7 @@ func TestParallelParityEdgeCases(t *testing.T) {
 			tbl:  randParityTable(rng, 500, 0.1),
 			q: Query{
 				Select: []SelectItem{{Col: "k"}, {Col: "x"}},
-				Where:  expr.Cmp("k", expr.GT, storage.Int(1 << 40)),
+				Where:  expr.Cmp("k", expr.GT, storage.Int(1<<40)),
 			},
 		},
 		{

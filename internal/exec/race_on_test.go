@@ -1,0 +1,8 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Timing guards skip under -race: instrumentation inflates
+// per-call costs far beyond production behaviour.
+const raceEnabled = true

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses Prometheus text exposition format (0.0.4)
+// and checks the structural invariants a scraper relies on:
+//
+//   - every non-comment line is `name{labels} value` with a parseable
+//     float value and well-formed labels;
+//   - every sample name is declared by a preceding # TYPE line;
+//   - for each histogram series (same name and labels modulo `le`):
+//     `le` upper bounds strictly ascend, cumulative counts are
+//     monotonically non-decreasing, the `+Inf` bucket exists, and it
+//     equals the series' `_count` sample;
+//   - counters never go negative.
+//
+// It is shared by the server's /metrics tests, the chaos harness, and
+// the metrics-smoke gate, so a formatting regression fails everywhere.
+func ValidateExposition(r io.Reader) error {
+	type bucket struct {
+		le  float64
+		cnt int64
+	}
+	buckets := map[string][]bucket{} // histogram base name+labels -> le series
+	counts := map[string]int64{}     // histogram base name+labels -> _count value
+	types := map[string]string{}     // metric family -> declared TYPE
+	sums := map[string]bool{}        // histogram base name+labels with a _sum
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	nSamples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		nSamples++
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		typ, ok := types[family]
+		if !ok {
+			// _count/_sum may also belong to a plain family named that way.
+			if typ, ok = types[name]; !ok {
+				return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+			}
+			family = name
+		}
+		switch typ {
+		case "counter":
+			if val < 0 {
+				return fmt.Errorf("line %d: counter %s is negative (%g)", lineNo, name, val)
+			}
+		case "histogram":
+			rest, le, hasLE := splitLE(labels)
+			key := family + "{" + rest + "}"
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLE {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				ub, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				buckets[key] = append(buckets[key], bucket{ub, int64(val)})
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = int64(val)
+			case strings.HasSuffix(name, "_sum"):
+				if math.IsNaN(val) || math.IsInf(val, 0) {
+					return fmt.Errorf("line %d: non-finite histogram sum %g", lineNo, val)
+				}
+				sums[key] = true
+			default:
+				return fmt.Errorf("line %d: histogram family %s has stray sample %s", lineNo, family, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if nSamples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		bs := buckets[key]
+		var inf *bucket
+		for i := range bs {
+			if i > 0 {
+				if bs[i].le <= bs[i-1].le {
+					return fmt.Errorf("%s: le bounds not ascending (%g after %g)", key, bs[i].le, bs[i-1].le)
+				}
+				if bs[i].cnt < bs[i-1].cnt {
+					return fmt.Errorf("%s: cumulative counts decrease (%d after %d at le=%g)", key, bs[i].cnt, bs[i-1].cnt, bs[i].le)
+				}
+			}
+			if math.IsInf(bs[i].le, 1) {
+				inf = &bs[i]
+			}
+		}
+		if inf == nil {
+			return fmt.Errorf("%s: no +Inf bucket", key)
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			return fmt.Errorf("%s: no _count sample", key)
+		}
+		if cnt != inf.cnt {
+			return fmt.Errorf("%s: _count %d != +Inf bucket %d", key, cnt, inf.cnt)
+		}
+		if !sums[key] {
+			return fmt.Errorf("%s: no _sum sample", key)
+		}
+	}
+	return nil
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)$`)
+
+func parseSample(line string) (name, labels string, val float64, err error) {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	if m[2] != "" {
+		for _, pair := range splitLabels(m[2]) {
+			eq := strings.Index(pair, "=")
+			if eq <= 0 || len(pair) < eq+3 || pair[eq+1] != '"' || pair[len(pair)-1] != '"' {
+				return "", "", 0, fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+		}
+	}
+	return m[1], m[2], v, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// splitLE removes the le label from a label string, returning the rest
+// (sorted, for a stable series key) and the le value.
+func splitLE(labels string) (rest, le string, ok bool) {
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if strings.HasPrefix(pair, "le=") {
+			le = strings.Trim(pair[len("le="):], `"`)
+			ok = true
+			continue
+		}
+		if pair != "" {
+			kept = append(kept, pair)
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ","), le, ok
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -34,7 +34,10 @@ func NewLogHist() *LogHist {
 }
 
 func bucketOf(x float64) int {
-	if x <= histFloor {
+	// NaN fails every comparison, so without this guard it would fall
+	// through to int(math.Log(NaN)) — an implementation-defined integer
+	// (minInt on amd64) and a panic when used as a bucket index.
+	if math.IsNaN(x) || x <= histFloor {
 		return 0
 	}
 	b := int(math.Log(x/histFloor) / math.Log(histGrowth))
@@ -50,8 +53,12 @@ func bucketValue(b int) float64 {
 	return histFloor * math.Pow(histGrowth, float64(b)+0.5)
 }
 
-// Add folds one observation in.
+// Add folds one observation in. NaN is clamped to 0 so the running sum
+// and mean stay finite.
 func (h *LogHist) Add(x float64) {
+	if math.IsNaN(x) {
+		x = 0
+	}
 	h.counts[bucketOf(x)]++
 	h.n++
 	h.sum += x
@@ -75,11 +82,16 @@ func (h *LogHist) Mean() float64 {
 // Max returns the largest observation seen (exact).
 func (h *LogHist) Max() float64 { return h.max }
 
-// Quantile returns the q-th quantile (0<=q<=1) with relative error bounded
-// by the bucket growth factor (~8%). Empty histograms yield 0.
+// Quantile returns the q-th quantile with relative error bounded by the
+// bucket growth factor (~8%). q outside [0,1] — including NaN, whose
+// float-to-int conversion is platform-dependent — clamps to the nearest
+// edge (NaN to 0). Empty histograms yield 0.
 func (h *LogHist) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
 	}
 	if q > 1 {
 		q = 1
@@ -96,6 +108,46 @@ func (h *LogHist) Quantile(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// Sum returns the exact running sum of observations.
+func (h *LogHist) Sum() float64 { return h.sum }
+
+// Clone returns an independent deep copy — the snapshot a renderer can
+// walk outside whatever lock guards the live histogram.
+func (h *LogHist) Clone() *LogHist {
+	return &LogHist{
+		counts: append([]int64(nil), h.counts...),
+		n:      h.n,
+		sum:    h.sum,
+		max:    h.max,
+	}
+}
+
+// HistBucket is one cumulative bucket in Prometheus exposition order:
+// Count observations were <= UpperBound.
+type HistBucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// CumBuckets returns the cumulative counts of the non-empty buckets,
+// upper bounds ascending — the `le` series of a Prometheus histogram.
+// The caller appends the `+Inf` bucket itself (its count is N()).
+func (h *LogHist) CumBuckets() []HistBucket {
+	var out []HistBucket
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, HistBucket{
+			UpperBound: histFloor * math.Pow(histGrowth, float64(i+1)),
+			Count:      cum,
+		})
+	}
+	return out
 }
 
 // Merge folds another histogram into h (same fixed geometry).

@@ -38,9 +38,9 @@ func TestLogHistEdges(t *testing.T) {
 	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
 		t.Fatal("empty histogram must report zeros")
 	}
-	h.Add(0)        // clamps to the floor bucket
-	h.Add(1e9)      // clamps to the last bucket
-	h.Add(3e-3)     // a normal latency
+	h.Add(0)    // clamps to the floor bucket
+	h.Add(1e9)  // clamps to the last bucket
+	h.Add(3e-3) // a normal latency
 	if h.N() != 3 {
 		t.Fatalf("N = %d, want 3", h.N())
 	}
@@ -65,5 +65,94 @@ func TestLogHistEdges(t *testing.T) {
 	h.Reset()
 	if h.N() != 0 || h.Quantile(0.5) != 0 {
 		t.Fatal("Reset did not clear the histogram")
+	}
+}
+
+func TestLogHistQuantileEdgeCases(t *testing.T) {
+	h := NewLogHist()
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i) / 1000) // 1ms .. 100ms
+	}
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	cases := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{"nan", math.NaN(), lo},
+		{"negative", -1, lo},
+		{"zero", 0, lo},
+		{"one", 1, hi},
+		{"above-one", 2, hi},
+		{"tiny", 1e-12, lo},
+	}
+	for _, tc := range cases {
+		got := h.Quantile(tc.q)
+		if math.IsNaN(got) || got != tc.want {
+			t.Errorf("Quantile(%s=%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+	// Edge quantiles must bracket the data: q=0 near the minimum, q=1 at
+	// most ~one bucket above the maximum.
+	if lo > 0.0012 || hi < 0.09 {
+		t.Fatalf("edge quantiles off: q0=%v q1=%v", lo, hi)
+	}
+}
+
+func TestLogHistNaNObservation(t *testing.T) {
+	h := NewLogHist()
+	h.Add(math.NaN()) // used to index counts[minInt] and panic
+	h.Add(0.5)
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2", h.N())
+	}
+	if math.IsNaN(h.Sum()) || math.IsNaN(h.Mean()) || math.IsNaN(h.Max()) {
+		t.Fatalf("NaN leaked into aggregates: sum=%v mean=%v max=%v", h.Sum(), h.Mean(), h.Max())
+	}
+	if got := h.Quantile(0.99); math.IsNaN(got) {
+		t.Fatalf("Quantile went NaN")
+	}
+}
+
+func TestLogHistCumBuckets(t *testing.T) {
+	h := NewLogHist()
+	vals := []float64{1e-7, 0.001, 0.001, 0.05, 3, 200}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	bs := h.CumBuckets()
+	if len(bs) == 0 {
+		t.Fatal("no buckets")
+	}
+	for i := range bs {
+		if i > 0 {
+			if bs[i].UpperBound <= bs[i-1].UpperBound {
+				t.Fatalf("bounds not ascending at %d: %+v", i, bs)
+			}
+			if bs[i].Count < bs[i-1].Count {
+				t.Fatalf("cumulative counts decrease at %d: %+v", i, bs)
+			}
+		}
+	}
+	if last := bs[len(bs)-1].Count; last != h.N() {
+		t.Fatalf("final cumulative count %d != N %d", last, h.N())
+	}
+	// Every observation must sit at or below the bound of the bucket it
+	// was counted in (cumulative semantics).
+	if bs[0].Count < 1 || bs[0].UpperBound < 1e-7 {
+		t.Fatalf("first bucket wrong: %+v", bs[0])
+	}
+}
+
+func TestLogHistClone(t *testing.T) {
+	h := NewLogHist()
+	h.Add(0.25)
+	c := h.Clone()
+	h.Add(0.5)
+	if c.N() != 1 || h.N() != 2 {
+		t.Fatalf("clone not independent: clone N=%d orig N=%d", c.N(), h.N())
+	}
+	if c.Max() != 0.25 || c.Sum() != 0.25 {
+		t.Fatalf("clone lost state: max=%v sum=%v", c.Max(), c.Sum())
 	}
 }

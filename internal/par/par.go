@@ -89,6 +89,16 @@ func NewPool(opt Options) *Pool {
 // morsel index callers may use to write per-morsel results without locks.
 func (p *Pool) MorselSize() int { return p.morsel }
 
+// Morsels returns how many scheduling units an input of n rows is cut
+// into — the count trace spans record so a profile shows scheduling
+// granularity next to worker count.
+func (p *Pool) Morsels(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.morsel - 1) / p.morsel
+}
+
 // WorkersFor returns how many workers an input of n rows will actually use:
 // 1 when n is under the serial cutoff or fits in a single morsel, otherwise
 // the pool parallelism capped at the morsel count. Operators allocate

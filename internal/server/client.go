@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dex/internal/fault"
+	"dex/internal/trace"
 )
 
 // fpTransport injects network-level failures into the client: an error
@@ -341,4 +342,39 @@ func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Slow fetches the retained slow-query traces from /admin/slow,
+// newest first.
+func (c *Client) Slow(ctx context.Context) ([]trace.Entry, error) {
+	var out struct {
+		Slow []trace.Entry `json:"slow"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/admin/slow", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Slow, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics. It
+// is the one non-JSON response in the API, so it bypasses the JSON
+// plumbing (and the retry policy — a scrape is not worth retrying).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", &TransportError{Op: "GET /metrics", Err: err}
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", &TransportError{Op: "GET /metrics", Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Status: resp.StatusCode, Message: string(buf)}
+	}
+	return string(buf), nil
 }

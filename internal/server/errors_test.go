@@ -382,3 +382,92 @@ func TestInjectedHandlerFault(t *testing.T) {
 		t.Fatalf("query after one-shot fault: %v", err)
 	}
 }
+
+// TestQueryErrorClassification is the table-driven unit test of the
+// error classifier, including the internal-cancellation bugfix: a
+// context.Canceled surfacing with the client still connected and no
+// deadline fired is a 500 with its own counter — it used to be a 400
+// miscounted as a user cancellation.
+func TestQueryErrorClassification(t *testing.T) {
+	cancelledReq := func() *http.Request {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return httptest.NewRequest(http.MethodPost, "/v1/sessions/x/query", nil).WithContext(ctx)
+	}
+	liveReq := func() *http.Request {
+		return httptest.NewRequest(http.MethodPost, "/v1/sessions/x/query", nil)
+	}
+
+	cases := []struct {
+		name        string
+		err         error
+		req         func() *http.Request
+		wantStatus  int // 0 = nothing may be written
+		wantOutcome string
+		counter     func(q QueryStats) int64
+	}{
+		{
+			name: "injected fault", err: fault.ErrInjected, req: liveReq,
+			wantStatus: http.StatusInternalServerError, wantOutcome: "injected",
+			counter: func(q QueryStats) int64 { return q.Injected },
+		},
+		{
+			name: "client disconnected", err: context.Canceled, req: cancelledReq,
+			wantStatus: 0, wantOutcome: "cancelled",
+			counter: func(q QueryStats) int64 { return q.Cancelled },
+		},
+		{
+			name: "internal cancel, live client", err: context.Canceled, req: liveReq,
+			wantStatus: http.StatusInternalServerError, wantOutcome: "internal_cancel",
+			counter: func(q QueryStats) int64 { return q.CancelledInternal },
+		},
+		{
+			name: "wrapped internal cancel", err: fmt.Errorf("exec: %w", context.Canceled), req: liveReq,
+			wantStatus: http.StatusInternalServerError, wantOutcome: "internal_cancel",
+			counter: func(q QueryStats) int64 { return q.CancelledInternal },
+		},
+		{
+			name: "deadline exceeded", err: context.DeadlineExceeded, req: liveReq,
+			wantStatus: http.StatusGatewayTimeout, wantOutcome: "timeout",
+			counter: func(q QueryStats) int64 { return q.TimedOut },
+		},
+		{
+			name: "unknown table", err: fmt.Errorf("%q: %w", "nope", core.ErrNoSuchTable), req: liveReq,
+			wantStatus: http.StatusNotFound, wantOutcome: "failed",
+			counter: func(q QueryStats) int64 { return q.Failed },
+		},
+		{
+			name: "engine rejection", err: errors.New("exec: unknown column"), req: liveReq,
+			wantStatus: http.StatusBadRequest, wantOutcome: "failed",
+			counter: func(q QueryStats) int64 { return q.Failed },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(core.New(core.Options{}), Config{})
+			w := httptest.NewRecorder()
+			outcome := s.queryError(w, tc.req(), tc.err)
+			if outcome != tc.wantOutcome {
+				t.Fatalf("outcome %q, want %q", outcome, tc.wantOutcome)
+			}
+			if got := tc.counter(s.Stats().Queries); got != 1 {
+				t.Fatalf("counter for %s = %d, want 1", tc.wantOutcome, got)
+			}
+			resp := w.Result()
+			defer resp.Body.Close()
+			if tc.wantStatus == 0 {
+				if w.Body.Len() != 0 {
+					t.Fatalf("wrote %q to a disconnected client", w.Body.String())
+				}
+				return
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body missing or malformed: %v (%q)", err, w.Body.String())
+			}
+		})
+	}
+}

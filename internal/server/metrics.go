@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"dex/internal/metrics"
+)
+
+// handleMetrics renders the service counters and latency histograms in
+// Prometheus text exposition format (version 0.0.4). The numbers are the
+// same ones /admin/stats serves — one source of truth, two renderings:
+// the JSON snapshot summarizes (quantiles), the exposition is cumulative
+// (`_bucket`/`_sum`/`_count`) so a scraper can aggregate across scrapes
+// and instances.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Stats()
+	hists := s.st.histograms()
+	var b bytes.Buffer
+	writeProm(&b, snap, hists)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b.Bytes())
+}
+
+// writeProm renders one exposition. Metric names follow the Prometheus
+// conventions: `dex_` prefix, `_total` suffix on counters, base units
+// (seconds, rows) in the name.
+func writeProm(b *bytes.Buffer, snap StatsSnapshot, hists map[string]*metrics.LogHist) {
+	head := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	head("dex_queries_total", "Query outcomes since process start (completed includes cache hits and degraded answers).", "counter")
+	for _, oc := range []struct {
+		name string
+		v    int64
+	}{
+		{"completed", snap.Queries.Completed},
+		{"cache_hit", snap.Queries.CacheHits},
+		{"cancelled", snap.Queries.Cancelled},
+		{"cancelled_internal", snap.Queries.CancelledInternal},
+		{"timed_out", snap.Queries.TimedOut},
+		{"failed", snap.Queries.Failed},
+		{"degraded", snap.Queries.Degraded},
+		{"injected", snap.Queries.Injected},
+		{"rejected_busy", snap.Queries.RejectedBusy},
+		{"rejected_drain", snap.Queries.RejectedDrain},
+	} {
+		fmt.Fprintf(b, "dex_queries_total{outcome=%q} %d\n", oc.name, oc.v)
+	}
+
+	head("dex_rows_scanned_total", "Rows visited by predicate evaluation and aggregate accumulation.", "counter")
+	fmt.Fprintf(b, "dex_rows_scanned_total %d\n", snap.RowsScanned)
+
+	head("dex_sessions_created_total", "Sessions created.", "counter")
+	fmt.Fprintf(b, "dex_sessions_created_total %d\n", snap.Sessions.Created)
+	head("dex_sessions_ended_total", "Sessions ended.", "counter")
+	fmt.Fprintf(b, "dex_sessions_ended_total %d\n", snap.Sessions.Ended)
+	head("dex_sessions_active", "Live sessions.", "gauge")
+	fmt.Fprintf(b, "dex_sessions_active %d\n", snap.Sessions.Active)
+
+	head("dex_queries_in_flight", "Queries currently holding an execution slot.", "gauge")
+	fmt.Fprintf(b, "dex_queries_in_flight %d\n", snap.Active)
+	head("dex_queries_queued", "Queries waiting for an execution slot.", "gauge")
+	fmt.Fprintf(b, "dex_queries_queued %d\n", snap.Queued)
+	head("dex_draining", "1 while graceful drain is in progress.", "gauge")
+	fmt.Fprintf(b, "dex_draining %d\n", b2i(snap.Draining))
+
+	head("dex_cache_enabled", "1 when the shared result cache is configured.", "gauge")
+	fmt.Fprintf(b, "dex_cache_enabled %d\n", b2i(snap.Cache.Enabled))
+	if snap.Cache.Enabled {
+		head("dex_cache_entries", "Entries in the result cache.", "gauge")
+		fmt.Fprintf(b, "dex_cache_entries %d\n", snap.Cache.Entries)
+		head("dex_cache_used_rows", "Rows held by the result cache.", "gauge")
+		fmt.Fprintf(b, "dex_cache_used_rows %d\n", snap.Cache.UsedRows)
+		head("dex_cache_hits_total", "Result cache hits.", "counter")
+		fmt.Fprintf(b, "dex_cache_hits_total %d\n", snap.Cache.Hits)
+		head("dex_cache_misses_total", "Result cache misses.", "counter")
+		fmt.Fprintf(b, "dex_cache_misses_total %d\n", snap.Cache.Misses)
+		head("dex_cache_evictions_total", "Result cache evictions.", "counter")
+		fmt.Fprintf(b, "dex_cache_evictions_total %d\n", snap.Cache.Evictions)
+	}
+
+	if len(hists) == 0 {
+		return
+	}
+	modes := make([]string, 0, len(hists))
+	for m := range hists {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	head("dex_query_duration_seconds",
+		"Query latency by execution mode; the cached series is result-cache lookups, engine modes hold engine executions only.",
+		"histogram")
+	for _, m := range modes {
+		h := hists[m]
+		for _, bk := range h.CumBuckets() {
+			fmt.Fprintf(b, "dex_query_duration_seconds_bucket{mode=%q,le=%q} %d\n",
+				m, fmtFloat(bk.UpperBound), bk.Count)
+		}
+		fmt.Fprintf(b, "dex_query_duration_seconds_bucket{mode=%q,le=\"+Inf\"} %d\n", m, h.N())
+		fmt.Fprintf(b, "dex_query_duration_seconds_sum{mode=%q} %s\n", m, fmtFloat(h.Sum()))
+		fmt.Fprintf(b, "dex_query_duration_seconds_count{mode=%q} %d\n", m, h.N())
+	}
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

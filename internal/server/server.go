@@ -18,7 +18,16 @@
 //	POST   /v1/tables/load           {"name","path"} load a CSV server-side
 //	POST   /v1/tables/demo           {"kind","rows","seed"} synthesize data
 //	GET    /admin/stats              StatsSnapshot
+//	GET    /admin/slow               last N slow-query traces
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /debug/pprof/*            net/http/pprof (behind Config.Pprof)
 //	GET    /healthz                  200 ok / 503 draining
+//
+// Observability: a query body with "trace": true returns the span tree
+// of that execution in the response; queries slower than
+// Config.SlowThreshold are kept (with their traces) in a bounded ring
+// served at /admin/slow; Config.RequestLog emits one structured line per
+// query. See internal/trace and DESIGN.md's Observability section.
 package server
 
 import (
@@ -27,9 +36,11 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -40,6 +51,7 @@ import (
 	"dex/internal/core"
 	"dex/internal/fault"
 	"dex/internal/storage"
+	"dex/internal/trace"
 	"dex/internal/workload"
 )
 
@@ -77,6 +89,17 @@ type Config struct {
 	MaxBody int64
 	// Log receives request-level errors (default: log.Default()).
 	Log *log.Logger
+	// SlowThreshold keeps any query at or above this duration (whatever
+	// its outcome) in the /admin/slow trace ring. 0 disables the ring;
+	// per-request "trace": true still works either way.
+	SlowThreshold time.Duration
+	// SlowRing is how many slow-query traces the ring retains (default 64).
+	SlowRing int
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
+	// RequestLog, when non-nil, gets one structured line per query request
+	// (session, mode, outcome, duration, rows).
+	RequestLog *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -107,6 +130,9 @@ func (c *Config) fill() {
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
+	if c.SlowRing <= 0 {
+		c.SlowRing = 64
+	}
 }
 
 // Server is the query service. Create with New, serve via ServeHTTP (it is
@@ -118,6 +144,10 @@ type Server struct {
 	st  *stats
 
 	results *cache.Sync[string, *QueryResult]
+
+	// slow retains traces of queries exceeding cfg.SlowThreshold; nil when
+	// the threshold is unset.
+	slow *trace.Ring
 
 	draining atomic.Bool
 
@@ -163,6 +193,9 @@ func New(eng *core.Engine, cfg Config) *Server {
 	if cfg.CacheRows > 0 {
 		s.results, _ = cache.NewSync[string, *QueryResult](cfg.CacheRows)
 	}
+	if cfg.SlowThreshold > 0 {
+		s.slow = trace.NewRing(cfg.SlowRing)
+	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/suggest", s.handleSuggest)
@@ -171,7 +204,16 @@ func New(eng *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/tables/load", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/tables/demo", s.handleDemo)
 	s.mux.HandleFunc("GET /admin/stats", s.handleStats)
+	s.mux.HandleFunc("GET /admin/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -257,6 +299,9 @@ type QueryRequest struct {
 	SQL       string `json:"sql"`
 	Mode      string `json:"mode,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Trace asks the server to record per-stage spans for this query and
+	// return the span tree in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResult is the /query response: a column-major-encoded result table.
@@ -270,6 +315,9 @@ type QueryResult struct {
 	// Degraded marks an exact query that overran its deadline and was
 	// answered with a sampled approximation (see core.Answer).
 	Degraded bool `json:"degraded,omitempty"`
+	// Trace is the span tree of this execution, present when the request
+	// set "trace": true.
+	Trace *trace.SpanJSON `json:"trace,omitempty"`
 }
 
 // Suggestion is one recommended next query.
@@ -343,7 +391,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
-	sess, _, ok := s.session(r)
+	sess, sid, ok := s.session(r)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session"})
 		return
@@ -362,25 +410,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tracing is armed per request ("trace": true) or service-wide by the
+	// slow-query ring; untraced queries never allocate a span, and every
+	// layer below sees a nil span through the plain context.
+	start := time.Now()
+	ctx := r.Context()
+	var root *trace.Span
+	if req.Trace || s.slow != nil {
+		ctx, root = trace.Start(ctx, "query")
+		root.SetStr("session", sid)
+		root.SetStr("mode", mode.String())
+	}
+	outcome := "completed"
+	rows := 0
+	defer func() {
+		total := time.Since(start)
+		s.logRequest(sid, mode.String(), outcome, total, rows)
+		if root != nil {
+			root.End()
+			if s.slow != nil && total >= s.cfg.SlowThreshold {
+				s.slow.Add(trace.Entry{
+					Time:      start,
+					Session:   sid,
+					SQL:       req.SQL,
+					Mode:      mode.String(),
+					Outcome:   outcome,
+					ElapsedMS: float64(total.Microseconds()) / 1e3,
+					Trace:     root.JSON(),
+				})
+			}
+		}
+	}()
+
 	// Serve from the shared result cache before burning an execution slot.
 	cacheKey := ""
 	if s.results != nil && mode == core.Exact {
 		cacheKey = "exact\x00" + req.SQL
-		if res, ok := s.results.Get(cacheKey); ok {
+		csp := root.Child("cache_lookup")
+		lookStart := time.Now()
+		res, hitOK := s.results.Get(cacheKey)
+		lookup := time.Since(lookStart)
+		csp.SetBool("hit", hitOK)
+		csp.End()
+		if hitOK {
 			hit := *res
 			hit.Cached = true
-			s.st.observe(mode.String(), 0, true)
+			// The original execution's latency is meaningless for a hit:
+			// report the lookup cost the client actually paid, and observe
+			// it under the dedicated "cached" series — never the engine
+			// mode's histogram, which must hold engine executions only.
+			hit.ElapsedMS = float64(lookup.Microseconds()) / 1e3
+			s.st.observe(statCached, lookup, true)
+			outcome, rows = "cache_hit", len(hit.Rows)
+			if req.Trace {
+				root.End()
+				hit.Trace = root.JSON()
+			}
 			writeJSON(w, http.StatusOK, &hit)
 			return
 		}
 	}
 
 	// Admission control: bounded in-flight, bounded queue, reject beyond.
-	if err := s.adm.acquire(r.Context()); err != nil {
+	asp := root.Child("admission")
+	err = s.adm.acquire(ctx)
+	asp.End()
+	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueTimeout):
+			outcome = "rejected"
 			s.reject(w, http.StatusTooManyRequests, err, &s.st.rejBusy)
 		default: // client gave up while queued
+			outcome = "cancelled"
 			s.st.count(&s.st.cancelled)
 		}
 		return
@@ -397,14 +498,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// r.Context() is cancelled when the client disconnects; the deadline
 	// layers the per-request budget on top. Both propagate through
 	// core -> exec -> par and stop the morsel scheduler.
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	start := time.Now()
+	execStart := time.Now()
 	ans, err := sess.AnswerContext(ctx, req.SQL, mode)
-	elapsed := time.Since(start)
+	elapsed := time.Since(execStart)
 	if err != nil {
-		s.queryError(w, r, err)
+		outcome = s.queryError(w, r, err)
 		return
 	}
 	out := encodeTable(ans.Table, ans.Mode.String(), elapsed)
@@ -416,9 +517,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if ans.Degraded {
 		s.st.count(&s.st.degraded)
+		outcome = "degraded"
 	}
 	s.st.observe(mode.String(), elapsed, false)
-	writeJSON(w, http.StatusOK, out)
+	rows = len(out.Rows)
+	resp := out
+	if req.Trace {
+		// The cache holds out by pointer; attach the trace to a copy so a
+		// future hit is not served another request's spans.
+		cp := *out
+		root.End()
+		cp.Trace = root.JSON()
+		resp = &cp
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// logRequest emits the one structured line per query request when
+// Config.RequestLog is set.
+func (s *Server) logRequest(session, mode, outcome string, d time.Duration, rows int) {
+	if s.cfg.RequestLog == nil {
+		return
+	}
+	s.cfg.RequestLog.LogAttrs(context.Background(), slog.LevelInfo, "query",
+		slog.String("session", session),
+		slog.String("mode", mode),
+		slog.String("outcome", outcome),
+		slog.Duration("elapsed", d),
+		slog.Int("rows", rows))
 }
 
 // decodeBody decodes a JSON request body under the configured size cap,
@@ -439,30 +565,43 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// queryError classifies a failed query: client disconnects count as
-// cancelled (there is no one left to answer), deadline overruns are 504,
-// unknown tables 404, injected faults 500 (the infrastructure failed, not
-// the query), and anything else the engine rejects is a 400 — the
-// engine's remaining errors are user-query errors by construction.
-func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+// queryError classifies a failed query and returns the outcome label the
+// request log and slow ring record: client disconnects count as
+// cancelled (there is no one left to answer), a context.Canceled with
+// the client still connected and no deadline fired is an engine bug and
+// a 500 with its own counter, deadline overruns are 504, unknown tables
+// 404, injected faults 500 (the infrastructure failed, not the query),
+// and anything else the engine rejects is a 400 — the engine's remaining
+// errors are user-query errors by construction.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) string {
 	switch {
 	case errors.Is(err, fault.ErrInjected):
 		s.st.count(&s.st.injected)
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return "injected"
 	case errors.Is(err, context.Canceled):
-		s.st.count(&s.st.cancelled)
-		if r.Context().Err() == nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		if r.Context().Err() != nil {
+			s.st.count(&s.st.cancelled)
+			return "cancelled"
 		}
+		// Nothing external cancelled this query, yet the engine returned
+		// context.Canceled: that is an internal failure, not a user error.
+		s.st.count(&s.st.cancelledInternal)
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "internal: query cancelled with no client disconnect or deadline: " + err.Error()})
+		return "internal_cancel"
 	case errors.Is(err, context.DeadlineExceeded):
 		s.st.count(&s.st.timedOut)
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query deadline exceeded"})
+		return "timeout"
 	case errors.Is(err, core.ErrNoSuchTable):
 		s.st.count(&s.st.failed)
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return "failed"
 	default:
 		s.st.count(&s.st.failed)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return "failed"
 	}
 }
 
@@ -590,6 +729,21 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleSlow serves the retained slow-query traces, newest first. With
+// no SlowThreshold configured the ring is off and the list is empty.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	entries := []trace.Entry{}
+	var threshold string
+	if s.slow != nil {
+		entries = s.slow.Snapshot()
+		threshold = s.cfg.SlowThreshold.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold": threshold,
+		"slow":      entries,
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -18,16 +18,25 @@ type stats struct {
 	completed int64
 	cacheHits int64
 	cancelled int64
-	timedOut  int64
-	failed    int64
-	degraded  int64 // deadline overruns answered approximately
-	injected  int64 // failures injected by an armed failpoint
-	rejBusy   int64 // 429: queue full or queue timeout
-	rejDrain  int64 // 503: draining
+	// cancelledInternal counts context.Canceled surfacing with the client
+	// still connected and no deadline fired — an engine bug, not a user
+	// action, reported as 500 and tracked apart from benign cancels.
+	cancelledInternal int64
+	timedOut          int64
+	failed            int64
+	degraded          int64 // deadline overruns answered approximately
+	injected          int64 // failures injected by an armed failpoint
+	rejBusy           int64 // 429: queue full or queue timeout
+	rejDrain          int64 // 503: draining
 
 	sessionsCreated int64
 	sessionsEnded   int64
 }
+
+// statCached is the perMode series cache hits are observed under: hits
+// record the real lookup latency there, keeping the engine-mode
+// histograms (exact, cracked, ...) pure engine executions.
+const statCached = "cached"
 
 func newStats() *stats {
 	return &stats{perMode: map[string]*metrics.LogHist{}}
@@ -55,6 +64,18 @@ func (s *stats) count(field *int64) {
 	s.mu.Unlock()
 }
 
+// histograms returns deep copies of the per-mode latency histograms, so
+// the /metrics renderer can walk full bucket arrays outside the lock.
+func (s *stats) histograms() map[string]*metrics.LogHist {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*metrics.LogHist, len(s.perMode))
+	for mode, h := range s.perMode {
+		out[mode] = h.Clone()
+	}
+	return out
+}
+
 // ModeStats is the latency summary of one execution mode in a snapshot.
 type ModeStats struct {
 	Count  int64   `json:"count"`
@@ -67,15 +88,18 @@ type ModeStats struct {
 
 // QueryStats groups the query outcome counters in a snapshot.
 type QueryStats struct {
-	Completed     int64 `json:"completed"`
-	CacheHits     int64 `json:"cache_hits"`
-	Cancelled     int64 `json:"cancelled"`
-	TimedOut      int64 `json:"timed_out"`
-	Failed        int64 `json:"failed"`
-	Degraded      int64 `json:"degraded"`
-	Injected      int64 `json:"injected"`
-	RejectedBusy  int64 `json:"rejected_busy"`
-	RejectedDrain int64 `json:"rejected_drain"`
+	Completed int64 `json:"completed"`
+	CacheHits int64 `json:"cache_hits"`
+	Cancelled int64 `json:"cancelled"`
+	// CancelledInternal counts cancellations that had no external cause
+	// (client connected, no deadline) — server-side failures, see stats.
+	CancelledInternal int64 `json:"cancelled_internal"`
+	TimedOut          int64 `json:"timed_out"`
+	Failed            int64 `json:"failed"`
+	Degraded          int64 `json:"degraded"`
+	Injected          int64 `json:"injected"`
+	RejectedBusy      int64 `json:"rejected_busy"`
+	RejectedDrain     int64 `json:"rejected_drain"`
 }
 
 // SessionStats groups the session gauges in a snapshot.
@@ -118,15 +142,16 @@ func (s *stats) snapshot(activeSessions int, cacheStats *cache.Stats, cacheEntri
 	defer s.mu.Unlock()
 	snap := StatsSnapshot{
 		Queries: QueryStats{
-			Completed:     s.completed,
-			CacheHits:     s.cacheHits,
-			Cancelled:     s.cancelled,
-			TimedOut:      s.timedOut,
-			Failed:        s.failed,
-			Degraded:      s.degraded,
-			Injected:      s.injected,
-			RejectedBusy:  s.rejBusy,
-			RejectedDrain: s.rejDrain,
+			Completed:         s.completed,
+			CacheHits:         s.cacheHits,
+			Cancelled:         s.cancelled,
+			CancelledInternal: s.cancelledInternal,
+			TimedOut:          s.timedOut,
+			Failed:            s.failed,
+			Degraded:          s.degraded,
+			Injected:          s.injected,
+			RejectedBusy:      s.rejBusy,
+			RejectedDrain:     s.rejDrain,
 		},
 		Sessions: SessionStats{
 			Active:  activeSessions,

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsConcurrentWriters hammers observe/count from many goroutines
+// while snapshots are taken — the race detector proves the locking, the
+// final snapshot proves no observation was lost.
+func TestStatsConcurrentWriters(t *testing.T) {
+	st := newStats()
+	const (
+		writers = 8
+		perW    = 500
+	)
+	modes := []string{"exact", "cracked", "approx", statCached}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				mode := modes[(w+i)%len(modes)]
+				st.observe(mode, time.Duration(i)*time.Microsecond, mode == statCached)
+				switch i % 3 {
+				case 0:
+					st.count(&st.failed)
+				case 1:
+					st.count(&st.cancelledInternal)
+				default:
+					st.count(&st.sessionsCreated)
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and histogram clones must be
+	// internally consistent at every point, never torn.
+	done := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := st.snapshot(0, nil, 0, 0)
+			var total int64
+			for _, m := range snap.Modes {
+				total += m.Count
+			}
+			if total != snap.Queries.Completed {
+				t.Errorf("torn snapshot: mode counts %d != completed %d", total, snap.Queries.Completed)
+				return
+			}
+			for _, h := range st.histograms() {
+				if h.N() < 0 {
+					t.Error("negative histogram count")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	rg.Wait()
+
+	snap := st.snapshot(0, nil, 0, 0)
+	want := int64(writers * perW)
+	if snap.Queries.Completed != want {
+		t.Fatalf("completed = %d, want %d", snap.Queries.Completed, want)
+	}
+	var modeTotal int64
+	for _, m := range snap.Modes {
+		modeTotal += m.Count
+	}
+	if modeTotal != want {
+		t.Fatalf("mode observations = %d, want %d", modeTotal, want)
+	}
+	if snap.Queries.CacheHits != want/int64(len(modes)) {
+		t.Fatalf("cache hits = %d, want %d", snap.Queries.CacheHits, want/int64(len(modes)))
+	}
+	counters := snap.Queries.Failed + snap.Queries.CancelledInternal + snap.Sessions.Created
+	if counters != want {
+		t.Fatalf("counter total = %d, want %d", counters, want)
+	}
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dex/internal/exec"
+	"dex/internal/fault"
+	"dex/internal/trace"
+)
+
+// stageNames flattens a span tree into its stage names.
+func stageNames(sp *trace.SpanJSON) []string {
+	if sp == nil {
+		return nil
+	}
+	out := []string{sp.Name}
+	for _, c := range sp.Children {
+		out = append(out, stageNames(c)...)
+	}
+	return out
+}
+
+func hasStage(sp *trace.SpanJSON, name string) bool {
+	for _, n := range stageNames(sp) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServerTraceSpanTree is the acceptance check for the tracing layer:
+// a query with "trace": true returns a span tree whose direct stage
+// durations sum to within 10% of the traced total — the stages account
+// for the query, they are not decoration.
+func TestServerTraceSpanTree(t *testing.T) {
+	_, cl, _, _ := newTestService(t, 200_000, Config{}, exec.ExecOptions{Parallelism: 2})
+	ctx := context.Background()
+	id, err := cl.CreateSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.EndSession(ctx, id)
+
+	res, err := cl.Query(ctx, id, QueryRequest{
+		SQL:   "SELECT region, SUM(amount) FROM sales WHERE amount > 10 GROUP BY region",
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Trace
+	if root == nil {
+		t.Fatal("trace:true returned no span tree")
+	}
+	if root.Name != "query" {
+		t.Fatalf("root span %q, want query", root.Name)
+	}
+	for _, want := range []string{"admission", "parse", "plan", "scan", "group_by", "finish"} {
+		if !hasStage(root, want) {
+			t.Fatalf("span tree missing stage %q; have %v", want, stageNames(root))
+		}
+	}
+	var sum float64
+	for _, c := range root.Children {
+		sum += c.DurationMS
+	}
+	if root.DurationMS <= 0 {
+		t.Fatalf("root duration %v ms", root.DurationMS)
+	}
+	// Direct children must cover the root within 10% (small gaps between
+	// stages are the only slack), and never exceed it.
+	if sum < 0.9*root.DurationMS {
+		t.Fatalf("stage durations sum to %.3fms of a %.3fms total (< 90%%); tree: %+v",
+			sum, root.DurationMS, root)
+	}
+	if sum > root.DurationMS*1.001 {
+		t.Fatalf("stage durations %.3fms exceed the root total %.3fms", sum, root.DurationMS)
+	}
+
+	// Span attrs carry the scan accounting.
+	var scan *trace.SpanJSON
+	for _, c := range root.Children {
+		if c.Name == "scan" {
+			scan = c
+		}
+	}
+	if scan == nil || scan.Attrs["rows_in"] == nil || scan.Attrs["morsels"] == nil {
+		t.Fatalf("scan span missing accounting attrs: %+v", scan)
+	}
+
+	// An untraced query must not carry a trace.
+	res, err = cl.Query(ctx, id, QueryRequest{SQL: "SELECT COUNT(*) FROM sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("untraced query returned a span tree")
+	}
+}
+
+// TestServerTraceModes checks each execution mode contributes its
+// mode-specific stage span.
+func TestServerTraceModes(t *testing.T) {
+	_, cl, _, _ := newTestService(t, 50_000, Config{}, exec.ExecOptions{Parallelism: 1})
+	ctx := context.Background()
+	id, err := cl.CreateSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.EndSession(ctx, id)
+
+	cases := []struct {
+		mode  string
+		sql   string
+		stage string
+	}{
+		{"cracked", "SELECT COUNT(*) FROM sales WHERE amount > 50", "crack"},
+		{"approx", "SELECT AVG(amount) FROM sales", "sample"},
+		{"online", "SELECT AVG(amount) FROM sales", "online"},
+	}
+	for _, tc := range cases {
+		res, err := cl.Query(ctx, id, QueryRequest{SQL: tc.sql, Mode: tc.mode, Trace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.mode, err)
+		}
+		if res.Trace == nil || !hasStage(res.Trace, tc.stage) {
+			t.Fatalf("%s: span tree missing %q stage; have %v", tc.mode, tc.stage, stageNames(res.Trace))
+		}
+	}
+}
+
+// TestServerCachedHitHistogram is the regression test for the
+// latency-accounting bug: a hot cached workload must leave the exact
+// histogram untouched (hits used to be observed as 0-latency exact
+// queries, sinking p50/p95 as the hit rate rose), and hits must be
+// recorded with their real lookup latency under the cached series.
+func TestServerCachedHitHistogram(t *testing.T) {
+	_, cl, srv, _ := newTestService(t, 50_000, Config{CacheRows: 1 << 20}, exec.ExecOptions{Parallelism: 1})
+	ctx := context.Background()
+	id, err := cl.CreateSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.EndSession(ctx, id)
+
+	const sql = "SELECT region, COUNT(*) FROM sales GROUP BY region"
+	first, err := cl.Query(ctx, id, QueryRequest{SQL: sql})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first execution reported cached")
+	}
+	const hits = 25
+	for i := 0; i < hits; i++ {
+		res, err := cl.Query(ctx, id, QueryRequest{SQL: sql})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("hit %d not served from cache", i)
+		}
+		// A hit's elapsed_ms is the lookup the client paid, not the
+		// original execution's cost.
+		if res.ElapsedMS > first.ElapsedMS && res.ElapsedMS > 50 {
+			t.Fatalf("cached elapsed %.3fms looks like an execution (first run took %.3fms)",
+				res.ElapsedMS, first.ElapsedMS)
+		}
+	}
+
+	snap := srv.Stats()
+	exact, ok := snap.Modes["exact"]
+	if !ok {
+		t.Fatal("no exact series")
+	}
+	if exact.Count != 1 {
+		t.Fatalf("exact histogram holds %d observations after %d cache hits, want 1 (engine executions only)",
+			exact.Count, hits)
+	}
+	cached, ok := snap.Modes[statCached]
+	if !ok {
+		t.Fatalf("no %q series after cache hits; modes: %v", statCached, snap.Modes)
+	}
+	if cached.Count != hits {
+		t.Fatalf("cached series holds %d observations, want %d", cached.Count, hits)
+	}
+	if snap.Queries.CacheHits != hits {
+		t.Fatalf("cache_hits = %d, want %d", snap.Queries.CacheHits, hits)
+	}
+}
+
+// TestServerSlowRing checks the /admin/slow ring retains traced slow
+// queries (and only queries at or above the threshold).
+func TestServerSlowRing(t *testing.T) {
+	defer fault.Reset()
+	_, cl, _, _ := newTestService(t, 10_000,
+		Config{SlowThreshold: 30 * time.Millisecond, SlowRing: 4},
+		exec.ExecOptions{Parallelism: 1})
+	ctx := context.Background()
+	id, err := cl.CreateSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.EndSession(ctx, id)
+
+	// A normally-fast query should stay out of the ring — but a loaded
+	// CI machine (race detector, parallel packages) can legitimately push
+	// it over the threshold, so the hard assertion is the ring's own
+	// invariant: no retained entry is ever below the threshold.
+	if _, err := cl.Query(ctx, id, QueryRequest{SQL: "SELECT COUNT(*) FROM sales"}); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := cl.Slow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range slow {
+		if e.ElapsedMS < 30 {
+			t.Fatalf("sub-threshold entry in the slow ring: %+v", e)
+		}
+	}
+
+	// An injected scan latency pushes the query over the threshold.
+	const slowSQL = "SELECT COUNT(*) FROM sales WHERE amount > 1"
+	if err := fault.Enable("exec/scan", "latency(50ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Query(ctx, id, QueryRequest{SQL: slowSQL}); err != nil {
+		t.Fatal(err)
+	}
+	fault.Reset()
+
+	slow, err = cl.Slow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *trace.Entry
+	for i := range slow {
+		if slow[i].SQL == slowSQL {
+			found = &slow[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("injected-latency query not in the slow ring: %+v", slow)
+	}
+	if found.ElapsedMS < 30 || found.Trace == nil || found.Outcome != "completed" || found.Mode != "exact" {
+		t.Fatalf("slow entry malformed: %+v", found)
+	}
+	if !hasStage(found.Trace, "scan") {
+		t.Fatalf("slow trace missing scan stage: %v", stageNames(found.Trace))
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// The numbers from these benchmarks are quoted in DESIGN.md's
+// Observability section: they are the whole per-stage cost a query pays
+// when tracing is off, mirroring internal/fault's unarmed-Hit benchmark.
+
+// BenchmarkFromContextOff measures the single hot-path check on an
+// untraced request: one context.Value walk returning nil.
+func BenchmarkFromContextOff(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := FromContext(ctx); sp != nil {
+			b.Fatal("traced?")
+		}
+	}
+}
+
+// BenchmarkNilSpanOps measures a full instrumentation sequence
+// (Child + attrs + End) against a nil span — what every operator stage
+// costs when tracing is off.
+func BenchmarkNilSpanOps(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sp.Child("scan")
+		c.SetInt("rows", int64(i))
+		c.End()
+	}
+}
+
+// BenchmarkSpanOn measures the armed cost of one child span with two
+// attributes — what a traced request pays per stage.
+func BenchmarkSpanOn(b *testing.B) {
+	_, root := Start(context.Background(), "q")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := root.Child("scan")
+		c.SetInt("rows", int64(i))
+		c.SetStr("col", "price")
+		c.End()
+	}
+}

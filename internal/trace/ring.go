@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one captured slow query: identifying metadata plus the full
+// span tree, as served by /admin/slow.
+type Entry struct {
+	Time      time.Time `json:"time"`
+	Session   string    `json:"session,omitempty"`
+	SQL       string    `json:"sql,omitempty"`
+	Mode      string    `json:"mode,omitempty"`
+	Outcome   string    `json:"outcome,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Trace     *SpanJSON `json:"trace,omitempty"`
+}
+
+// Ring is a bounded, mutex-guarded buffer of the most recent slow
+// queries. Memory is bounded by the capacity regardless of how many
+// queries exceed the threshold; old entries are overwritten in FIFO
+// order.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Entry
+	next int
+	full bool
+}
+
+// NewRing returns a ring keeping the last n entries (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Entry, n)}
+}
+
+// Add records an entry, evicting the oldest when full.
+func (r *Ring) Add(e Entry) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many entries are currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the held entries, newest first.
+func (r *Ring) Snapshot() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]Entry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

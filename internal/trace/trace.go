@@ -1,0 +1,200 @@
+// Package trace is a stdlib-only span tracer for per-query observability.
+//
+// A trace is a tree of timed spans carried through the engine in a
+// context.Context: the server starts a root span per traced request, and
+// every layer below (core, exec, par, storage seams) attaches stage
+// children — parse, plan, scan, crack, aggregate, cache lookup — with
+// duration and small scalar attributes (rows scanned, morsel counts,
+// cache/degraded outcomes).
+//
+// The design rule, borrowed from internal/fault's unarmed-cost
+// discipline, is that tracing OFF must cost almost nothing on the hot
+// path: FromContext on an untraced context returns nil, and every Span
+// method is safe (and a no-op) on a nil receiver, so instrumented code
+// never branches on "is tracing on" — it just calls Child/Set*/End and
+// the nil receiver makes them free. The per-query cost when off is one
+// context.Value lookup plus a handful of nil-check method calls; see
+// bench_test.go for the measured numbers quoted in DESIGN.md.
+//
+// Spans are extracted from the context once per operator stage, never
+// per morsel or per row.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a query. All methods are safe on a nil
+// *Span (they do nothing), so callers never guard instrumentation with
+// an "is tracing enabled" branch. A Span may be mutated from the
+// goroutine that created it while concurrent children are being added
+// by workers; the internal mutex makes Child/Set*/End goroutine-safe.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val any
+}
+
+type ctxKey struct{}
+
+// Start begins a new root span and returns a context carrying it.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil when the request
+// is not traced. This is the single hot-path check: one context.Value
+// walk, no allocation.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// With returns a context carrying sp. When sp is nil it returns ctx
+// unchanged, so untraced requests never pay the context allocation.
+func With(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// Child starts a sub-span under s. Nil-safe: a nil parent yields a nil
+// child, and the whole instrumentation chain below it stays free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End marks the span finished. Idempotent: only the first call sets the
+// end time, so a deferred safety End after an explicit one is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (rows, morsels, workers...).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetStr attaches a string attribute (mode, column, table...).
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetBool attaches a boolean attribute (hit, degraded, built...).
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+func (s *Span) set(key string, v any) {
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].val = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key, v})
+	s.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time; for an unfinished span it is
+// the time elapsed so far. Zero on a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// SpanJSON is the wire form of a span tree: offsets are relative to the
+// root span's start so a client can lay stages on one timeline without
+// caring about absolute clocks.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"` // offset from root start
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanJSON    `json:"children,omitempty"`
+}
+
+// JSON snapshots the span tree rooted at s. Unfinished spans are
+// rendered as if they ended now. Nil on a nil span.
+func (s *Span) JSON() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	return s.json(s.start, time.Now())
+}
+
+func (s *Span) json(rootStart, now time.Time) *SpanJSON {
+	s.mu.Lock()
+	end := s.end
+	attrs := s.attrs
+	children := s.children
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = now
+	}
+	out := &SpanJSON{
+		Name:       s.name,
+		StartMS:    durMS(s.start.Sub(rootStart)),
+		DurationMS: durMS(end.Sub(s.start)),
+	}
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.key] = a.val
+		}
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, c.json(rootStart, now))
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

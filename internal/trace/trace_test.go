@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var sp *Span
+	c := sp.Child("x")
+	if c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	sp.SetInt("rows", 1)
+	sp.SetStr("mode", "exact")
+	sp.SetBool("hit", true)
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span Duration = %v, want 0", d)
+	}
+	if j := sp.JSON(); j != nil {
+		t.Fatalf("nil span JSON = %v, want nil", j)
+	}
+}
+
+func TestFromContextOff(t *testing.T) {
+	if sp := FromContext(context.Background()); sp != nil {
+		t.Fatalf("FromContext on untraced ctx = %v, want nil", sp)
+	}
+	// With(nil) must return the identical context, not an allocation.
+	ctx := context.Background()
+	if got := With(ctx, nil); got != ctx {
+		t.Fatalf("With(ctx, nil) returned a new context")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	ctx, root := Start(context.Background(), "query")
+	if FromContext(ctx) != root {
+		t.Fatalf("FromContext did not return the started span")
+	}
+	scan := root.Child("scan")
+	scan.SetInt("rows_in", 100)
+	scan.SetInt("rows_in", 200) // overwrite, not duplicate
+	scan.SetStr("col", "price")
+	time.Sleep(2 * time.Millisecond)
+	scan.End()
+	agg := root.Child("aggregate")
+	agg.SetBool("parallel", true)
+	agg.End()
+	root.End()
+	root.End() // idempotent
+
+	j := root.JSON()
+	if j.Name != "query" || len(j.Children) != 2 {
+		t.Fatalf("root JSON = %+v, want query with 2 children", j)
+	}
+	sj := j.Children[0]
+	if sj.Name != "scan" || sj.Attrs["rows_in"] != int64(200) || sj.Attrs["col"] != "price" {
+		t.Fatalf("scan JSON = %+v", sj)
+	}
+	if sj.DurationMS < 1 {
+		t.Fatalf("scan duration %v ms, want >= 1ms after 2ms sleep", sj.DurationMS)
+	}
+	if sj.StartMS < 0 || j.Children[1].StartMS < sj.StartMS {
+		t.Fatalf("child offsets not monotone: %v then %v", sj.StartMS, j.Children[1].StartMS)
+	}
+	if j.DurationMS < sj.DurationMS {
+		t.Fatalf("root duration %v < child duration %v", j.DurationMS, sj.DurationMS)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	_, sp := Start(context.Background(), "q")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if got := sp.Duration(); got != d {
+		t.Fatalf("second End moved the end time: %v -> %v", d, got)
+	}
+}
+
+func TestUnfinishedSpanJSON(t *testing.T) {
+	_, sp := Start(context.Background(), "q")
+	c := sp.Child("hung")
+	time.Sleep(time.Millisecond)
+	j := sp.JSON() // neither span ended
+	if j.DurationMS <= 0 || j.Children[0].DurationMS <= 0 {
+		t.Fatalf("unfinished spans should render elapsed-so-far, got %+v", j)
+	}
+	c.End()
+	sp.End()
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	_, root := Start(context.Background(), "q")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.Child(fmt.Sprintf("w%d", w))
+				c.SetInt("i", int64(i))
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.JSON().Children); got != 8*50 {
+		t.Fatalf("got %d children, want %d", got, 8*50)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 {
+		t.Fatalf("fresh ring Len = %d", r.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(Entry{SQL: fmt.Sprintf("q%d", i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring Len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	want := []string{"q5", "q4", "q3"} // newest first, oldest evicted
+	for i, e := range got {
+		if e.SQL != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q (all: %+v)", i, e.SQL, want[i], got)
+		}
+	}
+}
+
+func TestRingMinCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Add(Entry{SQL: "a"})
+	r.Add(Entry{SQL: "b"})
+	if r.Len() != 1 || r.Snapshot()[0].SQL != "b" {
+		t.Fatalf("capacity-clamped ring: len=%d snap=%+v", r.Len(), r.Snapshot())
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Entry{ElapsedMS: float64(i)})
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("ring Len = %d, want 8", r.Len())
+	}
+}
