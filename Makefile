@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz bench chaos metrics-smoke
+.PHONY: all build test race vet fmt-check fuzz bench bench-concurrency chaos metrics-smoke
 
 all: vet fmt-check build test
 
@@ -28,6 +28,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./internal/bench/
+
+# Regenerate the concurrent-probe / zone-map baseline (E30) at full size
+# and refresh the committed JSON artifact.
+bench-concurrency:
+	$(GO) run ./cmd/experiments -run E30 -json BENCH_concurrency.json
 
 # Seeded chaos harness + cross-mode differential oracles under the race
 # detector, twice per seed (CI runs the same line with DEX_CHAOS_SEED

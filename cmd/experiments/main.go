@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-list] [-quick] [-seed N] [-run E2,E8,E17] [-o out.txt]
+//	experiments [-list] [-quick] [-seed N] [-run E2,E8,E17] [-o out.txt] [-json baseline.json]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	out := flag.String("o", "", "also write output to this file")
+	jsonPath := flag.String("json", "", "write machine-readable baselines (experiments that export them) to this file")
 	flag.Parse()
 
 	if *list {
@@ -59,7 +60,7 @@ func main() {
 		}
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, JSONPath: *jsonPath}
 	mode := "full"
 	if *quick {
 		mode = "quick"

@@ -21,6 +21,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all generators.
 	Seed int64
+	// JSONPath, when set, asks experiments that export machine-readable
+	// baselines (E30 writes BENCH_concurrency.json) to write them there.
+	// Experiments without a JSON artifact ignore it.
+	JSONPath string
 }
 
 // Scale returns n, or n/denom (at least min) in quick mode.

@@ -63,6 +63,7 @@ type Config struct {
 	DrainAt     time.Duration
 	Parallelism int
 	MorselSize  int
+	ZoneMap     bool        // enable zone-map scan skipping in the engine
 	Log         *log.Logger // optional narration of the fault schedule
 }
 
@@ -133,7 +134,7 @@ func Run(cfg Config) (*Report, error) {
 		Seed:         cfg.Seed,
 		Degrade:      true,
 		DegradeGrace: time.Second,
-		Exec:         exec.ExecOptions{Parallelism: cfg.Parallelism, MorselSize: cfg.MorselSize},
+		Exec:         exec.ExecOptions{Parallelism: cfg.Parallelism, MorselSize: cfg.MorselSize, ZoneMap: cfg.ZoneMap},
 	})
 	sales, err := workload.Sales(rand.New(rand.NewSource(42)), cfg.Rows)
 	if err != nil {

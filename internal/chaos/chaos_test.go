@@ -74,6 +74,52 @@ func TestChaosInvariants(t *testing.T) {
 	}
 }
 
+// TestChaosCrackedMode sends the traffic through the adaptive-index path
+// with zone maps on, while faults fire in the two seams this mode adds:
+// the crack write-lock escalation and the zone-map build. The invariants
+// are the same — every query classified, no leaks — plus the adaptive
+// index must not be corrupted: faults there fail individual queries, never
+// future ones (a poisoned index would turn later queries into untyped
+// wrong answers or hangs).
+func TestChaosCrackedMode(t *testing.T) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			faults := append(schedule(),
+				FaultEvent{At: 0, Site: "crack/escalate", Spec: "error(0.2)"},
+				FaultEvent{At: 0, Site: "storage/zonemap-build", Spec: "error(0.3)"},
+			)
+			rep, err := Run(Config{
+				Seed:             seed,
+				Clients:          3,
+				QueriesPerClient: 8,
+				Rows:             10_000,
+				Mode:             "cracked",
+				ZoneMap:          true,
+				Timeout:          120 * time.Millisecond,
+				Faults:           faults,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("chaos violations:\n  %s", strings.Join(rep.Violations, "\n  "))
+			}
+			if rep.Issued == 0 {
+				t.Fatal("no queries issued")
+			}
+			var fires int64
+			for _, st := range rep.FaultStats {
+				fires += st.Fires
+			}
+			if fires == 0 {
+				t.Fatalf("schedule armed but nothing fired: %+v", rep.FaultStats)
+			}
+			t.Logf("seed %d: issued=%d outcomes=%+v fires=%d", seed, rep.Issued, rep.Outcomes, fires)
+		})
+	}
+}
+
 // TestChaosDrainMidRun adds invariant 3: a drain (the SIGTERM path)
 // initiated while faults fire must complete with nothing in flight, and
 // the clients must see clean 503s afterwards — all still classified.

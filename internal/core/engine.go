@@ -85,10 +85,11 @@ type Options struct {
 	// CrackOptions configures the adaptive indexes.
 	CrackOptions crack.Options
 	// Exec tunes the morsel-driven parallel operators used by the Exact
-	// mode (and the post-join query). The adaptive and approximate modes —
-	// cracking, AQP, online aggregation — keep their sequential semantics:
-	// cracking partitions columns in place, and the sampling modes depend
-	// on a deterministic row visit order.
+	// mode, the post-join query, and the post-gather stage of Cracked mode
+	// (the crack probe itself synchronizes inside the index; everything
+	// after the gather is ordinary parallel execution). The approximate
+	// modes — AQP, online aggregation — keep their sequential semantics:
+	// the sampling modes depend on a deterministic row visit order.
 	Exec exec.ExecOptions
 	// Degrade enables graceful degradation: an Exact or Cracked query that
 	// exceeds its deadline returns a sampled approximate answer tagged
@@ -120,14 +121,13 @@ func (o *Options) fill() {
 	}
 }
 
-// Engine is the exploration engine.
+// Engine is the exploration engine. Cracked-mode probes need no
+// engine-level lock: each crack.Index carries its own RWMutex, probes that
+// align with existing piece boundaries share a read lock, and only probes
+// that must reorganize the column escalate to the write lock — so queries
+// against a converged index (or distinct indexes) run fully in parallel.
 type Engine struct {
-	mu sync.Mutex
-	// crackMu serializes cracked-mode probes: database cracking reorganizes
-	// the index in place on every lookup, so concurrent cracked queries are
-	// inherently a write-write race. Exact/approx/online queries run fully
-	// in parallel; only the adaptive-index mutation is single-file.
-	crackMu  sync.Mutex
+	mu       sync.Mutex
 	opt      Options
 	cat      *catalog.Catalog
 	rng      *rand.Rand
@@ -564,13 +564,6 @@ func minI(a, b int64) int64 {
 	return b
 }
 
-// seqExec is the execution options of the intentionally sequential modes
-// (cracking, AQP fallbacks): one worker, but the context and scan counter
-// still plumbed through so cancellation and observability hold everywhere.
-func (e *Engine) seqExec() exec.ExecOptions {
-	return exec.ExecOptions{Parallelism: 1, MorselSize: e.opt.Exec.MorselSize, Scanned: e.opt.Exec.Scanned}
-}
-
 func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query) (*storage.Table, error) {
 	t, err := e.table(ctx, table, q)
 	if err != nil {
@@ -578,35 +571,38 @@ func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query)
 	}
 	col, isFloat, iLo, iHi, fLo, fHi, ok := rangePred(q, t.Schema())
 	if !ok {
-		return exec.ExecuteCtx(ctx, t, q, e.seqExec()) // fallback: not a crackable shape
+		return exec.ExecuteCtx(ctx, t, q, e.opt.Exec) // fallback: not a crackable shape
 	}
 	csp := trace.FromContext(ctx).Child("crack")
 	csp.SetStr("col", col)
+	// The probe synchronizes inside the index: boundary-aligned lookups
+	// share the index read lock, reorganizing ones take the write lock. The
+	// stats come from the probe's own critical section, so the span reflects
+	// the index state this query actually saw — not whatever a concurrent
+	// probe left behind by the time the span is annotated.
 	var rows []int
-	e.crackMu.Lock()
+	var st crack.ProbeStats
 	if isFloat {
 		ix, ferr := e.crackIndexFloat(table, t, col)
-		if ferr != nil {
-			e.crackMu.Unlock()
-			csp.End()
-			return nil, ferr
+		if ferr == nil {
+			rows, st, ferr = ix.Probe(fLo, fHi)
 		}
-		rows = ix.Query(fLo, fHi)
+		err = ferr
 	} else {
 		ix, ierr := e.crackIndex(table, t, col)
-		if ierr != nil {
-			e.crackMu.Unlock()
-			csp.End()
-			return nil, ierr
+		if ierr == nil {
+			rows, st, ierr = ix.Probe(iLo, iHi)
 		}
-		rows = ix.Query(iLo, iHi)
+		err = ierr
 	}
-	e.crackMu.Unlock()
+	if err != nil {
+		csp.End()
+		return nil, err
+	}
+	csp.SetStr("lock_mode", st.Lock.String())
+	csp.SetInt("pieces", int64(st.Pieces))
+	csp.SetInt("cracks", int64(st.Cracks))
 	csp.SetInt("rows_out", int64(len(rows)))
-	if pieces, cracks, ok := e.CrackStats(table, col); ok {
-		csp.SetInt("pieces", int64(pieces))
-		csp.SetInt("cracks", int64(cracks))
-	}
 	csp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -615,8 +611,11 @@ func (e *Engine) executeCracked(ctx context.Context, table string, q exec.Query)
 	gsp.SetInt("rows", int64(len(rows)))
 	sub := t.Gather(rows)
 	gsp.End()
+	// Post-gather execution reuses the configured operators: the gathered
+	// subset is an ordinary table, and the pool already gates small inputs
+	// to the sequential path.
 	q.Where = nil
-	return exec.ExecuteCtx(ctx, sub, q, e.seqExec())
+	return exec.ExecuteCtx(ctx, sub, q, e.opt.Exec)
 }
 
 // crackIndexFloat returns (building on demand) the float cracker index.

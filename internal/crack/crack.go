@@ -15,9 +15,18 @@
 //     searches.
 //
 // Updates are absorbed adaptively [30] with a pending-insert buffer that is
-// ripple-merged into the cracked array, and tombstone deletes. The index is
-// safe for concurrent readers; cracking steps take the write lock, so as
-// the index converges queries increasingly run lock-shared [22].
+// ripple-merged into the cracked array, and tombstone deletes.
+//
+// Concurrency control is per index, the granularity the engine needs for
+// multi-session exploration: every probe runs inside a single critical
+// section of the index RWMutex. A probe whose bounds already coincide with
+// existing cuts — the common case once the index has converged on the
+// workload's ranges — holds only the read lock, so any number of such
+// probes proceed in parallel. Only a probe that must physically reorganize
+// the column escalates to the write lock [22]. Holding one lock for the
+// whole probe (position lookup AND row collection) matters: with separate
+// acquisitions a pending-buffer merge between them can shift cut positions
+// and make the collection read rows that no longer satisfy the range.
 package crack
 
 import (
@@ -26,7 +35,16 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"dex/internal/fault"
 )
+
+// fpEscalate injects faults at the crack write-lock escalation: the moment
+// a probe gives up on the converged read path and queues for exclusive
+// access. Latency policies here simulate reorganization stalls (and drive
+// the degradation contract); error policies make the probe fail before it
+// touches the column, which must never corrupt the index.
+var fpEscalate = fault.Register("crack/escalate")
 
 // Variant selects the cracking algorithm.
 type Variant uint8
@@ -167,14 +185,103 @@ func (ix *Index[T]) Merges() int {
 	return ix.mergesDone
 }
 
+// LockMode classifies how a probe was served: under the shared read lock
+// (bounds coincided with existing cuts, no physical work) or under the
+// exclusive write lock (the probe reorganized the column).
+type LockMode uint8
+
+// Probe lock modes.
+const (
+	LockRead LockMode = iota
+	LockWrite
+)
+
+// String names the lock mode ("read"/"write").
+func (m LockMode) String() string {
+	if m == LockRead {
+		return "read"
+	}
+	return "write"
+}
+
+// ProbeStats describes one probe: the lock mode it ran under and a
+// snapshot of the index shape (pieces, cumulative cracks) taken inside
+// the probe's own critical section — so the numbers belong to this probe,
+// not to whichever concurrent probe finished last.
+type ProbeStats struct {
+	Lock   LockMode
+	Pieces int
+	Cracks int
+}
+
+// Probe returns the row ids whose value v satisfies lo <= v < hi, plus
+// per-probe stats, cracking the underlying column at lo and hi when
+// needed. The whole probe is one critical section: read-locked when both
+// bounds are already cuts (the converged path — unlimited concurrent
+// probes), write-locked when it must reorganize. The error is non-nil only
+// when the crack/escalate failpoint is armed and fires.
+func (ix *Index[T]) Probe(lo, hi T) ([]int, ProbeStats, error) {
+	if lo >= hi {
+		ix.mu.RLock()
+		st := ix.statsLocked(LockRead)
+		ix.mu.RUnlock()
+		return nil, st, nil
+	}
+	if rows, st, ok := ix.tryReadProbe(lo, hi); ok {
+		return rows, st, nil
+	}
+	if err := fpEscalate.Hit(); err != nil {
+		return nil, ProbeStats{Lock: LockWrite}, err
+	}
+	rows, st := ix.writeProbe(lo, hi)
+	return rows, st, nil
+}
+
 // Query returns the row ids whose value v satisfies lo <= v < hi.
-// As a side effect it cracks the underlying column at lo and hi.
+// As a side effect it cracks the underlying column at lo and hi. It is
+// Probe without the stats and without the escalation failpoint (bench
+// loops and baselines that must not be perturbed by armed faults).
 func (ix *Index[T]) Query(lo, hi T) []int {
 	if lo >= hi {
 		return nil
 	}
-	pa, pb := ix.bounds(lo, hi)
+	if rows, _, ok := ix.tryReadProbe(lo, hi); ok {
+		return rows
+	}
+	rows, _ := ix.writeProbe(lo, hi)
+	return rows
+}
+
+// tryReadProbe serves the probe entirely under the read lock when both
+// bounds are existing cuts; ok reports whether it could.
+func (ix *Index[T]) tryReadProbe(lo, hi T) ([]int, ProbeStats, bool) {
 	ix.mu.RLock()
+	pa, oka := ix.lookupCut(lo)
+	pb, okb := ix.lookupCut(hi)
+	if !oka || !okb {
+		ix.mu.RUnlock()
+		return nil, ProbeStats{}, false
+	}
+	rows := ix.collectLocked(pa, pb, lo, hi)
+	st := ix.statsLocked(LockRead)
+	ix.mu.RUnlock()
+	return rows, st, true
+}
+
+// writeProbe cracks at both bounds and collects rows under the write lock.
+func (ix *Index[T]) writeProbe(lo, hi T) ([]int, ProbeStats) {
+	ix.mu.Lock()
+	pa := ix.crackAt(lo)
+	pb := ix.crackAt(hi)
+	rows := ix.collectLocked(pa, pb, lo, hi)
+	st := ix.statsLocked(LockWrite)
+	ix.mu.Unlock()
+	return rows, st
+}
+
+// collectLocked gathers the live row ids at positions [pa, pb) plus the
+// pending inserts in [lo, hi). Caller holds at least the read lock.
+func (ix *Index[T]) collectLocked(pa, pb int, lo, hi T) []int {
 	out := make([]int, 0, pb-pa+len(ix.pending)/4)
 	for i := pa; i < pb; i++ {
 		if !ix.dead[ix.rows[i]] {
@@ -186,18 +293,41 @@ func (ix *Index[T]) Query(lo, hi T) []int {
 			out = append(out, p.row)
 		}
 	}
-	ix.mu.RUnlock()
 	return out
 }
 
+// statsLocked snapshots the index shape. Caller holds at least the read lock.
+func (ix *Index[T]) statsLocked(mode LockMode) ProbeStats {
+	return ProbeStats{Lock: mode, Pieces: len(ix.cuts) + 1, Cracks: ix.cracksDone}
+}
+
 // Count returns how many values satisfy lo <= v < hi, cracking as a side
-// effect but without materializing row ids.
+// effect but without materializing row ids. Like Probe it is one critical
+// section, read-locked on the converged path.
 func (ix *Index[T]) Count(lo, hi T) int {
 	if lo >= hi {
 		return 0
 	}
-	pa, pb := ix.bounds(lo, hi)
 	ix.mu.RLock()
+	pa, oka := ix.lookupCut(lo)
+	pb, okb := ix.lookupCut(hi)
+	if oka && okb {
+		n := ix.countLocked(pa, pb, lo, hi)
+		ix.mu.RUnlock()
+		return n
+	}
+	ix.mu.RUnlock()
+	ix.mu.Lock()
+	pa = ix.crackAt(lo)
+	pb = ix.crackAt(hi)
+	n := ix.countLocked(pa, pb, lo, hi)
+	ix.mu.Unlock()
+	return n
+}
+
+// countLocked counts live rows at positions [pa, pb) plus pending inserts
+// in [lo, hi). Caller holds at least the read lock.
+func (ix *Index[T]) countLocked(pa, pb int, lo, hi T) int {
 	n := 0
 	if len(ix.dead) == 0 {
 		n = pb - pa
@@ -213,26 +343,7 @@ func (ix *Index[T]) Count(lo, hi T) int {
 			n++
 		}
 	}
-	ix.mu.RUnlock()
 	return n
-}
-
-// bounds cracks at lo and hi and returns their positions. It first tries
-// under the read lock (both cuts already known: the converged fast path the
-// concurrency-control work [22] exploits), then falls back to the write lock.
-func (ix *Index[T]) bounds(lo, hi T) (int, int) {
-	ix.mu.RLock()
-	pa, oka := ix.lookupCut(lo)
-	pb, okb := ix.lookupCut(hi)
-	ix.mu.RUnlock()
-	if oka && okb {
-		return pa, pb
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	pa = ix.crackAt(lo)
-	pb = ix.crackAt(hi)
-	return pa, pb
 }
 
 // lookupCut returns the position of an existing cut at v, or where a fully

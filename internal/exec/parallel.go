@@ -56,6 +56,12 @@ type ExecOptions struct {
 	// with morsel granularity while execution is in flight, so a stalled
 	// counter means a stalled (or cancelled) query.
 	Scanned *atomic.Int64
+	// ZoneMap enables zone-map scan skipping: the filtered scan consults
+	// lazily-built per-morsel min/max summaries and skips morsels whose
+	// value range cannot intersect a recognized range predicate (see
+	// zonemap.go). Off by default so the zone-map-off path is bit-for-bit
+	// the pre-zone-map scan.
+	ZoneMap bool
 }
 
 func (o ExecOptions) pool() *par.Pool {
@@ -109,12 +115,15 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 	}
 	n := t.NumRows()
 	scanSp := sp.Child("scan")
-	sel, err := filterPar(t, q.Where, pool, tr)
+	sel, zskipped, err := filterPar(t, q.Where, pool, tr, opt.ZoneMap)
 	if scanSp != nil {
 		scanSp.SetInt("rows_in", int64(n))
 		scanSp.SetInt("rows_out", int64(len(sel)))
 		scanSp.SetInt("morsels", int64(pool.Morsels(n)))
 		scanSp.SetInt("workers", int64(pool.WorkersFor(n)))
+		if opt.ZoneMap {
+			scanSp.SetInt("zone_skipped", zskipped)
+		}
 		scanSp.End()
 	}
 	if err != nil {
@@ -157,32 +166,53 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 
 // filterPar evaluates the predicate over morsels in parallel and merges the
 // per-morsel selection vectors in morsel order, yielding the same ascending
-// positions a sequential scan produces.
-func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer) ([]int, error) {
+// positions a sequential scan produces. With zone maps enabled it first
+// skips morsels the predicate's range cannot touch; the second return value
+// counts skipped morsels (always 0 with zone maps off).
+func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer, zone bool) ([]int, int64, error) {
 	n := t.NumRows()
 	if p == nil || p.Kind == expr.KTrue {
 		// Identity selection: no data is touched, so nothing counts as
 		// scanned; a single cancellation check bounds the latency.
 		if err := tr.ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return expr.Filter(t, p)
+		sel, err := expr.Filter(t, p)
+		return sel, 0, err
 	}
-	if pool.WorkersFor(n) <= 1 && !tr.active() {
-		if err := fpScan.Hit(); err != nil {
-			return nil, err
+	var pruners []zonePruner
+	if zone {
+		var err error
+		pruners, err = zonePruners(t, p, pool.MorselSize())
+		if err != nil {
+			return nil, 0, err
 		}
-		return expr.Filter(t, p)
+	}
+	if pool.WorkersFor(n) <= 1 && !tr.active() && len(pruners) == 0 {
+		if err := fpScan.Hit(); err != nil {
+			return nil, 0, err
+		}
+		sel, err := expr.Filter(t, p)
+		return sel, 0, err
 	}
 	// Validate once up front so workers cannot race on error paths.
 	if err := p.Validate(t.Schema()); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	m := pool.MorselSize()
 	parts := make([][]int, storage.NumChunks(n, m))
+	var skipped atomic.Int64
 	err := pool.ForEachErrCtx(tr.ctx, n, func(_, lo, hi int) error {
 		if ferr := fpScan.Hit(); ferr != nil {
 			return ferr
+		}
+		for _, pr := range pruners {
+			if pr.skip(lo / m) {
+				// Skipped morsels are not scanned: no rows touched, no
+				// progress counted — the live counter reflects real work.
+				skipped.Add(1)
+				return nil
+			}
 		}
 		s, ferr := expr.FilterRange(t, p, lo, hi)
 		if ferr != nil {
@@ -193,7 +223,7 @@ func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer) ([]int
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	total := 0
 	for _, s := range parts {
@@ -203,7 +233,7 @@ func filterPar(t *storage.Table, p *expr.Pred, pool *par.Pool, tr tracer) ([]int
 	for _, s := range parts {
 		out = append(out, s...)
 	}
-	return out, nil
+	return out, skipped.Load(), nil
 }
 
 // scalarAggregatePar accumulates per-morsel partial states and merges them

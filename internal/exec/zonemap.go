@@ -1,0 +1,190 @@
+// Zone-map scan skipping: the parallel filtered scan consults per-morsel
+// min/max summaries (storage.ZoneMap) and skips whole morsels whose value
+// range cannot intersect the predicate. Range predicates dominate
+// exploration workloads, so on data with any physical value locality —
+// time-ordered ticks, clustered fact tables — skipping compounds with
+// morsel parallelism and adaptive indexing.
+//
+// Pruning is strictly conservative: it extracts per-column closed
+// intervals only from comparison leaves of a top-level conjunction (a bare
+// comparison, or cmp AND cmp AND ...), and other conjuncts can only narrow
+// the result further. Anything else — OR, NOT, LIKE, cross-type values —
+// contributes no interval and prunes nothing.
+package exec
+
+import (
+	"math"
+
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+// zonePruner holds one column's zone map plus the predicate's closed
+// interval over it, in the column's native type so integer comparisons
+// never round through float64.
+type zonePruner struct {
+	zm       *storage.ZoneMap
+	isFloat  bool
+	iLo, iHi int64
+	fLo, fHi float64
+}
+
+// skip reports whether morsel m cannot contain a qualifying row.
+func (zp zonePruner) skip(m int) bool {
+	if zp.isFloat {
+		return zp.zm.PruneFloat(m, zp.fLo, zp.fHi)
+	}
+	return zp.zm.PruneInt(m, zp.iLo, zp.iHi)
+}
+
+// conjuncts returns the comparison leaves pruning may use: the root when
+// it is a comparison, or the comparison children of a root AND (other
+// children are ignored — they only narrow further). Nil otherwise.
+func conjuncts(p *expr.Pred) []*expr.Pred {
+	if p == nil {
+		return nil
+	}
+	switch p.Kind {
+	case expr.KCmp:
+		return []*expr.Pred{p}
+	case expr.KAnd:
+		var out []*expr.Pred
+		for _, k := range p.Kids {
+			if k.Kind == expr.KCmp {
+				out = append(out, k)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// zonePruners builds one pruner per numeric column that the predicate
+// constrains, lazily building (or fetching) the table's zone maps at the
+// given morsel size. A zone-map build failure (the storage/zonemap-build
+// failpoint, in practice) fails the scan.
+func zonePruners(t *storage.Table, p *expr.Pred, morsel int) ([]zonePruner, error) {
+	cmps := conjuncts(p)
+	if len(cmps) == 0 {
+		return nil, nil
+	}
+	schema := t.Schema()
+	var out []zonePruner
+	done := map[string]bool{}
+	for _, c := range cmps {
+		if done[c.Col] {
+			continue
+		}
+		done[c.Col] = true
+		i := schema.Index(c.Col)
+		if i < 0 || !c.Val.IsNumeric() {
+			continue
+		}
+		var zp zonePruner
+		switch schema[i].Type {
+		case storage.TInt:
+			zp = zonePruner{iLo: math.MinInt64, iHi: math.MaxInt64}
+		case storage.TFloat:
+			zp = zonePruner{isFloat: true, fLo: math.Inf(-1), fHi: math.Inf(1)}
+		default:
+			continue
+		}
+		narrowed := false
+		for _, cc := range cmps {
+			if cc.Col == c.Col && cc.Val.IsNumeric() {
+				narrowed = zp.narrow(cc.Op, cc.Val.AsFloat()) || narrowed
+			}
+		}
+		if !narrowed {
+			continue
+		}
+		zm, err := t.ZoneMap(c.Col, morsel)
+		if err != nil {
+			return nil, err
+		}
+		if zm == nil {
+			continue
+		}
+		zp.zm = zm
+		out = append(out, zp)
+	}
+	return out, nil
+}
+
+// narrow tightens the pruner's closed interval with one comparison against
+// constant v, reporting whether it narrowed anything. All tightening is
+// conservative; NE and NaN constants narrow nothing.
+func (zp *zonePruner) narrow(op expr.Op, v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if zp.isFloat {
+		// Closed-interval envelope: every qualifying x satisfies
+		// lo <= x <= hi. Strict ops use the constant itself as the bound
+		// (x > v ⇒ x >= v), which is conservative — at worst one boundary
+		// morsel whose max equals v is scanned instead of skipped.
+		switch op {
+		case expr.GE, expr.GT:
+			if v > zp.fLo {
+				zp.fLo = v
+			}
+		case expr.LE, expr.LT:
+			if v < zp.fHi {
+				zp.fHi = v
+			}
+		case expr.EQ:
+			if v > zp.fLo {
+				zp.fLo = v
+			}
+			if v < zp.fHi {
+				zp.fHi = v
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	// Integer column: translate the (possibly fractional) constant into an
+	// exact closed int64 interval. Constants at or beyond the int64 range
+	// would overflow the conversion; leave that side unbounded.
+	if v >= math.MaxInt64 || v <= math.MinInt64 {
+		return false
+	}
+	switch op {
+	case expr.GE: // x >= v  =>  x >= ceil(v)
+		zp.iLo = maxI64(zp.iLo, int64(math.Ceil(v)))
+	case expr.GT: // x > v   =>  x >= floor(v)+1
+		zp.iLo = maxI64(zp.iLo, int64(math.Floor(v))+1)
+	case expr.LE: // x <= v  =>  x <= floor(v)
+		zp.iHi = minI64(zp.iHi, int64(math.Floor(v)))
+	case expr.LT: // x < v   =>  x <= ceil(v)-1
+		zp.iHi = minI64(zp.iHi, int64(math.Ceil(v))-1)
+	case expr.EQ:
+		if v != math.Trunc(v) {
+			// x = 2.5 over INT matches nothing: the empty interval prunes
+			// every morsel, which is exactly the right answer.
+			zp.iLo, zp.iHi = 0, -1
+			return true
+		}
+		zp.iLo = maxI64(zp.iLo, int64(v))
+		zp.iHi = minI64(zp.iHi, int64(v))
+	default:
+		return false
+	}
+	return true
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

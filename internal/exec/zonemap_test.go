@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dex/internal/expr"
+	"dex/internal/fault"
+	"dex/internal/storage"
+	"dex/internal/trace"
+)
+
+// zoneSkipped runs the query traced and returns the result plus the scan
+// span's zone_skipped counter.
+func zoneSkipped(t *testing.T, tbl *storage.Table, q Query, opt ExecOptions) (*storage.Table, int64) {
+	t.Helper()
+	ctx, sp := trace.Start(context.Background(), "q")
+	res, err := ExecuteCtx(ctx, tbl, q, opt)
+	sp.End()
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	js := sp.JSON()
+	for _, c := range js.Children {
+		if c.Name == "scan" {
+			if v, ok := c.Attrs["zone_skipped"].(int64); ok {
+				return res, v
+			}
+			return res, 0
+		}
+	}
+	return res, 0
+}
+
+// TestZoneMapParityProperty is the zone-map correctness harness: for random
+// tables (clustered and unclustered, NaN-polluted and clean) and random
+// queries — including the OR/NOT/string shapes pruning must ignore — the
+// zone-map-on output must equal the zone-map-off output exactly.
+func TestZoneMapParityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 150; iter++ {
+		rows := []int{0, 1, 13, 100, 1000}[rng.Intn(5)]
+		nanFrac := []float64{0, 0.05, 1}[rng.Intn(3)]
+		tbl := randParityTable(rng, rows, nanFrac)
+		if rng.Intn(2) == 0 && rows > 0 {
+			// Cluster on a numeric column: the case where pruning fires.
+			sorted, err := tbl.SortBy([]string{"k", "x"}[rng.Intn(2)], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl = sorted
+		}
+		q := randQuery(rng)
+		opt := ExecOptions{
+			Parallelism: 1 + rng.Intn(4),
+			MorselSize:  []int{1, 3, 16, 64}[rng.Intn(4)],
+		}
+		label := fmt.Sprintf("iter=%d rows=%d nan=%.2f par=%d morsel=%d q=%s",
+			iter, rows, nanFrac, opt.Parallelism, opt.MorselSize, q)
+		off, offErr := ExecuteOpts(tbl, q, opt)
+		zopt := opt
+		zopt.ZoneMap = true
+		on, onErr := ExecuteOpts(tbl, q, zopt)
+		if (offErr == nil) != (onErr == nil) {
+			t.Fatalf("%s: error mismatch off=%v on=%v", label, offErr, onErr)
+		}
+		if offErr != nil {
+			continue
+		}
+		requireSameTable(t, label, off, on)
+	}
+}
+
+// TestZoneMapSkipsClusteredMorsels pins the tentpole behavior: on a table
+// clustered by the predicate column, a selective range scan skips most
+// morsels (visible in the scan span's zone_skipped attr) and still returns
+// the exact row set.
+func TestZoneMapSkipsClusteredMorsels(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tbl := randParityTable(rng, 10_000, 0)
+	sorted, err := tbl.SortBy("k", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k is uniform over [-500, 500): [0, 50) selects ~5% of rows, clustered
+	// into a handful of the ~40 morsels of 256.
+	q := Query{
+		Select: []SelectItem{{Col: "k"}, {Col: "x"}},
+		Where: expr.And(
+			expr.Cmp("k", expr.GE, storage.Int(0)),
+			expr.Cmp("k", expr.LT, storage.Int(50)),
+		),
+	}
+	opt := ExecOptions{Parallelism: 2, MorselSize: 256}
+	want, err := ExecuteOpts(sorted, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zopt := opt
+	zopt.ZoneMap = true
+	got, skipped := zoneSkipped(t, sorted, q, zopt)
+	requireSameTable(t, "clustered range scan", want, got)
+	morsels := int64(storage.NumChunks(10_000, 256))
+	if skipped < morsels/2 {
+		t.Errorf("skipped %d of %d morsels, want at least half", skipped, morsels)
+	}
+	// The same query on the unclustered table prunes essentially nothing —
+	// and must still be correct.
+	gotU, skippedU := zoneSkipped(t, tbl, q, zopt)
+	wantU, err := ExecuteOpts(tbl, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTable(t, "unclustered range scan", wantU, gotU)
+	t.Logf("clustered skipped=%d/%d, unclustered skipped=%d", skipped, morsels, skippedU)
+}
+
+// TestZoneMapNonPrunableShapes: predicates pruning cannot reason about —
+// disjunctions, negations, string comparisons, NE — skip nothing and stay
+// correct.
+func TestZoneMapNonPrunableShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tbl := randParityTable(rng, 5_000, 0.05)
+	sorted, err := tbl.SortBy("k", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []*expr.Pred{
+		expr.Or(
+			expr.Cmp("k", expr.GE, storage.Int(400)),
+			expr.Cmp("k", expr.LT, storage.Int(-400)),
+		),
+		expr.Not(expr.Cmp("k", expr.LT, storage.Int(0))),
+		expr.Cmp("s", expr.EQ, storage.String_("red")),
+		expr.Cmp("k", expr.NE, storage.Int(0)),
+	}
+	opt := ExecOptions{Parallelism: 2, MorselSize: 256, ZoneMap: true}
+	for i, p := range preds {
+		q := Query{Select: []SelectItem{{Col: "k"}}, Where: p}
+		want, err := ExecuteOpts(sorted, q, ExecOptions{Parallelism: 2, MorselSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, skipped := zoneSkipped(t, sorted, q, opt)
+		requireSameTable(t, fmt.Sprintf("pred %d", i), want, got)
+		if skipped != 0 {
+			t.Errorf("pred %d: skipped %d morsels from a non-prunable shape", i, skipped)
+		}
+	}
+}
+
+// TestZoneMapMixedConjunction: in a conjunction, the comparison conjuncts
+// prune and the rest (a string equality) just filters — the combination
+// must both skip morsels and produce the exact rows.
+func TestZoneMapMixedConjunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tbl := randParityTable(rng, 10_000, 0)
+	sorted, err := tbl.SortBy("k", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Select: []SelectItem{{Col: "k"}, {Col: "s"}},
+		Where: expr.And(
+			expr.Cmp("k", expr.GE, storage.Int(300)),
+			expr.Cmp("s", expr.EQ, storage.String_("green")),
+		),
+	}
+	want, err := ExecuteOpts(sorted, q, ExecOptions{Parallelism: 2, MorselSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, skipped := zoneSkipped(t, sorted, q, ExecOptions{Parallelism: 2, MorselSize: 256, ZoneMap: true})
+	requireSameTable(t, "mixed conjunction", want, got)
+	if skipped == 0 {
+		t.Error("no morsels skipped despite the clustered range conjunct")
+	}
+}
+
+// TestZoneMapBuildFaultFailsScan: an armed zonemap-build failpoint fails
+// the zone-map-on query with the injected error; the zone-map-off path
+// never touches the build and succeeds.
+func TestZoneMapBuildFaultFailsScan(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(43))
+	tbl := randParityTable(rng, 2_000, 0)
+	q := Query{
+		Select: []SelectItem{{Col: "k"}},
+		Where:  expr.Cmp("k", expr.GE, storage.Int(0)),
+	}
+	if err := fault.Enable("storage/zonemap-build", "error(1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ExecuteOpts(tbl, q, ExecOptions{Parallelism: 2, MorselSize: 256, ZoneMap: true})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("zone-map-on under armed build fault: err = %v, want injected", err)
+	}
+	if _, err := ExecuteOpts(tbl, q, ExecOptions{Parallelism: 2, MorselSize: 256}); err != nil {
+		t.Fatalf("zone-map-off under armed build fault: %v", err)
+	}
+}

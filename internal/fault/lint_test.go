@@ -10,6 +10,7 @@ import (
 	// lint below sees the full production registry. A new package with
 	// failpoints must be added here or its sites escape the lint.
 	_ "dex/internal/cache"
+	_ "dex/internal/crack"
 	_ "dex/internal/exec"
 	_ "dex/internal/par"
 	_ "dex/internal/rawload"
@@ -26,6 +27,7 @@ var knownSites = []string{
 	"cache/get",
 	"cache/put",
 	"client/transport",
+	"crack/escalate",
 	"exec/scan",
 	"par/claim",
 	"rawload/read",
@@ -33,6 +35,7 @@ var knownSites = []string{
 	"server/admit",
 	"server/handler",
 	"storage/csv-read",
+	"storage/zonemap-build",
 }
 
 // TestFailpointRegistryLint checks the global registry: every name is

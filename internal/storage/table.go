@@ -65,11 +65,14 @@ func (s Schema) String() string {
 	return strings.Join(parts, ", ")
 }
 
-// Table is a named collection of equally long columns.
+// Table is a named collection of equally long columns. The embedded zone
+// cache (see zonemap.go) is lazily built per-table state; its zero value
+// is ready, so the struct literals below need not mention it.
 type Table struct {
 	name   string
 	schema Schema
 	cols   []Column
+	zones  zoneCache
 }
 
 // NewTable creates an empty table with the given schema.

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dex/internal/fault"
+)
+
+func zmTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("zm", Schema{
+		{Name: "i", Type: TInt},
+		{Name: "f", Type: TFloat},
+		{Name: "s", Type: TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three morsels of 4 at morsel size 4: i covers [0,3], [10,13], [20,23];
+	// f mirrors it scaled by 1.5, with morsel 1 all-NaN.
+	for m := 0; m < 3; m++ {
+		for k := 0; k < 4; k++ {
+			f := float64(m*10+k) * 1.5
+			if m == 1 {
+				f = math.NaN()
+			}
+			if err := tab.AppendRow(Int(int64(m*10+k)), Float(f), String_("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tab
+}
+
+func TestZoneMapBuildAndPrune(t *testing.T) {
+	tab := zmTable(t)
+	z, err := tab.ZoneMap("i", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z == nil || z.Morsels() != 3 || z.Kind() != TInt {
+		t.Fatalf("zone map = %+v", z)
+	}
+	cases := []struct {
+		m      int
+		lo, hi int64
+		prune  bool
+	}{
+		{0, 0, 3, false},   // exact cover
+		{0, 4, 100, true},  // entirely above morsel 0
+		{1, 0, 9, true},    // entirely below morsel 1
+		{1, 13, 13, false}, // touches morsel 1's max
+		{2, 24, 30, true},  // above morsel 2
+		{2, 23, 23, false}, // touches morsel 2's max
+		{-1, 0, 0, false},  // out-of-range morsel never prunes
+		{3, 0, 0, false},
+	}
+	for _, c := range cases {
+		if got := z.PruneInt(c.m, c.lo, c.hi); got != c.prune {
+			t.Errorf("PruneInt(%d, [%d,%d]) = %v, want %v", c.m, c.lo, c.hi, got, c.prune)
+		}
+	}
+}
+
+func TestZoneMapFloatNaNMorsel(t *testing.T) {
+	tab := zmTable(t)
+	z, err := tab.ZoneMap("f", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z == nil || z.Kind() != TFloat {
+		t.Fatalf("zone map = %+v", z)
+	}
+	// Morsel 1 holds only NaN: min=+Inf, max=-Inf, so every interval prunes
+	// it — NaN is NULL and matches no comparison.
+	if !z.PruneFloat(1, math.Inf(-1), math.Inf(1)) {
+		t.Error("all-NaN morsel not pruned by (-Inf, +Inf)")
+	}
+	if z.PruneFloat(0, 0, 1) {
+		t.Error("morsel 0 pruned by [0,1] but holds 0..4.5")
+	}
+	if !z.PruneFloat(2, 0, 29) {
+		t.Error("morsel 2 (30..34.5) not pruned by [0,29]")
+	}
+}
+
+func TestZoneMapUnsupportedAndEmpty(t *testing.T) {
+	tab := zmTable(t)
+	if z, err := tab.ZoneMap("s", 4); err != nil || z != nil {
+		t.Errorf("string column: z=%v err=%v, want nil,nil", z, err)
+	}
+	if z, err := tab.ZoneMap("i", 0); err != nil || z != nil {
+		t.Errorf("morsel 0: z=%v err=%v, want nil,nil", z, err)
+	}
+	if _, err := tab.ZoneMap("nope", 4); err == nil {
+		t.Error("missing column: want error")
+	}
+	empty, err := NewTable("e", Schema{{Name: "i", Type: TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z, err := empty.ZoneMap("i", 4); err != nil || z != nil {
+		t.Errorf("empty column: z=%v err=%v, want nil,nil", z, err)
+	}
+}
+
+func TestZoneMapCacheAndStaleness(t *testing.T) {
+	tab := zmTable(t)
+	z1, err := tab.ZoneMap("i", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := tab.ZoneMap("i", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z1 != z2 {
+		t.Error("second lookup did not hit the cache")
+	}
+	// Distinct morsel sizes are distinct cache entries.
+	z3, err := tab.ZoneMap("i", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z3 == z1 || z3.Morsels() != 2 {
+		t.Errorf("morsel-6 map = %+v", z3)
+	}
+	// Growing the table invalidates the cached map: a stale map that said
+	// "max 23" would wrongly prune a morsel now holding 99.
+	if err := tab.AppendRow(Int(99), Float(1), String_("y")); err != nil {
+		t.Fatal(err)
+	}
+	z4, err := tab.ZoneMap("i", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z4 == z1 {
+		t.Fatal("stale zone map returned after AppendRow")
+	}
+	if z4.Rows() != 13 || z4.Morsels() != 4 {
+		t.Errorf("rebuilt map = rows %d morsels %d", z4.Rows(), z4.Morsels())
+	}
+	if z4.PruneInt(3, 99, 99) {
+		t.Error("rebuilt map prunes the morsel holding the new row")
+	}
+}
+
+func TestZoneMapBuildFailpoint(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	tab := zmTable(t)
+	if err := fault.Enable("storage/zonemap-build", "error(1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.ZoneMap("i", 4); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("armed build: err = %v, want injected", err)
+	}
+	// The failed build must not poison the cache: disarmed, the next
+	// request builds and serves normally.
+	fault.Disable("storage/zonemap-build")
+	z, err := tab.ZoneMap("i", 4)
+	if err != nil || z == nil {
+		t.Fatalf("post-fault rebuild: z=%v err=%v", z, err)
+	}
+}
