@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz bench bench-concurrency chaos metrics-smoke
+.PHONY: all build test race vet fmt-check fuzz bench bench-concurrency bench-idebench chaos metrics-smoke
 
 all: vet fmt-check build test
 
@@ -33,6 +33,13 @@ bench:
 # and refresh the committed JSON artifact.
 bench-concurrency:
 	$(GO) run ./cmd/experiments -run E30 -json BENCH_concurrency.json
+
+# Regenerate the IDEBench-style multi-user session baseline (E31) at full
+# size — 4 modes × {10,40,100} users plus the prefetch on/off pair — and
+# refresh the committed JSON artifact. `go run ./cmd/dexbench` drives
+# custom matrices (or an external dexd via -addr).
+bench-idebench:
+	$(GO) run ./cmd/experiments -run E31 -json BENCH_idebench.json
 
 # Seeded chaos harness + cross-mode differential oracles under the race
 # detector, twice per seed (CI runs the same line with DEX_CHAOS_SEED

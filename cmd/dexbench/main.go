@@ -1,0 +1,120 @@
+// Command dexbench runs the IDEBench-style simulated-user benchmark
+// (internal/idebench, experiment E31) against a dexd instance: U
+// concurrent seeded analysts run drill/rollup/pan/refine sessions with
+// think time under a per-query deadline, across the chosen execution
+// modes, and the run is scored by deadline-violation rate,
+// time-to-insight, and quality-at-deadline, plus a prefetch-driven
+// cache-warming on/off comparison.
+//
+// Usage:
+//
+//	dexbench [-addr http://host:8080] [-users 10,40,100] [-ops 12]
+//	         [-modes exact,cracked,approx,online] [-deadline 250ms]
+//	         [-think-mean 150ms] [-think 1.0] [-rows 200000] [-seed 1]
+//	         [-prefetch-users 40] [-prefetch-budget 2] [-json out.json]
+//
+// Without -addr it stands up an in-process dexd per run (a fresh server
+// per cell, so no run inherits another's cache or cracked-index state),
+// loaded with -rows of the demo sales table. With -addr it drives the
+// given live server instead; the sales table must already be loaded
+// there (dexd -demo sales), and cells then share that server's state.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dex/internal/idebench"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", "", "dexd base URL (empty = in-process server)")
+	usersFlag := flag.String("users", "10,40,100", "comma-separated concurrent-user counts, one run each")
+	ops := flag.Int("ops", 12, "operations per user session")
+	modesFlag := flag.String("modes", "exact,cracked,approx,online", "comma-separated execution modes")
+	deadline := flag.Duration("deadline", 250*time.Millisecond, "per-query latency deadline")
+	thinkMean := flag.Duration("think-mean", 150*time.Millisecond, "mean of the exponential think-time distribution")
+	thinkScale := flag.Float64("think", 1.0, "think-time multiplier (0 = closed loop)")
+	rows := flag.Int("rows", 200_000, "sales-table rows for the in-process server")
+	seed := flag.Int64("seed", 1, "benchmark seed (user u replays trace seed+u)")
+	prefetchUsers := flag.Int("prefetch-users", 40, "user count for the prefetch on/off comparison (0 = skip)")
+	prefetchBudget := flag.Int("prefetch-budget", 2, "predicted windows warmed per pan")
+	jsonPath := flag.String("json", "", "also write the full matrix as JSON to this path")
+	flag.Parse()
+
+	users, err := parseInts(*usersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var modes []string
+	for _, m := range strings.Split(*modesFlag, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			modes = append(modes, m)
+		}
+	}
+
+	target := func() (string, func(), error) {
+		if *addr != "" {
+			return *addr, func() {}, nil
+		}
+		l, err := idebench.StartLocal(idebench.LocalConfig{Rows: *rows, Seed: *seed})
+		if err != nil {
+			return "", nil, err
+		}
+		return l.URL, l.Close, nil
+	}
+	cfg := idebench.MatrixConfig{
+		UserCounts:     users,
+		Modes:          modes,
+		Ops:            *ops,
+		Seed:           *seed,
+		Deadline:       *deadline,
+		ThinkMean:      *thinkMean,
+		ThinkScale:     *thinkScale,
+		PrefetchUsers:  *prefetchUsers,
+		PrefetchBudget: *prefetchBudget,
+	}
+	res, err := idebench.RunMatrix(context.Background(), target, cfg, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addr == "" {
+		res.Rows = *rows
+	}
+	res.Fprint(os.Stdout)
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+}

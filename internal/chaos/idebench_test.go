@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"dex/internal/fault"
+	"dex/internal/idebench"
+	"dex/internal/server"
+)
+
+// The idebench driver under the standing failpoint matrix: the benchmark
+// must hold the same invariants the chaos harness demands of the load
+// harness — every issued query lands in exactly one typed outcome bucket
+// (nothing unclassified), the run completes, and the process settles back
+// to its pre-run goroutine count. A benchmark that leaks goroutines or
+// miscounts under faults would quietly corrupt every number it reports.
+func TestIDEBenchUnderChaos(t *testing.T) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			fault.Reset()
+			defer fault.Reset()
+			fault.SetSeed(seed)
+
+			local, err := idebench.StartLocal(idebench.LocalConfig{Rows: 8_000, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm one query through the stack before the baseline so
+			// lazily started helpers (http transport, server pools) are
+			// not counted as leaks.
+			warm := server.NewClient(local.URL)
+			wsid, err := warm.CreateSession(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Query(context.Background(), wsid, server.QueryRequest{SQL: "SELECT count(*) FROM sales"}); err != nil {
+				t.Fatal(err)
+			}
+			warm.EndSession(context.Background(), wsid)
+			warm.HTTP.CloseIdleConnections()
+			baseline := runtime.NumGoroutine()
+
+			// The standing chaos mix, armed statically for the whole run
+			// (the benchmark is short; windows would mostly miss it).
+			for _, fp := range []struct{ site, spec string }{
+				{"exec/scan", "latency(20ms,0.5)"},
+				{"cache/get", "error(0.5)"},
+				{"server/admit", "error(0.2)"},
+				{"client/transport", "error(0.15)"},
+				{"server/handler", "error(0.05)"},
+			} {
+				if err := fault.Enable(fp.site, fp.spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			httpCl := &http.Client{}
+			cl := server.NewClient(local.URL)
+			cl.HTTP = httpCl
+			cl.Retry = &server.RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, Seed: seed}
+			cfg := idebench.Config{
+				Users:      3,
+				Seed:       seed,
+				Mode:       "exact",
+				Deadline:   120 * time.Millisecond,
+				ThinkScale: 0,
+				User:       idebench.UserConfig{Ops: 8},
+				// The oracle pass would run under the same faults and
+				// prove nothing here; the quality tests cover it.
+				QualitySample: -1,
+			}
+			rep, err := idebench.Run(context.Background(), cl, cfg)
+			if err != nil {
+				t.Fatalf("driver did not survive the fault matrix: %v", err)
+			}
+
+			// Invariant: every issued query classified, none untyped.
+			if want := int64(cfg.Users * cfg.User.Ops); rep.Issued != want {
+				t.Fatalf("issued %d, want %d", rep.Issued, want)
+			}
+			sum := rep.OK + rep.Degraded + rep.Late + rep.Timeout +
+				rep.Rejected + rep.Transport + rep.Failed + rep.Unclassified
+			if sum != rep.Issued {
+				t.Fatalf("outcome buckets sum to %d, issued %d: %+v", sum, rep.Issued, rep)
+			}
+			if rep.Unclassified != 0 {
+				t.Fatalf("%d unclassified outcomes under faults: %+v", rep.Unclassified, rep)
+			}
+
+			// The faults must actually have fired — a quiet matrix would
+			// make this test vacuous.
+			fired := false
+			for _, st := range fault.Stats() {
+				if st.Fires > 0 {
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				t.Fatal("no failpoint fired during the run")
+			}
+
+			// Invariant: no goroutine leaks once the run tears down.
+			fault.Reset()
+			local.Close()
+			httpCl.CloseIdleConnections()
+			settled := runtime.NumGoroutine()
+			for i := 0; i < 50 && settled > baseline+2; i++ {
+				time.Sleep(10 * time.Millisecond)
+				settled = runtime.NumGoroutine()
+			}
+			if settled > baseline+2 {
+				t.Fatalf("goroutines leaked: baseline %d, settled %d", baseline, settled)
+			}
+		})
+	}
+}

@@ -1,0 +1,441 @@
+package idebench
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dex/internal/metrics"
+	"dex/internal/prefetch"
+	"dex/internal/server"
+)
+
+// Outcome classifies what happened to one issued query, from the user's
+// point of view.
+type Outcome uint8
+
+// The outcome buckets. The deadline-accounting rule the benchmark enforces
+// (and the table-driven test pins down): a degraded answer — the server
+// noticed the deadline and returned a sampled approximation, degraded:true
+// on the wire — is an ANSWER. The user saw numbers before giving up, so it
+// scores against quality-at-deadline, not as a deadline violation. Only
+// OutcomeLate (an answer that arrived after the deadline anyway) and
+// OutcomeTimeout (the server gave up, 504) are violations.
+const (
+	OutcomeOK           Outcome = iota // answered within the deadline
+	OutcomeDegraded                    // answered with a degraded approximation
+	OutcomeLate                        // answered, but after the deadline — violation
+	OutcomeTimeout                     // server-side deadline exceeded (504) — violation
+	OutcomeRejected                    // load-shed (429/503) after client retries
+	OutcomeTransport                   // network-level failure
+	OutcomeFailed                      // any other server error (bad SQL, 5xx)
+	OutcomeUnclassified                // an error the taxonomy does not cover
+	numOutcomes
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeLate:
+		return "late"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeTransport:
+		return "transport"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return "unclassified"
+	}
+}
+
+// Violation reports whether the outcome counts as a deadline violation.
+func (o Outcome) Violation() bool { return o == OutcomeLate || o == OutcomeTimeout }
+
+// Answered reports whether the user got a result table at all.
+func (o Outcome) Answered() bool {
+	return o == OutcomeOK || o == OutcomeDegraded || o == OutcomeLate
+}
+
+// Classify buckets one query attempt. res/err are the client's return
+// values, elapsed the client-observed round-trip (including retries —
+// what the user felt), deadline the per-query budget (0 = none).
+func Classify(res *server.QueryResult, err error, elapsed, deadline time.Duration) Outcome {
+	if err == nil {
+		switch {
+		case res != nil && res.Degraded:
+			// Degraded answers arrive near the deadline by construction;
+			// they are the deadline policy working, not it failing.
+			return OutcomeDegraded
+		case deadline > 0 && elapsed > deadline:
+			return OutcomeLate
+		default:
+			return OutcomeOK
+		}
+	}
+	var rej *server.RejectedError
+	var se *server.StatusError
+	switch {
+	case errors.As(err, &rej):
+		return OutcomeRejected
+	case server.IsTransport(err):
+		return OutcomeTransport
+	case errors.As(err, &se):
+		if se.Status == 504 {
+			return OutcomeTimeout
+		}
+		return OutcomeFailed
+	default:
+		return OutcomeUnclassified
+	}
+}
+
+// Config parameterizes one driver run.
+type Config struct {
+	// Users is the number of concurrent simulated users (default 4); user
+	// u's trace is seeded with Seed+u.
+	Users int
+	Seed  int64
+	// Mode is the execution mode every query requests (default "exact").
+	Mode string
+	// Deadline is the per-query latency budget, sent to the server as
+	// timeout_ms and used client-side to classify late answers
+	// (default 250ms).
+	Deadline time.Duration
+	// ThinkScale multiplies every think time in the trace: 1 = as drawn,
+	// 0 = closed loop. Negative means "use 1".
+	ThinkScale float64
+	// User configures the simulated-user state machine.
+	User UserConfig
+	// Prefetch turns on predictor-driven cache warming: each user's pan
+	// trace feeds prefetch.NextWindows, and the predicted viewports'
+	// queries are executed asynchronously on warming sessions so the
+	// server's result cache already holds the user's likely next answer.
+	// Only the exact mode caches results, so warming helps there.
+	Prefetch bool
+	// PrefetchBudget is how many predicted windows are warmed per pan
+	// (default 2).
+	PrefetchBudget int
+	// QualitySample bounds how many distinct approximate answers are
+	// re-resolved exactly for the quality-at-deadline score (default 64;
+	// negative disables the oracle pass).
+	QualitySample int
+}
+
+func (c *Config) fill() {
+	if c.Users <= 0 {
+		c.Users = 4
+	}
+	if c.Mode == "" {
+		c.Mode = "exact"
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 250 * time.Millisecond
+	}
+	if c.ThinkScale < 0 {
+		c.ThinkScale = 1
+	}
+	if c.PrefetchBudget <= 0 {
+		c.PrefetchBudget = 2
+	}
+	if c.QualitySample == 0 {
+		c.QualitySample = 64
+	}
+	c.User.fill()
+}
+
+// Report is the scored result of one driver run.
+type Report struct {
+	Users      int     `json:"users"`
+	OpsPerUser int     `json:"ops_per_user"`
+	Mode       string  `json:"mode"`
+	DeadlineMS float64 `json:"deadline_ms"`
+	ThinkScale float64 `json:"think_scale"`
+	Seed       int64   `json:"seed"`
+	Prefetch   bool    `json:"prefetch"`
+
+	Issued       int64 `json:"issued"`
+	OK           int64 `json:"ok"`
+	Degraded     int64 `json:"degraded"`
+	Late         int64 `json:"late"`
+	Timeout      int64 `json:"timeout"`
+	Rejected     int64 `json:"rejected"`
+	Transport    int64 `json:"transport"`
+	Failed       int64 `json:"failed"`
+	Unclassified int64 `json:"unclassified"`
+
+	// Violations = Late + Timeout; ViolationRate is over all issued ops.
+	Violations    int64   `json:"deadline_violations"`
+	ViolationRate float64 `json:"violation_rate"`
+
+	// Time-to-insight: wall time from session start until the insight
+	// operation completes, across users that got there.
+	TTIMeanS float64 `json:"tti_mean_s"`
+	TTIP95S  float64 `json:"tti_p95_s"`
+
+	// Quality-at-deadline: mean relative error of the answers the user
+	// saw in time (exact in-deadline answers score 0; degraded and
+	// approximate answers score their measured error against an exact
+	// oracle re-run after the benchmark). QualityN is how many answers
+	// were scored.
+	QualityN          int64   `json:"quality_n"`
+	QualityMeanRelErr float64 `json:"quality_mean_rel_err"`
+
+	// Client-observed latency over answered queries.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+
+	// Cache effectiveness. Pan queries are tracked separately — latency
+	// histogram included — because they are the ones prefetch warming
+	// targets: a warmed viewport answers from cache in well under a
+	// millisecond, so the pan quantiles are where warming shows up
+	// cleanly even when the mixed-op quantiles are dominated by
+	// group-by drill-downs.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	PanQueries   int64   `json:"pan_queries"`
+	PanCacheHits int64   `json:"pan_cache_hits"`
+	PanHitRate   float64 `json:"pan_hit_rate"`
+	PanP50MS     float64 `json:"pan_p50_ms"`
+	PanP95MS     float64 `json:"pan_p95_ms"`
+	WarmIssued   int64   `json:"warm_issued"`
+	WarmDropped  int64   `json:"warm_dropped"`
+
+	WallS float64 `json:"wall_s"`
+	QPS   float64 `json:"qps"`
+}
+
+// queryRec remembers what one answered query returned, for the post-run
+// quality pass.
+type queryRec struct {
+	sql     string
+	outcome Outcome
+	approx  bool // the answer was an estimate (approx/online/degraded)
+	est     *estimate
+}
+
+// Run drives cfg.Users concurrent sessions against the service behind cl
+// and scores the run. The client's retry policy (if set) is honored per
+// query; latency is measured around the whole logical request, retries
+// included — what the user feels.
+func Run(ctx context.Context, cl *server.Client, cfg Config) (*Report, error) {
+	cfg.fill()
+
+	// Warming pool: pan predictions arrive on warmCh and are executed on
+	// separate sessions so speculative work never blocks a user. The
+	// channel sheds when full — prefetch under overload must drop, not
+	// queue unboundedly behind the very queries it is trying to help.
+	warmCh := make(chan string, 256)
+	var warmWG sync.WaitGroup
+	var warmIssued, warmDropped atomic.Int64
+	if cfg.Prefetch {
+		for w := 0; w < 4; w++ {
+			warmWG.Add(1)
+			go func() {
+				defer warmWG.Done()
+				wcl := server.NewClient(cl.BaseURL)
+				wcl.HTTP = cl.HTTP
+				sid, err := wcl.CreateSession(ctx)
+				if err != nil {
+					return
+				}
+				defer wcl.EndSession(context.WithoutCancel(ctx), sid)
+				for sql := range warmCh {
+					req := server.QueryRequest{SQL: sql, Mode: "exact", TimeoutMS: cfg.Deadline.Milliseconds()}
+					if _, err := wcl.Query(ctx, sid, req); err == nil {
+						warmIssued.Add(1)
+					}
+				}
+			}()
+		}
+	}
+
+	type userResult struct {
+		hist      *metrics.LogHist
+		panHist   *metrics.LogHist
+		counts    [numOutcomes]int64
+		recs      []queryRec
+		panQ      int64
+		panHits   int64
+		cacheHits int64
+		tti       time.Duration
+		err       error
+	}
+	results := make([]userResult, cfg.Users)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			res := &results[u]
+			res.hist = metrics.NewLogHist()
+			res.panHist = metrics.NewLogHist()
+			tr := NewTrace(cfg.User, cfg.Seed+int64(u))
+			userStart := time.Now()
+			sid, err := cl.CreateSession(ctx)
+			if err != nil {
+				// The whole session is lost: every op it would have issued
+				// lands in the bucket the create failure classifies to.
+				oc := Classify(nil, err, 0, cfg.Deadline)
+				res.counts[oc] += int64(len(tr.Ops))
+				if oc == OutcomeUnclassified && ctx.Err() != nil {
+					res.err = ctx.Err()
+				}
+				return
+			}
+			defer cl.EndSession(context.WithoutCancel(ctx), sid)
+			var history []prefetch.Window
+			for i, op := range tr.Ops {
+				if think := time.Duration(float64(op.Think) * cfg.ThinkScale); think > 0 {
+					select {
+					case <-time.After(think):
+					case <-ctx.Done():
+						res.err = ctx.Err()
+						return
+					}
+				}
+				req := server.QueryRequest{SQL: op.SQL, Mode: cfg.Mode, TimeoutMS: cfg.Deadline.Milliseconds()}
+				t0 := time.Now()
+				out, qerr := cl.Query(ctx, sid, req)
+				elapsed := time.Since(t0)
+				oc := Classify(out, qerr, elapsed, cfg.Deadline)
+				if oc == OutcomeUnclassified && ctx.Err() != nil {
+					res.err = ctx.Err()
+					return
+				}
+				res.counts[oc]++
+				if oc.Answered() {
+					res.hist.Add(elapsed.Seconds())
+					if out.Cached {
+						res.cacheHits++
+					}
+					if oc != OutcomeLate {
+						// Only in-deadline answers are quality-scored; a
+						// late answer is already counted as a violation.
+						res.recs = append(res.recs, queryRec{
+							sql:     op.SQL,
+							outcome: oc,
+							approx:  out.Degraded || isApproxMode(out.Mode),
+							est:     parseEstimate(out),
+						})
+					}
+				}
+				if op.Kind == OpPan {
+					res.panQ++
+					if qerr == nil {
+						res.panHist.Add(elapsed.Seconds())
+						if out.Cached {
+							res.panHits++
+						}
+					}
+					history = append(history, op.Window)
+					if cfg.Prefetch {
+						for _, nw := range prefetch.NextWindows(history, cfg.PrefetchBudget) {
+							nw = nw.Clamp(cfg.User.GridNX, cfg.User.GridNY)
+							select {
+							case warmCh <- tileSQL(cfg.User, nw):
+							default:
+								warmDropped.Add(1)
+							}
+						}
+					}
+				}
+				if i == tr.Insight && res.tti == 0 {
+					res.tti = time.Since(userStart)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(warmCh)
+	warmWG.Wait()
+
+	merged := metrics.NewLogHist()
+	mergedPan := metrics.NewLogHist()
+	rep := &Report{
+		Users:      cfg.Users,
+		OpsPerUser: cfg.User.Ops,
+		Mode:       cfg.Mode,
+		DeadlineMS: float64(cfg.Deadline) / float64(time.Millisecond),
+		ThinkScale: cfg.ThinkScale,
+		Seed:       cfg.Seed,
+		Prefetch:   cfg.Prefetch,
+		WallS:      wall.Seconds(),
+	}
+	var ttis []float64
+	var recs []queryRec
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		merged.Merge(r.hist)
+		mergedPan.Merge(r.panHist)
+		rep.OK += r.counts[OutcomeOK]
+		rep.Degraded += r.counts[OutcomeDegraded]
+		rep.Late += r.counts[OutcomeLate]
+		rep.Timeout += r.counts[OutcomeTimeout]
+		rep.Rejected += r.counts[OutcomeRejected]
+		rep.Transport += r.counts[OutcomeTransport]
+		rep.Failed += r.counts[OutcomeFailed]
+		rep.Unclassified += r.counts[OutcomeUnclassified]
+		rep.CacheHits += r.cacheHits
+		rep.PanQueries += r.panQ
+		rep.PanCacheHits += r.panHits
+		if r.tti > 0 {
+			ttis = append(ttis, r.tti.Seconds())
+		}
+		recs = append(recs, r.recs...)
+	}
+	rep.Issued = rep.OK + rep.Degraded + rep.Late + rep.Timeout +
+		rep.Rejected + rep.Transport + rep.Failed + rep.Unclassified
+	rep.Violations = rep.Late + rep.Timeout
+	if rep.Issued > 0 {
+		rep.ViolationRate = float64(rep.Violations) / float64(rep.Issued)
+	}
+	if len(ttis) > 0 {
+		rep.TTIMeanS = metrics.Mean(ttis)
+		rep.TTIP95S = metrics.Quantile(ttis, 0.95)
+	}
+	answered := rep.OK + rep.Degraded + rep.Late
+	if answered > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(answered)
+	}
+	if rep.PanQueries > 0 {
+		rep.PanHitRate = float64(rep.PanCacheHits) / float64(rep.PanQueries)
+	}
+	rep.WarmIssued = warmIssued.Load()
+	rep.WarmDropped = warmDropped.Load()
+	if wall > 0 {
+		rep.QPS = float64(answered) / wall.Seconds()
+	}
+	rep.P50MS = merged.Quantile(0.5) * 1e3
+	rep.P95MS = merged.Quantile(0.95) * 1e3
+	rep.P99MS = merged.Quantile(0.99) * 1e3
+	rep.MaxMS = merged.Max() * 1e3
+	if mergedPan.N() > 0 {
+		rep.PanP50MS = mergedPan.Quantile(0.5) * 1e3
+		rep.PanP95MS = mergedPan.Quantile(0.95) * 1e3
+	}
+
+	if cfg.QualitySample >= 0 {
+		scoreQuality(ctx, cl, recs, cfg.QualitySample, rep)
+	}
+	return rep, nil
+}
+
+// isApproxMode reports whether the answer's producing mode yields
+// estimates rather than exact values.
+func isApproxMode(mode string) bool { return mode == "approx" || mode == "online" }

@@ -1,0 +1,157 @@
+package idebench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dex/internal/server"
+)
+
+// MatrixConfig parameterizes a full benchmark matrix: every mode at every
+// user count, plus one prefetch on/off pair.
+type MatrixConfig struct {
+	UserCounts []int    // e.g. {10, 40, 100}
+	Modes      []string // e.g. {"exact", "cracked", "approx", "online"}
+	Ops        int      // operations per user session
+	Seed       int64
+	Deadline   time.Duration
+	ThinkMean  time.Duration
+	ThinkScale float64
+	// PrefetchUsers is the user count for the prefetch on/off comparison
+	// (0 skips it). The comparison runs in exact mode — the only mode
+	// whose results the server caches.
+	PrefetchUsers  int
+	PrefetchBudget int
+	// QualitySample bounds oracle queries per run (see Config).
+	QualitySample int
+}
+
+// PrefetchComparison is the warming on/off pair: the identical seeded
+// workload driven twice, with and without predictor-driven cache warming.
+type PrefetchComparison struct {
+	Users         int     `json:"users"`
+	Off           *Report `json:"off"`
+	On            *Report `json:"on"`
+	PanHitRateOff float64 `json:"pan_hit_rate_off"`
+	PanHitRateOn  float64 `json:"pan_hit_rate_on"`
+	// Deltas are off−on: positive means warming shaved the quantile.
+	// PanP95DeltaMS is the cleaner signal — warming only touches pan
+	// queries, and a warmed viewport answers from cache in well under a
+	// millisecond, while the mixed-op p95 is dominated by drill-down
+	// group-bys warming never sees.
+	P95DeltaMS    float64 `json:"p95_delta_ms"`
+	PanP95DeltaMS float64 `json:"pan_p95_delta_ms"`
+}
+
+// MatrixResult is the full benchmark artifact (BENCH_idebench.json).
+type MatrixResult struct {
+	Bench      string              `json:"bench"`
+	Rows       int                 `json:"rows"`
+	Seed       int64               `json:"seed"`
+	DeadlineMS float64             `json:"deadline_ms"`
+	Runs       []*Report           `json:"runs"`
+	Prefetch   *PrefetchComparison `json:"prefetch,omitempty"`
+}
+
+// RunMatrix drives the matrix. target stands up (or points at) the dexd
+// instance for one run and returns its base URL plus a teardown func; an
+// in-process target returns a fresh server each time so runs do not leak
+// cache contents or cracked-index state into each other, while an
+// external target returns the same address with a no-op teardown. logf
+// (optional) narrates progress.
+func RunMatrix(ctx context.Context, target func() (string, func(), error), cfg MatrixConfig, logf func(string, ...any)) (*MatrixResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if len(cfg.UserCounts) == 0 {
+		cfg.UserCounts = []int{10, 40, 100}
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []string{"exact", "cracked", "approx", "online"}
+	}
+	res := &MatrixResult{
+		Bench:      "idebench",
+		Seed:       cfg.Seed,
+		DeadlineMS: float64(cfg.Deadline) / float64(time.Millisecond),
+	}
+	oneRun := func(mode string, users int, prefetch bool) (*Report, error) {
+		base, done, err := target()
+		if err != nil {
+			return nil, err
+		}
+		defer done()
+		cl := server.NewClient(base)
+		cl.Retry = &server.RetryPolicy{MaxAttempts: 3, BaseBackoff: 20 * time.Millisecond, Seed: cfg.Seed}
+		return Run(ctx, cl, Config{
+			Users:          users,
+			Seed:           cfg.Seed,
+			Mode:           mode,
+			Deadline:       cfg.Deadline,
+			ThinkScale:     cfg.ThinkScale,
+			Prefetch:       prefetch,
+			PrefetchBudget: cfg.PrefetchBudget,
+			QualitySample:  cfg.QualitySample,
+			User:           UserConfig{Ops: cfg.Ops, ThinkMean: cfg.ThinkMean},
+		})
+	}
+	for _, mode := range cfg.Modes {
+		for _, users := range cfg.UserCounts {
+			logf("idebench: mode=%s users=%d", mode, users)
+			rep, err := oneRun(mode, users, false)
+			if err != nil {
+				return nil, fmt.Errorf("mode %s users %d: %w", mode, users, err)
+			}
+			res.Runs = append(res.Runs, rep)
+		}
+	}
+	if cfg.PrefetchUsers > 0 {
+		logf("idebench: prefetch comparison users=%d", cfg.PrefetchUsers)
+		off, err := oneRun("exact", cfg.PrefetchUsers, false)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch off: %w", err)
+		}
+		on, err := oneRun("exact", cfg.PrefetchUsers, true)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch on: %w", err)
+		}
+		res.Prefetch = &PrefetchComparison{
+			Users:         cfg.PrefetchUsers,
+			Off:           off,
+			On:            on,
+			PanHitRateOff: off.PanHitRate,
+			PanHitRateOn:  on.PanHitRate,
+			P95DeltaMS:    off.P95MS - on.P95MS,
+			PanP95DeltaMS: off.PanP95MS - on.PanP95MS,
+		}
+	}
+	return res, nil
+}
+
+// Fprint renders the matrix as aligned text tables.
+func (r *MatrixResult) Fprint(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"mode", "users", "issued", "viol%", "ok", "degr", "late", "to", "rej", "tti_ms", "qual_err", "p50_ms", "p95_ms", "hit%"}
+	seps := make([]string, len(header))
+	for i, h := range header {
+		seps[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	fmt.Fprintln(tw, strings.Join(seps, "\t"))
+	for _, rep := range r.Runs {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.4f\t%.1f\t%.1f\t%.1f\n",
+			rep.Mode, rep.Users, rep.Issued, rep.ViolationRate*100,
+			rep.OK, rep.Degraded, rep.Late, rep.Timeout, rep.Rejected,
+			rep.TTIMeanS*1e3, rep.QualityMeanRelErr, rep.P50MS, rep.P95MS,
+			rep.CacheHitRate*100)
+	}
+	tw.Flush()
+	if p := r.Prefetch; p != nil {
+		fmt.Fprintf(w, "\nprefetch (exact, %d users): pan hit-rate %.1f%% -> %.1f%%, pan p95 %.1fms -> %.1fms (delta %+.1fms), overall p95 delta %+.1fms, warmed %d\n",
+			p.Users, p.PanHitRateOff*100, p.PanHitRateOn*100,
+			p.Off.PanP95MS, p.On.PanP95MS, p.PanP95DeltaMS, p.P95DeltaMS, p.On.WarmIssued)
+	}
+}

@@ -1,0 +1,163 @@
+package idebench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"dex/internal/server"
+)
+
+// estimate is the numeric content of one answer: the aggregate value per
+// group ("" for a scalar answer).
+type estimate struct {
+	groups map[string]float64
+}
+
+// parseEstimate extracts the aggregate values from a query result. The
+// value column is located structurally: approximate answers carry a
+// "ci95" column immediately after the aggregate (core.estimatesTable), so
+// the value is the column before it; exact answers put the aggregate
+// last. The group key, when present, is column 0. Null cells (NaN/Inf on
+// the wire) are skipped.
+func parseEstimate(res *server.QueryResult) *estimate {
+	if res == nil || len(res.Columns) == 0 {
+		return nil
+	}
+	valCol := len(res.Columns) - 1
+	for i, c := range res.Columns {
+		if c == "ci95" && i > 0 {
+			valCol = i - 1
+			break
+		}
+	}
+	est := &estimate{groups: map[string]float64{}}
+	for _, row := range res.Rows {
+		if valCol >= len(row) {
+			continue
+		}
+		v, ok := toFloat(row[valCol])
+		if !ok {
+			continue
+		}
+		key := ""
+		if valCol > 0 {
+			key = fmt.Sprint(row[0])
+		}
+		est.groups[key] = v
+	}
+	return est
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, false
+		}
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// relErr scores an estimate against the exact answer: per oracle group,
+// |approx−exact| / max(|exact|, 1e-9), capped at 1 (an answer can not be
+// more than 100% wrong for scoring purposes; a missing group counts as
+// fully wrong), then averaged across groups. Returns -1 when the oracle
+// is empty (nothing to score against).
+func relErr(approx, exact *estimate) float64 {
+	if exact == nil || len(exact.groups) == 0 {
+		return -1
+	}
+	var sum float64
+	for key, ev := range exact.groups {
+		if approx == nil {
+			sum += 1
+			continue
+		}
+		av, ok := approx.groups[key]
+		if !ok {
+			sum += 1
+			continue
+		}
+		denom := math.Abs(ev)
+		if denom < 1e-9 {
+			denom = 1e-9
+		}
+		e := math.Abs(av-ev) / denom
+		if e > 1 {
+			e = 1
+		}
+		sum += e
+	}
+	return sum / float64(len(exact.groups))
+}
+
+// scoreQuality computes quality-at-deadline for the answered-in-time
+// queries: exact answers score 0; approximate and degraded answers are
+// compared against an exact oracle re-run after the benchmark (so the
+// oracle queries never compete with the benchmark for server capacity,
+// and never pollute the shared result cache mid-run). The oracle resolves
+// each distinct statement once, up to sample statements, with a generous
+// timeout; statements whose oracle fails are left unscored rather than
+// guessed at.
+func scoreQuality(ctx context.Context, cl *server.Client, recs []queryRec, sample int, rep *Report) {
+	needs := map[string]bool{}
+	for _, r := range recs {
+		if r.approx && r.est != nil {
+			needs[r.sql] = true
+		}
+	}
+	oracle := map[string]*estimate{}
+	if len(needs) > 0 {
+		sid, err := cl.CreateSession(ctx)
+		if err == nil {
+			defer cl.EndSession(context.WithoutCancel(ctx), sid)
+			resolved := 0
+			for _, r := range recs {
+				if !needs[r.sql] || oracle[r.sql] != nil {
+					continue
+				}
+				if sample > 0 && resolved >= sample {
+					break
+				}
+				out, err := cl.Query(ctx, sid, server.QueryRequest{
+					SQL: r.sql, Mode: "exact", TimeoutMS: (30 * time.Second).Milliseconds(),
+				})
+				if err != nil {
+					continue
+				}
+				oracle[r.sql] = parseEstimate(out)
+				resolved++
+			}
+		}
+	}
+	var sum float64
+	var n int64
+	for _, r := range recs {
+		if !r.approx {
+			// An exact in-deadline answer is, by definition, fully correct.
+			sum += 0
+			n++
+			continue
+		}
+		o := oracle[r.sql]
+		if o == nil {
+			continue
+		}
+		if e := relErr(r.est, o); e >= 0 {
+			sum += e
+			n++
+		}
+	}
+	rep.QualityN = n
+	if n > 0 {
+		rep.QualityMeanRelErr = sum / float64(n)
+	}
+}

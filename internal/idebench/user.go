@@ -1,0 +1,315 @@
+// Package idebench is an IDEBench-style simulated-user benchmark for the
+// dexd service: U concurrent synthetic analysts each run a seeded state
+// machine over an exploration-operation mix (drill-down, roll-up, pan,
+// filter-refine) with think time between operations and a per-query
+// latency deadline. The driver scores a run the way the interactive-
+// exploration literature says such systems must be scored — not by raw
+// throughput but by deadline-violation rate, time-to-insight, and
+// quality-at-deadline (the relative error of the approximate answers the
+// user actually saw) — and closes the loop with internal/prefetch by
+// feeding each live session's pan trace into the trajectory predictor to
+// warm the server-side result cache with the user's likely next viewport.
+package idebench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dex/internal/prefetch"
+)
+
+// OpKind classifies one user operation.
+type OpKind uint8
+
+// The operation kinds of the exploration state machine.
+const (
+	OpOverview OpKind = iota // broad group-by over the full table
+	OpDrill                  // narrow the value window toward a focus
+	OpRollup                 // widen the window back out
+	OpPan                    // shift the 2-D viewport one step
+	OpRefine                 // pin a scalar aggregate under an extra filter
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpOverview:
+		return "overview"
+	case OpDrill:
+		return "drill"
+	case OpRollup:
+		return "rollup"
+	case OpPan:
+		return "pan"
+	case OpRefine:
+		return "refine"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Mix is the operation mix: relative weights (they need not sum to 1) for
+// each kind after the opening overview.
+type Mix struct {
+	Drill  float64
+	Rollup float64
+	Pan    float64
+	Refine float64
+}
+
+// DefaultMix is the IDEBench-flavored default: drill-down and pan dominate,
+// with occasional roll-ups and filter refinements.
+func DefaultMix() Mix { return Mix{Drill: 0.35, Rollup: 0.10, Pan: 0.35, Refine: 0.20} }
+
+func (m Mix) total() float64 { return m.Drill + m.Rollup + m.Pan + m.Refine }
+
+// UserConfig parameterizes the simulated user.
+type UserConfig struct {
+	// Ops is the number of operations in the session (default 12).
+	Ops int
+	// Mix is the operation mix (default DefaultMix).
+	Mix Mix
+	// ThinkMean is the mean of the exponential think-time distribution
+	// (default 300ms). Individual draws are capped at 4× the mean so one
+	// long tail does not dominate a short run.
+	ThinkMean time.Duration
+	// GridNX × GridNY is the tile grid the pan viewport moves over
+	// (amount × qty; defaults 32 × 9).
+	GridNX, GridNY int
+	// ViewW × ViewH is the viewport size in tiles (defaults 4 × 3).
+	ViewW, ViewH int
+}
+
+func (c *UserConfig) fill() {
+	if c.Ops <= 0 {
+		c.Ops = 12
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 300 * time.Millisecond
+	}
+	if c.GridNX <= 0 {
+		c.GridNX = 32
+	}
+	if c.GridNY <= 0 {
+		c.GridNY = 9
+	}
+	if c.ViewW <= 0 {
+		c.ViewW = 4
+	}
+	if c.ViewH <= 0 {
+		c.ViewH = 3
+	}
+}
+
+// Op is one operation of a session trace.
+type Op struct {
+	Kind OpKind
+	SQL  string
+	// Think is the pause before issuing this operation (0 for the first).
+	Think time.Duration
+	// Window is the viewport of a pan operation (zero otherwise); the
+	// driver feeds it into the prefetch predictor.
+	Window prefetch.Window
+}
+
+// SessionTrace is the fully materialized operation sequence of one user.
+type SessionTrace struct {
+	Ops []Op
+	// Insight is the index of the operation whose completion counts as
+	// "insight reached" — the first drill-down that bottoms out at the
+	// minimum window width (the user has isolated the region they were
+	// hunting for), or the last operation if the session never gets there.
+	Insight int
+}
+
+// The amount measure of workload.Sales spans roughly [50, 260) (base
+// 50+10·product plus noise); the qty measure is an integer on [1, 10).
+// The pan grid tiles exactly this rectangle so viewport queries hit real
+// data.
+const (
+	amountLo = 50.0
+	amountHi = 260.0
+	qtyLo    = 1
+	qtyHi    = 10
+)
+
+// tileSQL renders a viewport as a single-aggregate range query over the
+// sales table. The formatting is deliberately fixed (four decimals, fixed
+// clause order): the server's result cache is keyed by the exact SQL
+// string, so the warmer and the user must render the same window to the
+// same bytes for a prefetched result to count as a hit.
+func tileSQL(cfg UserConfig, w prefetch.Window) string {
+	cfg.fill()
+	ax0 := amountLo + (amountHi-amountLo)*float64(w.X0)/float64(cfg.GridNX)
+	ax1 := amountLo + (amountHi-amountLo)*float64(w.X1+1)/float64(cfg.GridNX)
+	qy0 := qtyLo + (qtyHi-qtyLo)*w.Y0/cfg.GridNY
+	qy1 := qtyLo + (qtyHi-qtyLo)*(w.Y1+1)/cfg.GridNY
+	if qy1 <= qy0 {
+		qy1 = qy0 + 1
+	}
+	return fmt.Sprintf(
+		"SELECT sum(amount) FROM sales WHERE amount >= %.4f AND amount < %.4f AND qty >= %d AND qty < %d",
+		ax0, ax1, qy0, qy1)
+}
+
+// NewTrace generates one user's session trace. The generator is
+// deterministic: the same (cfg, seed) always yields a byte-identical
+// trace, which is what lets a benchmark run be replayed and lets the
+// prefetch on/off comparison drive the identical workload twice.
+//
+// Every statement has exactly one aggregate and at most one GROUP BY
+// column, so all execution modes — exact, cracked, approx, online, and
+// the degraded fallback — can answer it.
+func NewTrace(cfg UserConfig, seed int64) SessionTrace {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(seed))
+	dims := []string{"region", "product", "quarter"}
+	aggs := []string{"sum", "avg", "count", "max"}
+	measures := []string{"amount", "qty"}
+
+	// Drill-down state: a closing window over amount around a focus.
+	lo, hi := amountLo, amountHi
+	focus := 80 + rng.Float64()*120
+	dim := dims[rng.Intn(len(dims))]
+
+	// Pan state: a viewport on the amount × qty grid, starting at a random
+	// in-bounds position with a random initial direction.
+	view := prefetch.Window{X0: 0, Y0: 0, X1: cfg.ViewW - 1, Y1: cfg.ViewH - 1}
+	view = view.Shift(rng.Intn(maxInt(cfg.GridNX-cfg.ViewW, 1)), rng.Intn(maxInt(cfg.GridNY-cfg.ViewH, 1)))
+	view = view.Clamp(cfg.GridNX, cfg.GridNY)
+	pdx, pdy := 1, 0
+	if rng.Intn(2) == 0 {
+		pdx = -1
+	}
+
+	const minWidth = 4.0
+	tr := SessionTrace{Ops: make([]Op, 0, cfg.Ops), Insight: -1}
+	for i := 0; i < cfg.Ops; i++ {
+		var op Op
+		if i > 0 {
+			think := time.Duration(rng.ExpFloat64() * float64(cfg.ThinkMean))
+			if limit := 4 * cfg.ThinkMean; think > limit {
+				think = limit
+			}
+			op.Think = think.Round(time.Millisecond)
+		}
+		kind := OpOverview
+		if i > 0 {
+			r := rng.Float64() * cfg.Mix.total()
+			switch {
+			case r < cfg.Mix.Drill:
+				kind = OpDrill
+			case r < cfg.Mix.Drill+cfg.Mix.Rollup:
+				kind = OpRollup
+			case r < cfg.Mix.Drill+cfg.Mix.Rollup+cfg.Mix.Pan:
+				kind = OpPan
+			default:
+				kind = OpRefine
+			}
+		}
+		op.Kind = kind
+		switch kind {
+		case OpOverview:
+			dim = dims[rng.Intn(len(dims))]
+			agg := aggs[rng.Intn(len(aggs))]
+			m := measures[rng.Intn(len(measures))]
+			op.SQL = fmt.Sprintf("SELECT %s, %s(%s) FROM sales GROUP BY %s", dim, agg, m, dim)
+			lo, hi = amountLo, amountHi
+			focus = 80 + rng.Float64()*120
+		case OpDrill:
+			width := (hi - lo) * 0.7
+			if width <= minWidth {
+				width = minWidth
+				if tr.Insight < 0 {
+					tr.Insight = i
+				}
+			}
+			lo = focus - width/2
+			hi = focus + width/2
+			agg := aggs[rng.Intn(len(aggs))]
+			m := measures[rng.Intn(len(measures))]
+			op.SQL = fmt.Sprintf(
+				"SELECT %s, %s(%s) FROM sales WHERE amount >= %.4f AND amount < %.4f GROUP BY %s",
+				dim, agg, m, lo, hi, dim)
+		case OpRollup:
+			width := (hi - lo) * 2
+			if width > amountHi-amountLo {
+				width = amountHi - amountLo
+			}
+			lo = focus - width/2
+			if lo < amountLo {
+				lo = amountLo
+			}
+			hi = lo + width
+			if hi > amountHi {
+				hi = amountHi
+			}
+			agg := aggs[rng.Intn(len(aggs))]
+			m := measures[rng.Intn(len(measures))]
+			op.SQL = fmt.Sprintf(
+				"SELECT %s, %s(%s) FROM sales WHERE amount >= %.4f AND amount < %.4f GROUP BY %s",
+				dim, agg, m, lo, hi, dim)
+		case OpPan:
+			// Mostly keep moving in the same direction (the momentum signal
+			// trajectory prefetchers exploit); turn 25% of the time.
+			if rng.Float64() < 0.25 {
+				d := directionsFor(rng)
+				pdx, pdy = d[0], d[1]
+			}
+			moved := view.Shift(pdx, pdy).Clamp(cfg.GridNX, cfg.GridNY)
+			if moved == view {
+				// Stuck at the border: reverse and move away from it.
+				pdx, pdy = -pdx, -pdy
+				moved = view.Shift(pdx, pdy).Clamp(cfg.GridNX, cfg.GridNY)
+			}
+			view = moved
+			op.Window = view
+			op.SQL = tileSQL(cfg, view)
+		case OpRefine:
+			agg := aggs[rng.Intn(len(aggs))]
+			k := 1 + rng.Intn(5)
+			op.SQL = fmt.Sprintf(
+				"SELECT %s(amount) FROM sales WHERE amount >= %.4f AND amount < %.4f AND qty >= %d",
+				agg, lo, hi, k)
+		}
+		tr.Ops = append(tr.Ops, op)
+	}
+	if tr.Insight < 0 {
+		tr.Insight = len(tr.Ops) - 1
+	}
+	return tr
+}
+
+// directionsFor draws a uniformly random non-zero unit direction.
+func directionsFor(rng *rand.Rand) [2]int {
+	dirs := [8][2]int{
+		{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+		{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+	}
+	return dirs[rng.Intn(len(dirs))]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Format renders the trace in a canonical textual form — one line per
+// operation with kind, think time, window, and SQL. Two traces are the
+// same session exactly when their Format output is byte-identical, which
+// is what the seeded-determinism test (and the "same seed reproduces the
+// same session" acceptance bar) checks.
+func (tr SessionTrace) Format() string {
+	var b []byte
+	for i, op := range tr.Ops {
+		b = fmt.Appendf(b, "%02d %-8s think=%s win=%v insight=%v sql=%s\n",
+			i, op.Kind, op.Think, op.Window, i == tr.Insight, op.SQL)
+	}
+	return string(b)
+}

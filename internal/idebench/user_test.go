@@ -1,0 +1,137 @@
+package idebench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dex/internal/exec"
+	"dex/internal/sqlparse"
+)
+
+// Same seed ⇒ byte-identical operation trace; different seed ⇒ different
+// trace. This is the property the whole benchmark leans on: a run can be
+// replayed, and the prefetch on/off comparison drives the identical
+// workload twice.
+func TestTraceDeterministic(t *testing.T) {
+	cfg := UserConfig{Ops: 40}
+	a := NewTrace(cfg, 7).Format()
+	b := NewTrace(cfg, 7).Format()
+	if a != b {
+		t.Fatalf("same seed produced different traces:\n%s\n---\n%s", a, b)
+	}
+	c := NewTrace(cfg, 8).Format()
+	if a == c {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+// The realized operation-mix frequencies must match the configured
+// distribution — a chi-squared goodness-of-fit check over a long seeded
+// trace. With n≈6000 draws and df=3, a statistic under 16.27 accepts at
+// the 0.1% level; the trace is seeded, so this is a regression test, not
+// a flaky statistical one.
+func TestTraceMixFrequencies(t *testing.T) {
+	const n = 6000
+	mix := DefaultMix()
+	tr := NewTrace(UserConfig{Ops: n, Mix: mix}, 3)
+	counts := map[OpKind]float64{}
+	for _, op := range tr.Ops[1:] { // op 0 is always the overview
+		counts[op.Kind]++
+	}
+	if counts[OpOverview] != 0 {
+		t.Fatalf("overview drawn mid-session: %v", counts)
+	}
+	total := float64(n - 1)
+	expected := map[OpKind]float64{
+		OpDrill:  total * mix.Drill / mix.total(),
+		OpRollup: total * mix.Rollup / mix.total(),
+		OpPan:    total * mix.Pan / mix.total(),
+		OpRefine: total * mix.Refine / mix.total(),
+	}
+	chi2 := 0.0
+	for kind, exp := range expected {
+		d := counts[kind] - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 16.27 {
+		t.Fatalf("mix off-distribution: chi2=%.2f counts=%v expected=%v", chi2, counts, expected)
+	}
+}
+
+// Every generated statement must parse and stay within the shape every
+// execution mode can answer: exactly one aggregate (the approximate modes
+// reject more), and pan operations must carry their viewport for the
+// prefetch predictor.
+func TestTraceSQLShapes(t *testing.T) {
+	cfg := UserConfig{Ops: 200}
+	tr := NewTrace(cfg, 11)
+	if len(tr.Ops) != cfg.Ops {
+		t.Fatalf("got %d ops, want %d", len(tr.Ops), cfg.Ops)
+	}
+	if tr.Insight < 0 || tr.Insight >= len(tr.Ops) {
+		t.Fatalf("insight index %d out of range", tr.Insight)
+	}
+	for i, op := range tr.Ops {
+		st, err := sqlparse.Parse(op.SQL)
+		if err != nil {
+			t.Fatalf("op %d (%s): %v\n%s", i, op.Kind, err, op.SQL)
+		}
+		aggs := 0
+		for _, s := range st.Query.Select {
+			if s.Agg != exec.AggNone {
+				aggs++
+			}
+		}
+		if aggs != 1 {
+			t.Fatalf("op %d (%s): %d aggregates, want 1: %s", i, op.Kind, aggs, op.SQL)
+		}
+		if op.Kind == OpPan {
+			if op.Window.X1 < op.Window.X0 || op.Window.Y1 < op.Window.Y0 {
+				t.Fatalf("op %d: degenerate window %+v", i, op.Window)
+			}
+			if got := tileSQL(cfg, op.Window); got != op.SQL {
+				t.Fatalf("op %d: pan SQL not reproducible from window:\n%s\n%s", i, got, op.SQL)
+			}
+		}
+	}
+}
+
+// Think times are drawn from the seeded exponential: positive after the
+// first op (modulo millisecond rounding), capped at 4× the mean, zero for
+// the opening overview.
+func TestTraceThinkTimes(t *testing.T) {
+	mean := 200 * time.Millisecond
+	tr := NewTrace(UserConfig{Ops: 500, ThinkMean: mean}, 5)
+	if tr.Ops[0].Think != 0 {
+		t.Fatalf("first op has think time %v", tr.Ops[0].Think)
+	}
+	var sum time.Duration
+	for _, op := range tr.Ops[1:] {
+		if op.Think < 0 || op.Think > 4*mean {
+			t.Fatalf("think %v outside [0, %v]", op.Think, 4*mean)
+		}
+		sum += op.Think
+	}
+	avg := sum / time.Duration(len(tr.Ops)-1)
+	// The cap trims the tail, so the realized mean sits a bit under the
+	// nominal one; a window of [mean/2, 3·mean/2] catches gross breakage.
+	if avg < mean/2 || avg > mean*3/2 {
+		t.Fatalf("realized mean think %v too far from %v", avg, mean)
+	}
+}
+
+// A drill-heavy session reaches its insight (the window bottoming out)
+// well before the session ends.
+func TestTraceInsightReached(t *testing.T) {
+	tr := NewTrace(UserConfig{Ops: 60, Mix: Mix{Drill: 1}}, 2)
+	if tr.Insight >= len(tr.Ops)-1 {
+		t.Fatalf("drill-only session never bottomed out: insight=%d", tr.Insight)
+	}
+	if op := tr.Ops[tr.Insight]; op.Kind != OpDrill {
+		t.Fatalf("insight op is %s, want drill", op.Kind)
+	}
+	if !strings.Contains(tr.Ops[tr.Insight].SQL, "WHERE amount") {
+		t.Fatalf("insight op is not a windowed query: %s", tr.Ops[tr.Insight].SQL)
+	}
+}

@@ -93,13 +93,18 @@ var directions = []move{
 	{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
 }
 
-// Predict implements Predictor.
-func (m Markov) Predict(history []Window, budget int) []TileKey {
-	if len(history) < 2 || budget <= 0 {
+// rankDirections orders the eight move directions by smoothed first-order
+// transition probability given the history's move sequence: the direction
+// most likely to follow the last observed move comes first. When the last
+// move repeats a pattern seen earlier in the history (a straight pan, a
+// zig-zag), its continuation dominates; with no signal the Laplace prior
+// leaves the canonical direction order. Returns nil when fewer than two
+// windows (no move yet).
+func rankDirections(history []Window, laplace float64) []move {
+	if len(history) < 2 {
 		return nil
 	}
-	laplace := m.Laplace
-	if laplace == 0 {
+	if laplace <= 0 {
 		laplace = 1
 	}
 	// Transition counts dir -> dir.
@@ -117,7 +122,9 @@ func (m Markov) Predict(history []Window, budget int) []TileKey {
 		counts[prev][cur]++
 	}
 	last := moves[len(moves)-1]
-	// Score each direction by smoothed transition probability.
+	// Score each direction by smoothed transition probability. The last
+	// move itself gets a half-count tiebreak: with an otherwise flat
+	// distribution, momentum is the better guess.
 	type scored struct {
 		mv    move
 		score float64
@@ -127,6 +134,9 @@ func (m Markov) Predict(history []Window, budget int) []TileKey {
 		score := laplace
 		if counts[last] != nil {
 			score += counts[last][d]
+		}
+		if d == last {
+			score += 0.5
 		}
 		cands = append(cands, scored{mv: d, score: score})
 	}
@@ -140,14 +150,55 @@ func (m Markov) Predict(history []Window, budget int) []TileKey {
 		}
 		cands[i], cands[best] = cands[best], cands[i]
 	}
+	out := make([]move, len(cands))
+	for i, c := range cands {
+		out[i] = c.mv
+	}
+	return out
+}
+
+// NextWindows predicts the k viewports the user is most likely to request
+// next, best first, using the same first-order direction model as Markov.
+// Where Predict returns tiles for a middleware tile cache, NextWindows
+// returns whole windows — the right granularity for warming a server-side
+// *result* cache, where the unit of caching is the rendered query of an
+// entire viewport, not a tile (see internal/idebench's prefetch-driven
+// cache warming). Windows are not clamped: callers that know the grid
+// bounds clamp themselves so a prediction at the border folds onto the
+// window the user will actually see.
+func NextWindows(history []Window, k int) []Window {
+	dirs := rankDirections(history, 1)
+	if len(dirs) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(dirs) {
+		k = len(dirs)
+	}
+	cur := history[len(history)-1]
+	out := make([]Window, 0, k)
+	for _, d := range dirs[:k] {
+		out = append(out, cur.Shift(d.dx, d.dy))
+	}
+	return out
+}
+
+// Predict implements Predictor.
+func (m Markov) Predict(history []Window, budget int) []TileKey {
+	if budget <= 0 {
+		return nil
+	}
+	cands := rankDirections(history, m.Laplace)
+	if cands == nil {
+		return nil
+	}
 	cur := history[len(history)-1]
 	seen := map[TileKey]bool{}
 	for _, k := range cur.Tiles() {
 		seen[k] = true
 	}
 	var out []TileKey
-	for _, c := range cands {
-		next := cur.Shift(c.mv.dx, c.mv.dy)
+	for _, d := range cands {
+		next := cur.Shift(d.dx, d.dy)
 		for _, k := range next.Tiles() {
 			if !seen[k] {
 				seen[k] = true

@@ -243,11 +243,18 @@ func (f *Fetcher) Request(w Window) (map[TileKey]TileStats, int, int) {
 }
 
 // speculate runs the predictor and fetches its suggestions into the cache.
+// The budget bounds actual fetches, not candidates: a predictor that
+// returns more tiles than asked (or ignores the budget argument entirely)
+// must not turn one viewport request into unbounded speculative scanning.
 func (f *Fetcher) speculate() {
 	if f.pred == nil || f.budget <= 0 {
 		return
 	}
+	fetched := 0
 	for _, k := range f.pred.Predict(f.history, f.budget) {
+		if fetched >= f.budget {
+			break
+		}
 		if k.X < 0 || k.X >= f.grid.nx || k.Y < 0 || k.Y >= f.grid.ny {
 			continue
 		}
@@ -256,6 +263,7 @@ func (f *Fetcher) speculate() {
 		}
 		before := f.grid.FetchedRows
 		st := f.grid.Fetch(k)
+		fetched++
 		f.PrefetchFetches++
 		f.PrefetchRows += f.grid.FetchedRows - before
 		f.cache.Put(k, st, 1)

@@ -294,3 +294,99 @@ func TestFindFirstNearestOrder(t *testing.T) {
 		t.Error("avg inconsistent")
 	}
 }
+
+// greedyPredictor ignores the budget argument and returns every tile in
+// the grid — the misbehaving predictor the Fetcher's own budget
+// accounting must defend against.
+type greedyPredictor struct{ nx, ny int }
+
+func (g greedyPredictor) Name() string { return "greedy" }
+func (g greedyPredictor) Predict(history []Window, budget int) []TileKey {
+	var out []TileKey
+	for x := 0; x < g.nx; x++ {
+		for y := 0; y < g.ny; y++ {
+			out = append(out, TileKey{x, y})
+		}
+	}
+	return out
+}
+
+// Regression: Fetcher.Request must bound speculative fetches by its own
+// budget even when the predictor returns far more candidates than asked.
+// Before the fix, speculate() trusted Predict to self-limit, so a greedy
+// predictor turned every viewport request into a full-grid scan.
+func TestFetcherBudgetEnforced(t *testing.T) {
+	tbl := mkPoints(t, 2000, 8)
+	g, _ := NewGrid(tbl, "x", "y", "m", 20, 20)
+	const budget = 3
+	f, _ := NewFetcher(g, 400, budget, greedyPredictor{20, 20})
+	var prev int64
+	for step := 0; step < 4; step++ {
+		f.Request(Window{step, 0, step + 1, 1})
+		if got := f.PrefetchFetches - prev; got > budget {
+			t.Fatalf("step %d: %d speculative fetches, budget %d", step, got, budget)
+		}
+		prev = f.PrefetchFetches
+	}
+	if f.PrefetchFetches == 0 {
+		t.Fatal("budget enforcement must not disable prefetching entirely")
+	}
+}
+
+// NextWindows on a coherent pan sequence: the actual next viewport must
+// appear among the top-k predictions far more often than the no-predictor
+// baseline (which warms nothing, so its hit count is zero by definition).
+func TestNextWindowsCoherentPan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := Window{0, 0, 2, 2}
+	dx, dy := 1, 0
+	history := []Window{w}
+	hits, total := 0, 0
+	for step := 0; step < 60; step++ {
+		preds := NextWindows(history, 2)
+		if rng.Float64() < 0.1 { // occasionally turn
+			dx, dy = dy, dx
+		}
+		next := w.Shift(dx, dy).Clamp(40, 40)
+		if len(history) >= 2 {
+			total++
+			for _, p := range preds {
+				if p.Clamp(40, 40) == next {
+					hits++
+					break
+				}
+			}
+		}
+		w = next
+		history = append(history, w)
+	}
+	baseline := 0 // no predictor warms nothing
+	if hits <= baseline {
+		t.Fatalf("predictor hit %d of %d, no better than baseline %d", hits, total, baseline)
+	}
+	if rate := float64(hits) / float64(total); rate < 0.6 {
+		t.Fatalf("top-2 window hit rate %.2f on a mostly-straight pan, want >= 0.6", rate)
+	}
+}
+
+// NextWindows edge cases: no move signal yet, zero k, and best-first
+// ordering (the straight continuation of a steady pan must come first).
+func TestNextWindowsEdges(t *testing.T) {
+	if got := NextWindows(nil, 3); got != nil {
+		t.Errorf("no history: %v", got)
+	}
+	if got := NextWindows([]Window{{0, 0, 1, 1}}, 3); got != nil {
+		t.Errorf("single window: %v", got)
+	}
+	h := []Window{{0, 0, 1, 1}, {1, 0, 2, 1}, {2, 0, 3, 1}}
+	if got := NextWindows(h, 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	got := NextWindows(h, 3)
+	if len(got) != 3 {
+		t.Fatalf("k=3 returned %d windows", len(got))
+	}
+	if want := (Window{3, 0, 4, 1}); got[0] != want {
+		t.Errorf("steady right pan: first prediction %+v, want %+v", got[0], want)
+	}
+}
