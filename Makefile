@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz bench bench-concurrency bench-idebench chaos metrics-smoke
+.PHONY: all build test race vet fmt-check fuzz bench bench-concurrency bench-idebench bench-shard chaos metrics-smoke cluster-smoke
 
 all: vet fmt-check build test
 
@@ -41,6 +41,13 @@ bench-concurrency:
 bench-idebench:
 	$(GO) run ./cmd/experiments -run E31 -json BENCH_idebench.json
 
+# Regenerate the distributed scatter/gather baseline (E32) at full size —
+# the sales table hash-partitioned across 1/2/4 dexd worker processes over
+# loopback TCP, plus the worker-kill degradation demo — and refresh the
+# committed JSON artifact.
+bench-shard:
+	$(GO) run ./cmd/experiments -run E32 -json BENCH_shard.json
+
 # Seeded chaos harness + cross-mode differential oracles under the race
 # detector, twice per seed (CI runs the same line with DEX_CHAOS_SEED
 # pinned per matrix job). `go run ./cmd/dexchaos` drives bigger schedules.
@@ -51,3 +58,10 @@ chaos:
 # session, validates /metrics exposition and /admin/slow, SIGTERM-drains.
 metrics-smoke:
 	$(GO) run ./cmd/dexsmoke
+
+# Multi-process cluster smoke: spawns a dexd worker fleet plus a
+# coordinator over loopback TCP, runs one query per execution mode,
+# checks the scatter/gather count against placed rows, kills a worker,
+# and verifies honest degraded coverage.
+cluster-smoke:
+	$(GO) run ./cmd/dexcluster -smoke

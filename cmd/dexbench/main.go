@@ -59,6 +59,7 @@ func main() {
 	thinkMean := flag.Duration("think-mean", 150*time.Millisecond, "mean of the exponential think-time distribution")
 	thinkScale := flag.Float64("think", 1.0, "think-time multiplier (0 = closed loop)")
 	rows := flag.Int("rows", 200_000, "sales-table rows for the in-process server")
+	shards := flag.Int("shards", 0, "shard the in-process server's sales table across this many in-process workers (0 = single-node)")
 	seed := flag.Int64("seed", 1, "benchmark seed (user u replays trace seed+u)")
 	prefetchUsers := flag.Int("prefetch-users", 40, "user count for the prefetch on/off comparison (0 = skip)")
 	prefetchBudget := flag.Int("prefetch-budget", 2, "predicted windows warmed per pan")
@@ -80,7 +81,7 @@ func main() {
 		if *addr != "" {
 			return *addr, func() {}, nil
 		}
-		l, err := idebench.StartLocal(idebench.LocalConfig{Rows: *rows, Seed: *seed})
+		l, err := idebench.StartLocal(idebench.LocalConfig{Rows: *rows, Seed: *seed, Shards: *shards})
 		if err != nil {
 			return "", nil, err
 		}

@@ -1,0 +1,214 @@
+// Command dexcluster launches a local dex cluster: N shard worker
+// processes (re-executions of this binary) plus a coordinator dexd
+// serving the usual HTTP API. It exists so the distributed path can be
+// exercised and measured across real process boundaries with one
+// command.
+//
+// Usage:
+//
+//	dexcluster [-shards 2] [-rows 1000000] [-seed 1] [-scheme hash]
+//	           [-kind sales] [-col amount] [-addr :8080]
+//	dexcluster -smoke [-shards 2] [-rows 200000]
+//
+// -smoke runs the CI drill instead of serving: one query per execution
+// mode through the full coordinator/worker stack, then a shard kill and
+// a degradation check (degraded:true with an accurate coverage
+// fraction), exiting non-zero on any failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dex/internal/core"
+	"dex/internal/fault"
+	"dex/internal/protocol"
+	"dex/internal/server"
+	"dex/internal/shard"
+)
+
+func main() {
+	// Children spawned by SpawnWorkers re-enter main here and become
+	// workers; this call never returns in that case.
+	shard.MaybeWorkerProcess()
+
+	shards := flag.Int("shards", 2, "worker process count")
+	rows := flag.Int("rows", 1_000_000, "demo table rows")
+	seed := flag.Int64("seed", 1, "data + engine seed")
+	scheme := flag.String("scheme", "hash", "partition scheme (hash|range)")
+	kind := flag.String("kind", "sales", "demo table (sales|sky|ticks)")
+	col := flag.String("col", "amount", "partition column")
+	addr := flag.String("addr", ":8080", "coordinator HTTP listen address")
+	smoke := flag.Bool("smoke", false, "run the cluster smoke drill and exit")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dexcluster ", log.LstdFlags)
+	if err := fault.InitFromEnv(); err != nil {
+		logger.Fatalf("bad %s: %v", fault.EnvPoints, err)
+	}
+
+	sc, err := shard.ParseScheme(*scheme)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fleet, err := shard.SpawnWorkers(*shards, *seed)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer fleet.Close()
+	logger.Printf("spawned %d worker processes: %v", *shards, fleet.Addrs)
+
+	coord, err := shard.New(shard.Config{
+		Spec:    shard.Spec{Table: *kind, Column: *col, Scheme: sc},
+		Workers: fleet.Addrs,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	bctx, bcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	err = coord.Bootstrap(bctx, protocol.Load{Kind: *kind, Rows: *rows, Seed: *seed})
+	bcancel()
+	if err != nil {
+		logger.Fatal(err)
+	}
+	snap := coord.Snapshot()
+	logger.Printf("partitioned %q: %d rows over %d shards (%s on %s)",
+		snap.Table, snap.Rows, len(snap.Shards), snap.Scheme, snap.Column)
+
+	eng := core.New(core.Options{Seed: *seed})
+	svc := server.New(eng, server.Config{Log: logger, Shard: coord})
+
+	if *smoke {
+		if err := runSmoke(svc, fleet, snap.Rows); err != nil {
+			logger.Fatalf("SMOKE FAIL: %v", err)
+		}
+		logger.Printf("SMOKE OK")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Printf("signal received; shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+	logger.Printf("coordinator serving on %s", *addr)
+	httpSrv.ListenAndServe()
+}
+
+// runSmoke drives the coordinator HTTP surface end to end: one query per
+// execution mode, then a worker kill and a degradation check.
+func runSmoke(svc *server.Server, fleet *shard.ProcFleet, totalRows int64) error {
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	cl := ts.Client()
+
+	var sess struct {
+		ID string `json:"session_id"`
+	}
+	if err := post(cl, ts.URL+"/v1/sessions", "{}", &sess); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+
+	type result struct {
+		Rows     [][]any `json:"rows"`
+		Mode     string  `json:"mode"`
+		Degraded bool    `json:"degraded"`
+		Coverage float64 `json:"coverage"`
+	}
+	query := func(sql, mode string) (result, error) {
+		var res result
+		body := fmt.Sprintf(`{"sql":%q,"mode":%q}`, sql, mode)
+		err := post(cl, ts.URL+"/v1/sessions/"+sess.ID+"/query", body, &res)
+		return res, err
+	}
+
+	for _, mode := range []string{"exact", "cracked", "approx", "online"} {
+		res, err := query("SELECT count(*) FROM sales", mode)
+		if err != nil {
+			return fmt.Errorf("mode %s: %w", mode, err)
+		}
+		if len(res.Rows) == 0 {
+			return fmt.Errorf("mode %s: empty result", mode)
+		}
+		if res.Degraded || res.Coverage != 1 {
+			return fmt.Errorf("mode %s: healthy fleet answered degraded=%v coverage=%v",
+				mode, res.Degraded, res.Coverage)
+		}
+	}
+	exact, err := query("SELECT count(*) FROM sales", "exact")
+	if err != nil {
+		return err
+	}
+	full := toI64(exact.Rows[0][0])
+	if full != totalRows {
+		return fmt.Errorf("full count %d != placed rows %d", full, totalRows)
+	}
+
+	// Kill one worker: the next exact count must degrade with a coverage
+	// fraction matching the surviving rows exactly.
+	fleet.Kill(0)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		res, err := query("SELECT count(*) FROM sales", "exact")
+		if err != nil {
+			return fmt.Errorf("post-kill query: %w", err)
+		}
+		if res.Degraded {
+			got := toI64(res.Rows[0][0])
+			wantCov := float64(got) / float64(totalRows)
+			if res.Coverage <= 0 || res.Coverage >= 1 {
+				return fmt.Errorf("degraded result with coverage %v", res.Coverage)
+			}
+			if diff := res.Coverage - wantCov; diff > 1e-9 || diff < -1e-9 {
+				return fmt.Errorf("coverage %v does not match surviving rows %d/%d (%v)",
+					res.Coverage, got, totalRows, wantCov)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("killed shard never degraded a query")
+		}
+	}
+}
+
+func post(cl *http.Client, url, body string, out any) error {
+	resp, err := cl.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, eb.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func toI64(v any) int64 {
+	switch x := v.(type) {
+	case float64:
+		return int64(x)
+	case int64:
+		return x
+	default:
+		return -1
+	}
+}

@@ -16,6 +16,15 @@
 //
 // On SIGINT/SIGTERM it drains gracefully: new queries get 503 while every
 // admitted query runs to completion (up to -drain-timeout).
+//
+// Cluster modes (see DESIGN.md "Distributed execution"):
+//
+//	dexd -worker :9090                 serve the shard protocol, no HTTP;
+//	                                   the coordinator loads and partitions it
+//	dexd -shard-workers a:9090,b:9090  coordinate a fleet: partition -demo
+//	     [-shard-col amount]           across the workers and scatter/gather
+//	     [-shard-scheme hash|range]    queries on that table; other tables
+//	                                   stay local
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"log"
 	"log/slog"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,7 +46,9 @@ import (
 	"dex/internal/core"
 	"dex/internal/exec"
 	"dex/internal/fault"
+	"dex/internal/protocol"
 	"dex/internal/server"
+	"dex/internal/shard"
 	"dex/internal/storage"
 	"dex/internal/workload"
 )
@@ -69,6 +81,12 @@ func main() {
 	slowRing := flag.Int("slow-ring", 64, "how many slow-query traces /admin/slow retains")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	reqLog := flag.Bool("reqlog", false, "log one structured line per query request to stderr")
+	workerAddr := flag.String("worker", "", "run as a shard worker serving the fleet protocol on this address (no HTTP)")
+	shardWorkers := flag.String("shard-workers", "", "comma-separated worker addresses; makes this dexd a cluster coordinator")
+	shardCol := flag.String("shard-col", "amount", "partition column for the sharded table")
+	shardScheme := flag.String("shard-scheme", "hash", "partition scheme (hash|range)")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-shard, per-attempt deadline")
+	shardRetries := flag.Int("shard-retries", 1, "retry budget for retryable shard failures")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dexd ", log.LstdFlags)
@@ -80,6 +98,26 @@ func main() {
 	if active := fault.Active(); len(active) > 0 {
 		logger.Printf("FAULT INJECTION ACTIVE (seed %d): %v", fault.Seed(), active)
 	}
+
+	// Worker mode: serve the shard protocol and nothing else. The engine
+	// starts empty; the coordinator stages and partitions the data.
+	if *workerAddr != "" {
+		lis, err := net.Listen("tcp", *workerAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		w := shard.NewWorker(*seed)
+		logger.Printf("shard worker serving on %s", lis.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		go func() {
+			<-ctx.Done()
+			w.Close()
+		}()
+		w.Serve(lis)
+		return
+	}
+
 	eng := core.New(core.Options{
 		Seed:         *seed,
 		Exec:         exec.ExecOptions{Parallelism: *parallel, MorselSize: *morsel, ZoneMap: *zonemap},
@@ -135,6 +173,34 @@ func main() {
 	}
 	if *reqLog {
 		cfg.RequestLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if *shardWorkers != "" {
+		kind := *demo
+		if kind == "" {
+			kind = "sales"
+		}
+		scheme, err := shard.ParseScheme(*shardScheme)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		coord, err := shard.New(shard.Config{
+			Spec:         shard.Spec{Table: kind, Column: *shardCol, Scheme: scheme},
+			Workers:      strings.Split(*shardWorkers, ","),
+			ShardTimeout: *shardTimeout,
+			Retries:      *shardRetries,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		bctx, bcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if err := coord.Bootstrap(bctx, protocol.Load{Kind: kind, Rows: *rows, Seed: *seed}); err != nil {
+			logger.Fatal(err)
+		}
+		bcancel()
+		snap := coord.Snapshot()
+		logger.Printf("coordinating table %q over %d shards (%s on %s, %d rows)",
+			snap.Table, len(snap.Shards), snap.Scheme, snap.Column, snap.Rows)
+		cfg.Shard = coord
 	}
 	svc := server.New(eng, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}

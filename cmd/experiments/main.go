@@ -17,9 +17,13 @@ import (
 	"time"
 
 	"dex/internal/bench"
+	"dex/internal/shard"
 )
 
 func main() {
+	// E32 spawns worker copies of this binary; a worker invocation never
+	// returns from this call.
+	shard.MaybeWorkerProcess()
 	list := flag.Bool("list", false, "list experiments and exit")
 	quick := flag.Bool("quick", false, "shrink data sizes for a fast pass")
 	seed := flag.Int64("seed", 42, "random seed")

@@ -37,6 +37,7 @@ import (
 	"dex/internal/fault"
 	"dex/internal/metrics"
 	"dex/internal/server"
+	"dex/internal/shard"
 	"dex/internal/workload"
 )
 
@@ -65,6 +66,14 @@ type Config struct {
 	MorselSize  int
 	ZoneMap     bool        // enable zone-map scan skipping in the engine
 	Log         *log.Logger // optional narration of the fault schedule
+	// Shards, when > 0, runs the server as a coordinator over an
+	// in-process worker fleet: sales queries scatter/gather, and two
+	// extra invariants apply — a degraded distributed answer must report
+	// coverage strictly below 1, and a non-degraded one exactly 1.
+	Shards int
+	// KillShardAt, when > 0 (requires Shards), hard-kills one worker at
+	// that offset — the crash the degradation contract is about.
+	KillShardAt time.Duration
 }
 
 // Outcome buckets: every issued query must land in exactly one.
@@ -143,7 +152,7 @@ func Run(cfg Config) (*Report, error) {
 	if err := eng.Register(sales); err != nil {
 		return nil, err
 	}
-	srv := server.New(eng, server.Config{
+	scfg := server.Config{
 		MaxInFlight:  4,
 		MaxQueue:     8,
 		QueueTimeout: 100 * time.Millisecond,
@@ -151,7 +160,21 @@ func Run(cfg Config) (*Report, error) {
 		// and the post-run scrape validates /metrics under chaos.
 		SlowThreshold: 25 * time.Millisecond,
 		SlowRing:      32,
-	})
+	}
+	var fleet *shard.LocalFleet
+	if cfg.Shards > 0 {
+		fleet, err = shard.StartLocalFleet(context.Background(), shard.FleetConfig{
+			Shards: cfg.Shards,
+			Rows:   cfg.Rows,
+			Seed:   42, // same generator seed as the local sales table
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: fleet: %w", err)
+		}
+		defer fleet.Close()
+		scfg.Shard = fleet.Coord
+	}
+	srv := server.New(eng, scfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -162,6 +185,15 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("chaos: warmup: %w", err)
 	}
 	warm.HTTP.CloseIdleConnections()
+	if fleet != nil {
+		// Dial every worker before the baseline: the coordinator's
+		// per-shard connections and their read loops are steady state,
+		// not leaks.
+		if _, err := fleet.Coord.Execute(context.Background(), fleet.Coord.Table(),
+			exec.Query{Select: []exec.SelectItem{{Col: "*", Agg: exec.AggCount}}}, core.Exact); err != nil {
+			return nil, fmt.Errorf("chaos: fleet warmup: %w", err)
+		}
+	}
 	baseline := runtime.NumGoroutine()
 
 	// The fault scheduler: a sorted timeline of arm/disarm actions.
@@ -205,6 +237,24 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 	}()
+
+	// Mid-run shard kill: a hard worker crash, not a graceful exit.
+	if fleet != nil && cfg.KillShardAt > 0 {
+		victim := int(cfg.Seed) % cfg.Shards
+		if victim < 0 {
+			victim += cfg.Shards
+		}
+		schedWG.Add(1)
+		go func() {
+			defer schedWG.Done()
+			select {
+			case <-time.After(cfg.KillShardAt):
+				cfg.logf("chaos %8s kill   shard %d", time.Since(start).Round(time.Millisecond), victim)
+				fleet.KillShard(victim)
+			case <-stopSched:
+			}
+		}()
+	}
 
 	// Mid-run drain: the same call dexd makes on SIGTERM.
 	drainDone := make(chan struct{})
@@ -286,6 +336,18 @@ func Run(cfg Config) (*Report, error) {
 				mu.Unlock()
 				switch {
 				case err == nil:
+					// Distributed answers carry a coverage fraction; the
+					// contract is exact: degraded means strictly partial,
+					// healthy means complete, never an extrapolation.
+					if res.Coverage != 0 {
+						if res.Coverage < 0 || res.Coverage > 1 {
+							violate("client %d: coverage %v out of range", c, res.Coverage)
+						} else if res.Degraded && res.Coverage >= 1 {
+							violate("client %d: degraded answer claims full coverage", c)
+						} else if !res.Degraded && res.Coverage != 1 {
+							violate("client %d: healthy answer claims coverage %v", c, res.Coverage)
+						}
+					}
 					mu.Lock()
 					if res.Degraded {
 						out.Degraded++

@@ -120,6 +120,58 @@ func TestChaosCrackedMode(t *testing.T) {
 	}
 }
 
+// TestChaosShardFleet runs the chaos mix against a coordinator over an
+// in-process worker fleet while the shard seams fault: flaky scatter
+// RPCs, slow worker execution, and a mid-run hard kill of one worker.
+// On top of the standing invariants, every distributed answer must obey
+// the coverage contract — degraded strictly below 1, healthy exactly 1 —
+// and after the kill the fleet must keep answering from survivors.
+func TestChaosShardFleet(t *testing.T) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			faults := []FaultEvent{
+				{At: 0, Site: "exec/scan", Spec: "latency(10ms,0.3)", For: 900 * time.Millisecond},
+				{At: 5 * time.Millisecond, Site: "shard/rpc", Spec: "error(0.15)", For: 600 * time.Millisecond},
+				{At: 10 * time.Millisecond, Site: "shard/exec", Spec: "latency(40ms,0.2)", For: 500 * time.Millisecond},
+			}
+			rep, err := Run(Config{
+				Seed:             seed,
+				Clients:          3,
+				QueriesPerClient: 10,
+				Rows:             10_000,
+				Timeout:          250 * time.Millisecond,
+				Faults:           faults,
+				Shards:           3,
+				KillShardAt:      30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("chaos violations:\n  %s", strings.Join(rep.Violations, "\n  "))
+			}
+			if rep.Issued == 0 {
+				t.Fatal("no queries issued")
+			}
+			// The kill must be visible: with a worker dead for most of the
+			// run, some distributed answers must have degraded (complete
+			// classification of them is already checked by Run).
+			if rep.Outcomes.Degraded == 0 {
+				t.Fatalf("shard killed but nothing degraded: %+v", rep.Outcomes)
+			}
+			var fires int64
+			for _, st := range rep.FaultStats {
+				fires += st.Fires
+			}
+			if fires == 0 {
+				t.Fatalf("schedule armed but nothing fired: %+v", rep.FaultStats)
+			}
+			t.Logf("seed %d: issued=%d outcomes=%+v fires=%d", seed, rep.Issued, rep.Outcomes, fires)
+		})
+	}
+}
+
 // TestChaosDrainMidRun adds invariant 3: a drain (the SIGTERM path)
 // initiated while faults fire must complete with nothing in flight, and
 // the clients must see clean 503s afterwards — all still classified.

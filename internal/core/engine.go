@@ -165,6 +165,19 @@ func (e *Engine) Register(t *storage.Table) error {
 	return e.cat.Register(t)
 }
 
+// Replace registers a table, overwriting any previous registration under
+// the same name and dropping derived state (crack indexes, samples) built
+// from the old data. Shard workers use it when a re-partition reassigns
+// their slice of a table.
+func (e *Engine) Replace(t *storage.Table) {
+	e.cat.Replace(t)
+	e.mu.Lock()
+	delete(e.cracked, t.Name())
+	delete(e.crackedF, t.Name())
+	delete(e.samples, t.Name())
+	e.mu.Unlock()
+}
+
 // RowsScanned returns the engine's cumulative scanned-row count: rows
 // visited by predicate evaluation and aggregate accumulation across all
 // queries so far. It advances live, morsel by morsel, while queries run —

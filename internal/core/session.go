@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"dex/internal/exec"
 	"dex/internal/recommend"
 	"dex/internal/sqlparse"
 	"dex/internal/storage"
@@ -71,6 +72,16 @@ func (s *Session) AnswerContext(ctx context.Context, sql string, mode Mode) (Ans
 	s.history = append(s.history, recommend.Fingerprint(st.Query))
 	s.mu.Unlock()
 	return ans, nil
+}
+
+// Record appends a query to the session history without executing it.
+// The distributed coordinator answers queries outside the local engine;
+// recording them here keeps /suggest learning from the full exploration
+// stream regardless of where execution happened.
+func (s *Session) Record(q exec.Query) {
+	s.mu.Lock()
+	s.history = append(s.history, recommend.Fingerprint(q))
+	s.mu.Unlock()
 }
 
 // History returns a copy of the session's query fingerprints.

@@ -153,6 +153,15 @@ func Execute(t *storage.Table, q Query) (*storage.Table, error) {
 	return ExecuteOpts(t, q, ExecOptions{Parallelism: 1})
 }
 
+// Finish applies the post-aggregation tail of a query — HAVING, ORDER BY
+// and LIMIT — to an already-aggregated table. It is exported for the
+// distributed coordinator, which merges per-shard partials itself and
+// then needs exactly this tail applied to the merged output; out's
+// column names must match the query's output names (SelectItem.Name).
+func Finish(out *storage.Table, q Query) (*storage.Table, error) {
+	return finish(out, q)
+}
+
 // finish applies the post-aggregation tail of a query — HAVING, ORDER BY
 // and LIMIT — to the operator output. These stages run sequentially in both
 // execution paths: they see at most the grouped output, which is small.

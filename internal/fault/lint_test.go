@@ -15,6 +15,7 @@ import (
 	_ "dex/internal/par"
 	_ "dex/internal/rawload"
 	_ "dex/internal/server"
+	_ "dex/internal/shard"
 	_ "dex/internal/storage"
 )
 
@@ -34,6 +35,8 @@ var knownSites = []string{
 	"rawload/tokenize",
 	"server/admit",
 	"server/handler",
+	"shard/exec",
+	"shard/rpc",
 	"storage/csv-read",
 	"storage/zonemap-build",
 }

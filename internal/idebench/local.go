@@ -9,6 +9,7 @@ import (
 
 	"dex/internal/core"
 	"dex/internal/server"
+	"dex/internal/shard"
 	"dex/internal/workload"
 )
 
@@ -33,6 +34,11 @@ type LocalConfig struct {
 	// The cache is what prefetch warming fills, so disabling it (<0)
 	// also disables the warming comparison.
 	CacheRows int64
+	// Shards, when > 0, spins an in-process worker fleet and makes the
+	// server a coordinator: every sales query scatters across the shards
+	// and gathers merged results, so the benchmark measures the
+	// distributed path on the same HTTP surface.
+	Shards int
 }
 
 // Local is an in-process dexd instance listening on a loopback port —
@@ -44,6 +50,7 @@ type Local struct {
 
 	httpSrv *http.Server
 	lis     net.Listener
+	fleet   *shard.LocalFleet
 }
 
 // StartLocal builds a seeded engine with the demo sales table, wraps it
@@ -74,14 +81,30 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 	if err := eng.Register(sales); err != nil {
 		return nil, err
 	}
-	svc := server.New(eng, server.Config{
+	scfg := server.Config{
 		MaxInFlight:  cfg.MaxInFlight,
 		MaxQueue:     cfg.MaxQueue,
 		QueueTimeout: cfg.QueueTimeout,
 		CacheRows:    cfg.CacheRows,
-	})
+	}
+	var fleet *shard.LocalFleet
+	if cfg.Shards > 0 {
+		fleet, err = shard.StartLocalFleet(context.Background(), shard.FleetConfig{
+			Shards: cfg.Shards,
+			Rows:   cfg.Rows,
+			Seed:   cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scfg.Shard = fleet.Coord
+	}
+	svc := server.New(eng, scfg)
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		if fleet != nil {
+			fleet.Close()
+		}
 		return nil, err
 	}
 	l := &Local{
@@ -89,15 +112,20 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 		Server:  svc,
 		httpSrv: &http.Server{Handler: svc},
 		lis:     lis,
+		fleet:   fleet,
 	}
 	go l.httpSrv.Serve(lis)
 	return l, nil
 }
 
-// Close drains in-flight queries briefly and tears the server down.
+// Close drains in-flight queries briefly and tears the server (and any
+// worker fleet) down.
 func (l *Local) Close() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	l.Server.Drain(ctx)
 	l.httpSrv.Close()
+	if l.fleet != nil {
+		l.fleet.Close()
+	}
 }

@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds one frame's payload (type byte included). It exists so
+// a corrupt or hostile length prefix cannot make a reader allocate
+// gigabytes; 64 MiB comfortably fits any result the engine produces
+// (the HTTP tier caps bodies far below this).
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame, on either
+// side of the connection.
+var ErrFrameTooLarge = fmt.Errorf("protocol: frame exceeds %d bytes", MaxFrame)
+
+// Conn wraps a net.Conn with the length-prefixed framing. Writes are
+// serialized by an internal mutex so concurrent request handlers (the
+// worker answers queries from per-query goroutines) can share one
+// connection; reads are not synchronized — each side owns exactly one
+// reader goroutine by construction.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewConn wraps an established connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64<<10),
+		w:  bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Send marshals v and writes one frame of the given type. Safe for
+// concurrent use.
+func (c *Conn) Send(typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal type %d: %w", typ, err)
+	}
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame and returns its type byte and raw payload. Only
+// the connection's single reader goroutine may call it.
+func (c *Conn) Recv() (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("protocol: empty frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// SetReadDeadline bounds the next Recv.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// Close closes the underlying connection. Any blocked Recv returns an
+// error.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address (logs only).
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

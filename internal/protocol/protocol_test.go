@@ -1,0 +1,306 @@
+package protocol_test
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/protocol"
+	"dex/internal/storage"
+)
+
+// jsonCycle pushes v through one marshal/unmarshal, the way every frame
+// payload travels, so round-trip tests exercise the real wire form.
+func jsonCycle(t *testing.T, v, out any) {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []storage.Value{
+		storage.Int(0),
+		storage.Int(-1),
+		storage.Int(math.MaxInt64),
+		storage.Int(math.MinInt64),
+		storage.Float(0),
+		storage.Float(-3.25),
+		storage.Float(1e308),
+		storage.Float(5e-324), // smallest denormal
+		storage.Float(math.NaN()),
+		storage.Float(math.Inf(1)),
+		storage.Float(math.Inf(-1)),
+		storage.String_(""),
+		storage.String_("plain"),
+		storage.String_("tabs\tnewlines\nnulls\x00quotes\"backslash\\"),
+		storage.String_("héllo wörld — ünïcode ✓ 日本語"),
+	}
+	for _, v := range vals {
+		var w protocol.WireValue
+		jsonCycle(t, protocol.FromValue(v), &w)
+		got, err := w.ToValue()
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got.Typ != v.Typ {
+			t.Fatalf("%v: type changed to %v", v, got.Typ)
+		}
+		if v.Typ == storage.TFloat && math.IsNaN(v.AsFloat()) {
+			if !math.IsNaN(got.AsFloat()) {
+				t.Fatalf("NaN decoded as %v", got)
+			}
+			continue
+		}
+		if got.String() != v.String() {
+			t.Fatalf("round trip changed %q to %q", v.String(), got.String())
+		}
+	}
+}
+
+func TestValueBadType(t *testing.T) {
+	w := protocol.WireValue{Typ: "DECIMAL", Val: "1"}
+	if _, err := w.ToValue(); err == nil {
+		t.Fatal("unknown type must not decode")
+	}
+}
+
+func TestPredRoundTrip(t *testing.T) {
+	preds := []*expr.Pred{
+		nil,
+		expr.Cmp("a", expr.GE, storage.Int(3)),
+		expr.Like("s", "p%"),
+		expr.And(
+			expr.Cmp("a", expr.GE, storage.Float(math.Inf(-1))),
+			expr.Or(
+				expr.Cmp("b", expr.LT, storage.String_("zzz")),
+				expr.Not(expr.Cmp("c", expr.EQ, storage.Int(0))),
+			),
+		),
+	}
+	for i, p := range preds {
+		var w *protocol.WirePred
+		jsonCycle(t, protocol.FromPred(p), &w)
+		got, err := w.ToPred()
+		if err != nil {
+			t.Fatalf("pred %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("pred %d: round trip changed\n%#v\nto\n%#v", i, p, got)
+		}
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := exec.Query{
+		Select: []exec.SelectItem{
+			{Col: "region"},
+			{Col: "amount", Agg: exec.AggSum, As: "total"},
+			{Col: "*", Agg: exec.AggCount},
+		},
+		Where:   expr.And(expr.Cmp("amount", expr.GT, storage.Float(99.5)), expr.Cmp("qty", expr.LE, storage.Int(7))),
+		GroupBy: []string{"region"},
+		Having:  expr.Cmp("total", expr.GT, storage.Float(1000)),
+		OrderBy: []exec.OrderKey{{Col: "total", Desc: true}, {Col: "region"}},
+		Limit:   25,
+	}
+	var w protocol.WireQuery
+	jsonCycle(t, protocol.FromQuery(q), &w)
+	got, err := w.ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Fatalf("round trip changed\n%#v\nto\n%#v", q, got)
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tbl, err := storage.FromColumns("rt", storage.Schema{
+		{Name: "i", Type: storage.TInt},
+		{Name: "f", Type: storage.TFloat},
+		{Name: "s", Type: storage.TString},
+	}, []storage.Column{
+		storage.NewIntColumn([]int64{1, -2, math.MaxInt64}),
+		storage.NewFloatColumn([]float64{1.5, math.NaN(), math.Inf(1)}),
+		storage.NewStringColumn([]string{"", "ünïcode", "with\nnewline"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w protocol.WireTable
+	jsonCycle(t, protocol.FromTable(tbl), &w)
+	got, err := w.ToTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "rt" || got.NumRows() != 3 || got.NumCols() != 3 {
+		t.Fatalf("shape changed: %s %dx%d", got.Name(), got.NumRows(), got.NumCols())
+	}
+	for c := 0; c < 3; c++ {
+		for r := 0; r < 3; r++ {
+			want, have := tbl.Column(c).Value(r), got.Column(c).Value(r)
+			if want.Typ == storage.TFloat && math.IsNaN(want.AsFloat()) {
+				if !math.IsNaN(have.AsFloat()) {
+					t.Fatalf("cell %d/%d: NaN became %v", c, r, have)
+				}
+				continue
+			}
+			if want.String() != have.String() {
+				t.Fatalf("cell %d/%d changed %q to %q", c, r, want.String(), have.String())
+			}
+		}
+	}
+}
+
+func TestTableRoundTripEmpty(t *testing.T) {
+	// nil table: the worker's empty-partition reply.
+	var w protocol.WireTable
+	jsonCycle(t, protocol.FromTable(nil), &w)
+	got, err := w.ToTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCols() != 0 || got.NumRows() != 0 {
+		t.Fatalf("nil table decoded to %dx%d", got.NumRows(), got.NumCols())
+	}
+}
+
+func TestTableMalformed(t *testing.T) {
+	bad := []protocol.WireTable{
+		{Cols: []string{"a"}, Types: []string{"INT", "INT"}, Cells: [][]string{{"1"}}},
+		{Cols: []string{"a", "b"}, Types: []string{"INT", "INT"}, Cells: [][]string{{"1", "2"}, {"3"}}},
+		{Cols: []string{"a"}, Types: []string{"BLOB"}, Cells: [][]string{{"1"}}},
+		{Cols: []string{"a"}, Types: []string{"INT"}, Cells: [][]string{{"notanint"}}},
+	}
+	for i, w := range bad {
+		if _, err := w.ToTable(); err == nil {
+			t.Fatalf("malformed table %d decoded without error", i)
+		}
+	}
+}
+
+func TestConnFraming(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := protocol.NewConn(a), protocol.NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- ca.Send(protocol.MsgPing, protocol.Ping{ID: 42})
+	}()
+	typ, payload, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != protocol.MsgPing {
+		t.Fatalf("type byte %d, want %d", typ, protocol.MsgPing)
+	}
+	var p protocol.Ping
+	if err := json.Unmarshal(payload, &p); err != nil || p.ID != 42 {
+		t.Fatalf("payload %q err %v", payload, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnConcurrentSends(t *testing.T) {
+	// The worker answers queries from per-query goroutines over one
+	// shared connection: N concurrent senders must interleave whole
+	// frames, never bytes.
+	const n = 50
+	a, b := net.Pipe()
+	ca, cb := protocol.NewConn(a), protocol.NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if err := ca.Send(protocol.MsgPong, protocol.Pong{ID: id}); err != nil {
+				t.Error(err)
+			}
+		}(uint64(i))
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		typ, payload, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != protocol.MsgPong {
+			t.Fatalf("frame %d: type %d", i, typ)
+		}
+		var p protocol.Pong
+		if err := json.Unmarshal(payload, &p); err != nil {
+			t.Fatalf("frame %d corrupted: %v", i, err)
+		}
+		if seen[p.ID] {
+			t.Fatalf("duplicate frame id %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	wg.Wait()
+}
+
+func TestConnSendTooLarge(t *testing.T) {
+	a, b := net.Pipe()
+	ca := protocol.NewConn(a)
+	defer ca.Close()
+	defer b.Close()
+	huge := protocol.Result{Table: protocol.WireTable{
+		Name:  "huge",
+		Cols:  []string{"s"},
+		Types: []string{"TEXT"},
+		Cells: [][]string{{strings.Repeat("a", protocol.MaxFrame)}},
+	}}
+	if err := ca.Send(protocol.MsgResult, huge); !errors.Is(err, protocol.ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestConnRecvTooLarge(t *testing.T) {
+	// A hostile or corrupt length prefix must be rejected before any
+	// allocation, not trusted.
+	a, b := net.Pipe()
+	cb := protocol.NewConn(b)
+	defer cb.Close()
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], protocol.MaxFrame+1)
+		a.Write(hdr[:])
+		a.Close()
+	}()
+	if _, _, err := cb.Recv(); !errors.Is(err, protocol.ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestConnRecvEmptyFrame(t *testing.T) {
+	a, b := net.Pipe()
+	cb := protocol.NewConn(b)
+	defer cb.Close()
+	go func() {
+		a.Write([]byte{0, 0, 0, 0})
+		a.Close()
+	}()
+	if _, _, err := cb.Recv(); err == nil {
+		t.Fatal("zero-length frame must not decode")
+	}
+}

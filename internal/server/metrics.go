@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"dex/internal/metrics"
+	"dex/internal/shard"
 )
 
 // handleMetrics renders the service counters and latency histograms in
@@ -21,6 +22,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	hists := s.st.histograms()
 	var b bytes.Buffer
 	writeProm(&b, snap, hists)
+	if s.cfg.Shard != nil {
+		writeShardProm(&b, snap.Shard, s.cfg.Shard)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write(b.Bytes())
@@ -106,6 +110,60 @@ func writeProm(b *bytes.Buffer, snap StatsSnapshot, hists map[string]*metrics.Lo
 		fmt.Fprintf(b, "dex_query_duration_seconds_sum{mode=%q} %s\n", m, fmtFloat(h.Sum()))
 		fmt.Fprintf(b, "dex_query_duration_seconds_count{mode=%q} %d\n", m, h.N())
 	}
+}
+
+// writeShardProm renders the coordinator's per-shard families: rows
+// placed, query/error/retry counters and RPC latency histograms labelled
+// by shard id, plus the fleet-level gather (merge) histogram and
+// distributed-query outcome counters.
+func writeShardProm(b *bytes.Buffer, snap *shard.Snapshot, coord *shard.Coordinator) {
+	head := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	histogram := func(name string, labels string, h *metrics.LogHist) {
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		for _, bk := range h.CumBuckets() {
+			fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmtFloat(bk.UpperBound), bk.Count)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.N())
+		if labels == "" {
+			fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", name, fmtFloat(h.Sum()), name, h.N())
+		} else {
+			fmt.Fprintf(b, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, labels, fmtFloat(h.Sum()), name, labels, h.N())
+		}
+	}
+
+	head("dex_shard_rows", "Rows placed on each shard by the partitioner.", "gauge")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_rows{shard=\"%d\"} %d\n", sh.Shard, sh.Rows)
+	}
+	head("dex_shard_rpc_total", "Per-shard query RPC attempts.", "counter")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_rpc_total{shard=\"%d\"} %d\n", sh.Shard, sh.Queries)
+	}
+	head("dex_shard_errors_total", "Per-shard failed query RPC attempts (before retry).", "counter")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_errors_total{shard=\"%d\"} %d\n", sh.Shard, sh.Errors)
+	}
+	head("dex_shard_retries_total", "Per-shard query RPC retries.", "counter")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_retries_total{shard=\"%d\"} %d\n", sh.Shard, sh.Retries)
+	}
+	head("dex_shard_queries_total", "Distributed query outcomes at the coordinator.", "counter")
+	for _, oc := range []string{"ok", "degraded", "failed"} {
+		fmt.Fprintf(b, "dex_shard_queries_total{outcome=%q} %d\n", oc, snap.Outcomes[oc])
+	}
+
+	rpc, gather := coord.Histograms()
+	head("dex_shard_rpc_duration_seconds", "Scatter RPC latency per shard (one observation per attempt).", "histogram")
+	for i, h := range rpc {
+		histogram("dex_shard_rpc_duration_seconds", fmt.Sprintf("shard=\"%d\"", i), h)
+	}
+	head("dex_shard_gather_duration_seconds", "Partial-merge (gather) latency at the coordinator.", "histogram")
+	histogram("dex_shard_gather_duration_seconds", "", gather)
 }
 
 func fmtFloat(v float64) string {

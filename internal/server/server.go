@@ -50,6 +50,8 @@ import (
 	"dex/internal/cache"
 	"dex/internal/core"
 	"dex/internal/fault"
+	"dex/internal/shard"
+	"dex/internal/sqlparse"
 	"dex/internal/storage"
 	"dex/internal/trace"
 	"dex/internal/workload"
@@ -100,6 +102,11 @@ type Config struct {
 	// RequestLog, when non-nil, gets one structured line per query request
 	// (session, mode, outcome, duration, rows).
 	RequestLog *slog.Logger
+	// Shard, when set, makes this server a cluster coordinator: single-table
+	// queries against the sharded table scatter across the worker fleet and
+	// gather merged (possibly degraded) results; everything else — joins,
+	// other tables, suggestions — runs on the local engine as before.
+	Shard *shard.Coordinator
 }
 
 func (c *Config) fill() {
@@ -289,6 +296,10 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Queued = s.adm.queued()
 	snap.Draining = s.draining.Load()
 	snap.RowsScanned = s.eng.RowsScanned()
+	if s.cfg.Shard != nil {
+		ss := s.cfg.Shard.Snapshot()
+		snap.Shard = &ss
+	}
 	return snap
 }
 
@@ -313,8 +324,13 @@ type QueryResult struct {
 	ElapsedMS float64  `json:"elapsed_ms"`
 	Cached    bool     `json:"cached,omitempty"`
 	// Degraded marks an exact query that overran its deadline and was
-	// answered with a sampled approximation (see core.Answer).
+	// answered with a sampled approximation (see core.Answer) — or, on a
+	// sharded table, a partial answer merged from the surviving shards.
 	Degraded bool `json:"degraded,omitempty"`
+	// Coverage is the fraction of the sharded table's rows behind this
+	// answer (1.0 on a healthy fleet, < 1 when Degraded). Absent on
+	// non-sharded queries.
+	Coverage float64 `json:"coverage,omitempty"`
 	// Trace is the span tree of this execution, present when the request
 	// set "trace": true.
 	Trace *trace.SpanJSON `json:"trace,omitempty"`
@@ -502,20 +518,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	execStart := time.Now()
-	ans, err := sess.AnswerContext(ctx, req.SQL, mode)
+	var out *QueryResult
+	if sq, routed := s.routeShard(req.SQL); routed {
+		res, rerr := s.cfg.Shard.Execute(ctx, sq.Table, sq.Query, mode)
+		elapsed := time.Since(execStart)
+		if rerr != nil {
+			outcome = s.queryError(w, r, rerr)
+			return
+		}
+		// The distributed path bypasses the session's engine but the query
+		// still shapes this session's recommendations.
+		sess.Record(sq.Query)
+		out = encodeTable(res.Table, res.Mode.String(), elapsed)
+		out.Degraded = res.Degraded
+		out.Coverage = res.Coverage
+	} else {
+		ans, aerr := sess.AnswerContext(ctx, req.SQL, mode)
+		elapsed := time.Since(execStart)
+		if aerr != nil {
+			outcome = s.queryError(w, r, aerr)
+			return
+		}
+		out = encodeTable(ans.Table, ans.Mode.String(), elapsed)
+		out.Degraded = ans.Degraded
+	}
 	elapsed := time.Since(execStart)
-	if err != nil {
-		outcome = s.queryError(w, r, err)
-		return
+	// Degraded answers are approximations (or shard partials); they must
+	// never seed the exact result cache.
+	if cacheKey != "" && !out.Degraded {
+		s.results.Put(cacheKey, out, int64(len(out.Rows))+1)
 	}
-	out := encodeTable(ans.Table, ans.Mode.String(), elapsed)
-	out.Degraded = ans.Degraded
-	// Degraded answers are approximations; they must never seed the exact
-	// result cache.
-	if cacheKey != "" && !ans.Degraded {
-		s.results.Put(cacheKey, out, int64(ans.Table.NumRows())+1)
-	}
-	if ans.Degraded {
+	if out.Degraded {
 		s.st.count(&s.st.degraded)
 		outcome = "degraded"
 	}
@@ -531,6 +564,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp = &cp
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeShard decides whether a query takes the distributed path: the
+// server has a coordinator, the SQL parses, it is single-table, and the
+// table is the sharded one. Everything else (including SQL that fails to
+// parse here) falls through to the local engine, which owns error
+// reporting.
+func (s *Server) routeShard(sql string) (*sqlparse.Statement, bool) {
+	if s.cfg.Shard == nil {
+		return nil, false
+	}
+	st, err := sqlparse.Parse(sql)
+	if err != nil || st.JoinTable != "" || st.Table != s.cfg.Shard.Table() {
+		return nil, false
+	}
+	return st, true
 }
 
 // logRequest emits the one structured line per query request when
@@ -579,6 +628,12 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) s
 		s.st.count(&s.st.injected)
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return "injected"
+	case errors.Is(err, shard.ErrAllShardsFailed):
+		// The whole fleet is unreachable — infrastructure down, not a bad
+		// query; there is no partial left to degrade to.
+		s.st.count(&s.st.failed)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return "shard_failed"
 	case errors.Is(err, context.Canceled):
 		if r.Context().Err() != nil {
 			s.st.count(&s.st.cancelled)

@@ -6,6 +6,7 @@ import (
 
 	"dex/internal/cache"
 	"dex/internal/metrics"
+	"dex/internal/shard"
 )
 
 // stats aggregates the service's observability counters: per-mode latency
@@ -133,6 +134,8 @@ type StatsSnapshot struct {
 	Sessions    SessionStats         `json:"sessions"`
 	Cache       CacheStats           `json:"cache"`
 	Modes       map[string]ModeStats `json:"modes"`
+	// Shard is the coordinator's fleet view; absent on non-coordinators.
+	Shard *shard.Snapshot `json:"shard,omitempty"`
 }
 
 // snapshot renders the counters; the caller fills the admission gauges and

@@ -1,0 +1,307 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dex/internal/exec"
+	"dex/internal/fault"
+	"dex/internal/protocol"
+	"dex/internal/storage"
+)
+
+// fpRPC injects coordinator-side RPC faults, one Hit per query attempt:
+// error policies fail the attempt (driving the retry path), latency
+// policies make the shard look slow from the coordinator.
+var fpRPC = fault.Register("shard/rpc")
+
+// ErrTransport wraps every failure where the worker never answered —
+// dial refused, connection reset, frame decode failure. Transport errors
+// are retryable: the query said nothing about itself.
+var ErrTransport = errors.New("shard: transport error")
+
+// RemoteError is a worker's coded refusal.
+type RemoteError struct {
+	Shard int
+	Code  string
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard %d: %s: %s", e.Shard, e.Code, e.Msg)
+}
+
+// Retryable reports whether another attempt could help: only
+// infrastructure failures qualify — a bad query fails identically
+// everywhere, and a worker-side cancellation means the deadline already
+// spent this attempt's budget.
+func (e *RemoteError) Retryable() bool { return e.Code == protocol.CodeInternal }
+
+// cancelGrace bounds how long a cancelled call waits for the worker's
+// CodeCanceled reply before abandoning the pending slot. It is the tail
+// a caller can observe past its own deadline, so it must stay well under
+// the interactive budgets (~250ms) the deadlines protect; a worker that
+// cannot resolve the slot this fast is treated like a dead one.
+const cancelGrace = 250 * time.Millisecond
+
+type response struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// Client is the coordinator's handle on one worker: a single multiplexed
+// connection (dialed lazily, redialed after failures) carrying
+// concurrent requests matched by ID.
+type Client struct {
+	Shard int
+	Addr  string
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+
+	mu      sync.Mutex
+	conn    *protocol.Conn
+	pending map[uint64]chan response
+	nextID  uint64
+}
+
+// NewClient builds a client for one worker address.
+func NewClient(shard int, addr string) *Client {
+	return &Client{Shard: shard, Addr: addr, DialTimeout: 2 * time.Second, pending: map[uint64]chan response{}}
+}
+
+// Close tears the connection down; in-flight calls fail as transport
+// errors. The client stays usable — the next call redials.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// ensure returns a live connection, dialing and handshaking on demand.
+func (c *Client) ensure(ctx context.Context) (*protocol.Conn, error) {
+	c.mu.Lock()
+	if c.conn != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial shard %d (%s): %v", ErrTransport, c.Shard, c.Addr, err)
+	}
+	conn := protocol.NewConn(nc)
+	c.mu.Lock()
+	if c.conn != nil {
+		// Lost the dial race to a concurrent caller; use theirs.
+		winner := c.conn
+		c.mu.Unlock()
+		conn.Close()
+		return winner, nil
+	}
+	c.conn = conn
+	c.mu.Unlock()
+	go c.readLoop(conn)
+	// Handshake through the normal call path so the reader demuxes it.
+	payload, typ, err := c.roundTrip(ctx, conn, protocol.MsgHello, func(id uint64) any {
+		return protocol.Hello{ID: id, Version: protocol.Version, Name: "coordinator"}
+	})
+	if err != nil {
+		c.drop(conn)
+		return nil, err
+	}
+	if typ != protocol.MsgHelloAck {
+		c.drop(conn)
+		return nil, fmt.Errorf("%w: shard %d: unexpected handshake reply type %d", ErrTransport, c.Shard, typ)
+	}
+	var ack protocol.HelloAck
+	if err := json.Unmarshal(payload, &ack); err != nil || ack.Version != protocol.Version {
+		c.drop(conn)
+		return nil, fmt.Errorf("%w: shard %d: bad handshake ack", ErrTransport, c.Shard)
+	}
+	return conn, nil
+}
+
+// drop discards conn if it is still the current connection.
+func (c *Client) drop(conn *protocol.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// readLoop demuxes responses to their pending calls until the connection
+// dies, then fails everything still pending as a transport error.
+func (c *Client) readLoop(conn *protocol.Conn) {
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.conn = nil
+			}
+			stranded := c.pending
+			c.pending = map[uint64]chan response{}
+			c.mu.Unlock()
+			terr := fmt.Errorf("%w: shard %d: connection lost: %v", ErrTransport, c.Shard, err)
+			for _, ch := range stranded {
+				ch <- response{err: terr}
+			}
+			return
+		}
+		var head struct {
+			ID uint64 `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &head); err != nil {
+			continue // unmatchable frame; the caller's deadline cleans up
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[head.ID]
+		if ok {
+			delete(c.pending, head.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- response{typ: typ, payload: payload}
+		}
+	}
+}
+
+// roundTrip issues one request built by mk (which receives the assigned
+// ID) and waits for its response, honoring ctx by sending a Cancel frame
+// and waiting briefly for the worker's acknowledgment.
+func (c *Client) roundTrip(ctx context.Context, conn *protocol.Conn, typ byte, mk func(id uint64) any) ([]byte, byte, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	abandon := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+	if err := conn.Send(typ, mk(id)); err != nil {
+		abandon()
+		c.drop(conn)
+		return nil, 0, fmt.Errorf("%w: shard %d: send: %v", ErrTransport, c.Shard, err)
+	}
+	select {
+	case resp := <-ch:
+		return c.finish(resp)
+	case <-ctx.Done():
+		// Tell the worker; it cancels the query and still replies, so wait
+		// a bounded moment for the slot to resolve cleanly.
+		conn.Send(protocol.MsgCancel, protocol.Cancel{ID: id})
+		select {
+		case resp := <-ch:
+			if _, _, err := c.finish(resp); err != nil {
+				return nil, 0, err
+			}
+			return nil, 0, ctx.Err()
+		case <-time.After(cancelGrace):
+			abandon()
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+func (c *Client) finish(resp response) ([]byte, byte, error) {
+	if resp.err != nil {
+		return nil, 0, resp.err
+	}
+	if resp.typ == protocol.MsgError {
+		var em protocol.ErrorMsg
+		if err := json.Unmarshal(resp.payload, &em); err != nil {
+			return nil, 0, fmt.Errorf("%w: shard %d: malformed error frame", ErrTransport, c.Shard)
+		}
+		return nil, 0, &RemoteError{Shard: c.Shard, Code: em.Code, Msg: em.Msg}
+	}
+	return resp.payload, resp.typ, nil
+}
+
+// call dials if needed and round-trips one request.
+func (c *Client) call(ctx context.Context, typ byte, mk func(id uint64) any) ([]byte, byte, error) {
+	conn, err := c.ensure(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.roundTrip(ctx, conn, typ, mk)
+}
+
+// Load stages a source table on the worker.
+func (c *Client) Load(ctx context.Context, m protocol.Load) (int64, error) {
+	payload, _, err := c.call(ctx, protocol.MsgLoad, func(id uint64) any { m.ID = id; return m })
+	if err != nil {
+		return 0, err
+	}
+	var res protocol.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return 0, fmt.Errorf("%w: shard %d: malformed load result", ErrTransport, c.Shard)
+	}
+	return res.Rows, nil
+}
+
+// Partition assigns the worker its slice of a staged table.
+func (c *Client) Partition(ctx context.Context, m protocol.Partition) (int64, error) {
+	payload, _, err := c.call(ctx, protocol.MsgPartition, func(id uint64) any { m.ID = id; return m })
+	if err != nil {
+		return 0, err
+	}
+	var res protocol.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return 0, fmt.Errorf("%w: shard %d: malformed partition result", ErrTransport, c.Shard)
+	}
+	return res.Rows, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping(ctx context.Context) error {
+	_, _, err := c.call(ctx, protocol.MsgPing, func(id uint64) any { return protocol.Ping{ID: id} })
+	return err
+}
+
+// Query executes one pushed query on the worker's partition and decodes
+// the partial result. The shard/rpc failpoint fires once per attempt.
+func (c *Client) Query(ctx context.Context, table, mode string, q exec.Query, timeout time.Duration) (*storage.Table, error) {
+	if err := fpRPC.Hit(); err != nil {
+		// Injected RPC faults impersonate transport errors so they drive
+		// the same retry-then-degrade path real network failures take.
+		return nil, fmt.Errorf("%w: shard %d: %w", ErrTransport, c.Shard, err)
+	}
+	payload, _, err := c.call(ctx, protocol.MsgQuery, func(id uint64) any {
+		return protocol.Query{
+			ID:        id,
+			Table:     table,
+			Mode:      mode,
+			Query:     protocol.FromQuery(q),
+			TimeoutMS: timeout.Milliseconds(),
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var res protocol.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("%w: shard %d: malformed query result", ErrTransport, c.Shard)
+	}
+	t, err := res.Table.ToTable()
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard %d: undecodable result table: %v", ErrTransport, c.Shard, err)
+	}
+	return t, nil
+}

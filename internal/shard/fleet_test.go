@@ -1,0 +1,369 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dex/internal/core"
+	"dex/internal/fault"
+	"dex/internal/shard"
+	"dex/internal/sqlparse"
+	"dex/internal/workload"
+)
+
+// fleetOracle builds a single-node engine over the identical seeded sales
+// table a fleet bootstraps, so fleet answers can be checked row-for-row.
+func fleetOracle(t *testing.T, rows int, seed int64) *core.Engine {
+	t.Helper()
+	eng := core.New(core.Options{Seed: seed})
+	sales, err := workload.Sales(rand.New(rand.NewSource(seed)), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(sales); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestFleetWireParity: the full distributed path — parse, plan, scatter
+// over real TCP frames, execute on per-shard engines, gather, merge —
+// returns exactly what a single node over the same seeded table returns.
+func TestFleetWireParity(t *testing.T) {
+	const rows = 20_000
+	const seed = int64(7)
+	ctx := context.Background()
+	oracle := fleetOracle(t, rows, seed)
+	queries := []string{
+		"SELECT count(*) FROM sales",
+		"SELECT sum(amount), min(amount), max(amount), avg(qty) FROM sales",
+		"SELECT count(*) FROM sales WHERE amount > 120 AND qty >= 3",
+		"SELECT region, sum(amount), count(*) FROM sales GROUP BY region ORDER BY region",
+		"SELECT quarter, avg(amount) FROM sales WHERE region = 'east' GROUP BY quarter ORDER BY quarter",
+		"SELECT region, amount FROM sales WHERE amount > 200 ORDER BY amount DESC LIMIT 10",
+		"SELECT product, qty FROM sales WHERE quarter = 'q3' ORDER BY qty DESC, product ASC LIMIT 25",
+		// Empty result set: predicates below any generated amount.
+		"SELECT region, sum(amount) FROM sales WHERE amount < -10000 GROUP BY region",
+	}
+	for _, spec := range []struct {
+		scheme shard.Scheme
+		column string
+		shards int
+	}{
+		{shard.Hash, "amount", 3},
+		{shard.Hash, "region", 4}, // low-cardinality key: lopsided shards
+		{shard.Range, "amount", 4},
+	} {
+		name := fmt.Sprintf("%s-%s-%d", spec.scheme, spec.column, spec.shards)
+		t.Run(name, func(t *testing.T) {
+			f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{
+				Shards: spec.shards, Rows: rows, Seed: seed,
+				Column: spec.column, Scheme: spec.scheme,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			for _, sql := range queries {
+				st, err := sqlparse.Parse(sql)
+				if err != nil {
+					t.Fatalf("%s: %v", sql, err)
+				}
+				want, err := oracle.Execute("sales", st.Query, core.Exact)
+				if err != nil {
+					t.Fatalf("oracle %s: %v", sql, err)
+				}
+				res, err := f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+				if err != nil {
+					t.Fatalf("fleet %s: %v", sql, err)
+				}
+				if res.Degraded || res.Coverage != 1 {
+					t.Fatalf("%s: healthy fleet reported degraded=%v coverage=%v", sql, res.Degraded, res.Coverage)
+				}
+				keyCols := len(st.Query.GroupBy)
+				if len(st.Query.OrderBy) > 0 && st.Query.Limit > 0 {
+					// Top-k answers are order-sensitive; compare verbatim.
+					keyCols = 0
+				}
+				requireAgree(t, sql, want, res.Table, keyCols)
+			}
+		})
+	}
+}
+
+// TestFleetApproxOverWire: the estimate path end-to-end, including shards
+// whose partition is empty (hash on a 4-label column across 8 workers
+// guarantees several): empty shards answer with an empty partial instead
+// of a sampling error, and the merged estimate still lands near truth.
+func TestFleetApproxOverWire(t *testing.T) {
+	const rows = 30_000
+	const seed = int64(11)
+	ctx := context.Background()
+	oracle := fleetOracle(t, rows, seed)
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{
+		Shards: 8, Rows: rows, Seed: seed, Column: "region",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	empty := 0
+	for _, s := range f.Coord.Snapshot().Shards {
+		if s.Rows == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatal("expected empty shards when hashing 4 region labels across 8 workers")
+	}
+
+	for _, sql := range []string{
+		"SELECT sum(amount) FROM sales",
+		"SELECT count(*) FROM sales WHERE amount > 100",
+		"SELECT region, avg(amount) FROM sales GROUP BY region ORDER BY region",
+	} {
+		st, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := oracle.Execute("sales", st.Query, core.Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Coord.Execute(ctx, st.Table, st.Query, core.Approx)
+		if err != nil {
+			t.Fatalf("approx %s: %v", sql, err)
+		}
+		if res.Degraded {
+			t.Fatalf("%s: approx over empty shards must not be degraded", sql)
+		}
+		if res.Table.NumRows() != exact.NumRows() {
+			t.Fatalf("%s: estimate has %d rows, exact has %d", sql, res.Table.NumRows(), exact.NumRows())
+		}
+		// Estimates within 5 merged CIs of truth — loose on purpose; the
+		// calibrated-coverage bar lives in TestMergeEstimatesCICoverage.
+		estCol := res.Table.NumCols() - 3
+		for r := 0; r < res.Table.NumRows(); r++ {
+			truth := exact.Column(estCol).Value(r).AsFloat()
+			est := res.Table.Column(estCol).Value(r).AsFloat()
+			ci := res.Table.Column(estCol + 1).Value(r).AsFloat()
+			tol := math.Max(5*ci, 1e-6*math.Abs(truth))
+			if math.Abs(est-truth) > tol {
+				t.Fatalf("%s row %d: estimate %v vs truth %v (ci %v)", sql, r, est, truth, ci)
+			}
+		}
+	}
+}
+
+// TestFleetDegradation: killing a worker turns its shard's queries into
+// transport errors; the coordinator merges survivors and reports the
+// exact surviving row fraction as coverage, never an extrapolated total.
+func TestFleetDegradation(t *testing.T) {
+	const rows = 12_000
+	ctx := context.Background()
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: 3, Rows: rows, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap := f.Coord.Snapshot()
+	f.KillShard(1)
+
+	st, _ := sqlparse.Parse("SELECT count(*) FROM sales")
+	res, err := f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+	if err != nil {
+		t.Fatalf("degraded query must still answer: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("query over a killed shard must be marked degraded")
+	}
+	survivors := snap.Rows - snap.Shards[1].Rows
+	wantCov := float64(survivors) / float64(snap.Rows)
+	if math.Abs(res.Coverage-wantCov) > 1e-12 {
+		t.Fatalf("coverage %v, want surviving fraction %v", res.Coverage, wantCov)
+	}
+	got := res.Table.Column(0).Value(0).AsInt()
+	if got != survivors {
+		t.Fatalf("degraded count(*) = %d, want surviving rows %d (no extrapolation)", got, survivors)
+	}
+	out := f.Coord.Snapshot().Outcomes
+	if out["degraded"] == 0 {
+		t.Fatalf("outcome counters missed the degraded query: %v", out)
+	}
+}
+
+// TestFleetRetry: a one-shot injected RPC fault is retried transparently
+// — the query succeeds at full coverage and the retry counter records it.
+func TestFleetRetry(t *testing.T) {
+	ctx := context.Background()
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: 2, Rows: 8_000, Seed: 3, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fault.Enable("shard/rpc", "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("shard/rpc")
+
+	st, _ := sqlparse.Parse("SELECT count(*) FROM sales")
+	res, err := f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+	if err != nil {
+		t.Fatalf("retryable fault must not fail the query: %v", err)
+	}
+	if res.Degraded || res.Coverage != 1 {
+		t.Fatalf("retried query must recover fully, got degraded=%v coverage=%v", res.Degraded, res.Coverage)
+	}
+	var retries int64
+	for _, s := range f.Coord.Snapshot().Shards {
+		retries += s.Retries
+	}
+	if retries == 0 {
+		t.Fatal("retry counter did not record the injected fault")
+	}
+}
+
+// TestFleetAllShardsFailed: a persistent worker-side execution fault
+// exhausts retries on every shard; the coordinator reports the sentinel
+// rather than inventing an empty answer.
+func TestFleetAllShardsFailed(t *testing.T) {
+	ctx := context.Background()
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: 2, Rows: 6_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fault.Enable("shard/exec", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("shard/exec")
+
+	st, _ := sqlparse.Parse("SELECT count(*) FROM sales")
+	_, err = f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+	if !errors.Is(err, shard.ErrAllShardsFailed) {
+		t.Fatalf("want ErrAllShardsFailed, got %v", err)
+	}
+	if out := f.Coord.Snapshot().Outcomes; out["failed"] == 0 {
+		t.Fatalf("outcome counters missed the failed query: %v", out)
+	}
+}
+
+// TestFleetBadQueryFailsWhole: a per-shard semantic error (not transport)
+// is the caller's bug — it must fail the whole query, not degrade it.
+func TestFleetBadQueryFailsWhole(t *testing.T) {
+	ctx := context.Background()
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: 2, Rows: 4_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, _ := sqlparse.Parse("SELECT nosuchcol FROM sales")
+	_, err = f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+	if err == nil || errors.Is(err, shard.ErrAllShardsFailed) {
+		t.Fatalf("bad query must surface its own error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "nosuchcol") {
+		t.Fatalf("error should name the bad column: %v", err)
+	}
+}
+
+// TestFleetCancelPropagation: cancelling the caller's context aborts the
+// scatter promptly even while workers are stalled mid-execution.
+func TestFleetCancelPropagation(t *testing.T) {
+	f, err := shard.StartLocalFleet(context.Background(), shard.FleetConfig{Shards: 2, Rows: 6_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fault.Enable("shard/exec", "latency(2s)"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("shard/exec")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	st, _ := sqlparse.Parse("SELECT count(*) FROM sales")
+	start := time.Now()
+	_, err = f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled query must not succeed")
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancel took %v to unwind — not propagating", elapsed)
+	}
+}
+
+// TestFleetSlowShardTimeout: a worker slower than the shard deadline is
+// indistinguishable from a dead one; with every worker stalled the query
+// fails outright instead of hanging.
+func TestFleetSlowShardTimeout(t *testing.T) {
+	ctx := context.Background()
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{
+		Shards: 2, Rows: 6_000, Seed: 3,
+		ShardTimeout: 100 * time.Millisecond, Retries: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fault.Enable("shard/exec", "latency(2s)"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable("shard/exec")
+
+	st, _ := sqlparse.Parse("SELECT count(*) FROM sales")
+	start := time.Now()
+	_, err = f.Coord.Execute(ctx, st.Table, st.Query, core.Exact)
+	if !errors.Is(err, shard.ErrAllShardsFailed) {
+		t.Fatalf("want ErrAllShardsFailed from per-shard deadlines, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline did not cut the stall: %v", elapsed)
+	}
+}
+
+// TestFleetGoroutineLeak: a fleet's read loops, server loops and stalled
+// scatters all unwind on Close.
+func TestFleetGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		ctx := context.Background()
+		f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: 4, Rows: 8_000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		st, _ := sqlparse.Parse("SELECT region, sum(amount) FROM sales GROUP BY region")
+		for i := 0; i < 5; i++ {
+			if _, err := f.Coord.Execute(ctx, st.Table, st.Query, core.Exact); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.KillShard(2)
+		if _, err := f.Coord.Execute(ctx, st.Table, st.Query, core.Exact); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines did not settle: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -1,0 +1,157 @@
+// Package shard is the distributed execution layer: it partitions tables
+// across a fleet of dexd worker processes, scatters rewritten queries to
+// them over internal/protocol, and gathers the partial results back into
+// one answer with the partial-merge algebra in merge.go.
+//
+// The layer deliberately reuses the engine's existing seams rather than
+// inventing new ones: context cancellation fans out to shards as Cancel
+// frames, internal/fault failpoints on the RPC path (shard/rpc) and the
+// worker execution path (shard/exec) drive per-shard retry and graceful
+// degradation, and internal/trace records per-shard scatter/gather spans
+// so /admin/slow and /metrics stay truthful about where time went.
+//
+// Degradation contract: when a shard stays down past its retry budget,
+// the coordinator merges the surviving partials and returns them tagged
+// Degraded with a Coverage fraction — the share of the table's rows that
+// contributed, from the placement map. Results are never extrapolated;
+// coverage makes the truncation explicit, mirroring the sample-based
+// degradation contract the single-node engine already has.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"dex/internal/storage"
+)
+
+// Scheme selects how rows map to shards.
+type Scheme uint8
+
+// Partitioning schemes.
+const (
+	// Hash assigns each row by a hash of its partition-column value.
+	// Works for every column type and balances skew-free.
+	Hash Scheme = iota
+	// Range assigns contiguous value ranges per shard (equi-depth bounds
+	// computed from the data). Numeric columns only; it keeps range
+	// predicates shard-local, which is what the crack column wants.
+	Range
+)
+
+// String names the scheme as carried on the wire.
+func (s Scheme) String() string {
+	switch s {
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme parses a scheme name.
+func ParseScheme(s string) (Scheme, error) {
+	switch strings.ToLower(s) {
+	case "", "hash":
+		return Hash, nil
+	case "range":
+		return Range, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown partition scheme %q (hash|range)", s)
+	}
+}
+
+// Spec describes one partitioned table: which column splits it, how, and
+// across how many shards. Bounds are the Shards-1 ascending split points
+// of a Range spec (shard i holds values in [Bounds[i-1], Bounds[i])).
+type Spec struct {
+	Table  string
+	Column string
+	Scheme Scheme
+	Shards int
+	Bounds []float64
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	if s.Table == "" || s.Column == "" {
+		return fmt.Errorf("shard: spec needs table and column")
+	}
+	if s.Shards < 1 {
+		return fmt.Errorf("shard: spec needs at least 1 shard, got %d", s.Shards)
+	}
+	if s.Scheme == Range && len(s.Bounds) != s.Shards-1 {
+		return fmt.Errorf("shard: range spec with %d shards needs %d bounds, got %d",
+			s.Shards, s.Shards-1, len(s.Bounds))
+	}
+	for i := 1; i < len(s.Bounds); i++ {
+		if s.Bounds[i] < s.Bounds[i-1] {
+			return fmt.Errorf("shard: range bounds must be ascending")
+		}
+	}
+	return nil
+}
+
+// ShardOf maps one value to its shard index.
+func (s Spec) ShardOf(v storage.Value) int {
+	if s.Shards <= 1 {
+		return 0
+	}
+	switch s.Scheme {
+	case Range:
+		// Shard i holds [Bounds[i-1], Bounds[i]): the index is the number
+		// of bounds at or below the value (values below Bounds[0] land on
+		// shard 0, at or above the last bound on the last shard).
+		x := v.AsFloat()
+		return sort.Search(len(s.Bounds), func(j int) bool { return x < s.Bounds[j] })
+	default:
+		h := fnv.New64a()
+		h.Write([]byte(v.String()))
+		return int(h.Sum64() % uint64(s.Shards))
+	}
+}
+
+// EquiDepthBounds computes Range split points for a numeric column so
+// each shard receives an equal share of rows (ties keep duplicates of a
+// split value together on the upper shard).
+func EquiDepthBounds(col storage.Column, shards int) []float64 {
+	if shards <= 1 || col.Len() == 0 {
+		return nil
+	}
+	vals := make([]float64, col.Len())
+	for i := range vals {
+		vals[i] = col.Value(i).AsFloat()
+	}
+	sort.Float64s(vals)
+	bounds := make([]float64, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		bounds = append(bounds, vals[i*len(vals)/shards])
+	}
+	return bounds
+}
+
+// Split computes the per-shard row selections of a table under a spec.
+// Every row lands on exactly one shard; the selections partition
+// [0, NumRows).
+func Split(t *storage.Table, spec Spec) ([][]int, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	col, err := t.ColumnByName(spec.Column)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Scheme == Range && col.Type() == storage.TString {
+		return nil, fmt.Errorf("shard: range partitioning needs a numeric column, %q is TEXT", spec.Column)
+	}
+	sels := make([][]int, spec.Shards)
+	for i := 0; i < col.Len(); i++ {
+		s := spec.ShardOf(col.Value(i))
+		sels[s] = append(sels[s], i)
+	}
+	return sels, nil
+}
