@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz bench bench-concurrency bench-idebench bench-shard chaos metrics-smoke cluster-smoke
+.PHONY: all build test race vet fmt-check fuzz fuzz-kernels bench bench-concurrency bench-idebench bench-kernels bench-shard chaos metrics-smoke cluster-smoke
 
 all: vet fmt-check build test
 
@@ -26,6 +26,12 @@ fmt-check:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse/
 
+# Differential fuzz of the typed predicate kernels against the generic
+# evaluator: random tables (plain + dict/RLE-encoded twins, NaN/±Inf,
+# int64 extremes) and random conjunctions; any divergence is a bug.
+fuzz-kernels:
+	$(GO) test -fuzz=FuzzKernelVsGeneric -fuzztime=60s -run '^$$' ./internal/expr/
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./internal/bench/
 
@@ -40,6 +46,12 @@ bench-concurrency:
 # custom matrices (or an external dexd via -addr).
 bench-idebench:
 	$(GO) run ./cmd/experiments -run E31 -json BENCH_idebench.json
+
+# Regenerate the typed-kernel / compressed-column scan baseline (E33) —
+# kernel vs generic at 1%/10%/50% selectivity plus the dict/RLE encoded
+# comparisons — and refresh the committed JSON artifact.
+bench-kernels:
+	$(GO) run ./cmd/experiments -run E33 -json BENCH_kernels.json
 
 # Regenerate the distributed scatter/gather baseline (E32) at full size —
 # the sales table hash-partitioned across 1/2/4 dexd worker processes over

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dex [-load name=path.csv]... [-attach name=path.csv]... [-mode exact] [-parallel N] [-zonemap] [-timeout 500ms] [-e "SQL"]
+//	dex [-load name=path.csv]... [-attach name=path.csv]... [-mode exact] [-parallel N] [-zonemap] [-kernels] [-encode] [-timeout 500ms] [-e "SQL"]
 //
 // Without -e it reads statements from stdin (one per line). Shell commands:
 //
@@ -72,6 +72,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker parallelism for exact queries (0 = GOMAXPROCS, 1 = sequential)")
 	morsel := flag.Int("morsel", 0, "rows per parallel scheduling unit (0 = default)")
 	zonemap := flag.Bool("zonemap", true, "zone-map scan skipping on range predicates")
+	kernels := flag.Bool("kernels", true, "typed predicate kernels for specializable WHERE clauses")
+	encode := flag.Bool("encode", true, "dictionary/RLE-encode loaded columns when profitable")
 	timeout := flag.Duration("timeout", 0, "per-statement deadline, e.g. 500ms (0 = none)")
 	flag.Parse()
 
@@ -81,8 +83,9 @@ func main() {
 		os.Exit(1)
 	}
 	e := dex.New(dex.Options{
-		Seed: *seed,
-		Exec: dex.ExecOptions{Parallelism: *parallel, MorselSize: *morsel, ZoneMap: *zonemap},
+		Seed:   *seed,
+		Exec:   dex.ExecOptions{Parallelism: *parallel, MorselSize: *morsel, ZoneMap: *zonemap, Kernels: *kernels},
+		Encode: *encode,
 	})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 31 {
-		t.Fatalf("registered experiments = %d, want 31", len(all))
+	if len(all) != 32 {
+		t.Fatalf("registered experiments = %d, want 32", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -42,7 +42,11 @@ import (
 )
 
 // FaultEvent arms one failpoint at an offset from run start. A zero For
-// leaves it armed until the run ends.
+// leaves it armed until the run ends. A negative At arms the site for the
+// setup phase instead: engine construction and data registration, before
+// the workload starts — the only window where load-time seams like
+// storage/segment-encode can fire. Setup events are disarmed again before
+// the goroutine baseline is taken.
 type FaultEvent struct {
 	At   time.Duration `json:"at"`
 	Site string        `json:"site"`
@@ -65,6 +69,8 @@ type Config struct {
 	Parallelism int
 	MorselSize  int
 	ZoneMap     bool        // enable zone-map scan skipping in the engine
+	Kernels     bool        // enable typed predicate kernels in the engine
+	Encode      bool        // dictionary/RLE-encode the demo table at load
 	Log         *log.Logger // optional narration of the fault schedule
 	// Shards, when > 0, runs the server as a coordinator over an
 	// in-process worker fleet: sales queries scatter/gather, and two
@@ -137,13 +143,26 @@ func Run(cfg Config) (*Report, error) {
 	defer fault.Reset()
 	fault.SetSeed(cfg.Seed)
 
+	// Setup-phase faults (negative At): armed across engine construction
+	// and data registration, disarmed before the workload baseline.
+	for _, ev := range cfg.Faults {
+		if ev.At < 0 {
+			cfg.logf("chaos    setup arm    %s=%s", ev.Site, ev.Spec)
+			if err := fault.Enable(ev.Site, ev.Spec); err != nil {
+				cfg.logf("chaos: arm %s=%s: %v", ev.Site, ev.Spec, err)
+			}
+		}
+	}
+
 	// In-process service: degradation on, a small admission envelope so
 	// the schedule can actually saturate it.
 	eng := core.New(core.Options{
 		Seed:         cfg.Seed,
 		Degrade:      true,
 		DegradeGrace: time.Second,
-		Exec:         exec.ExecOptions{Parallelism: cfg.Parallelism, MorselSize: cfg.MorselSize, ZoneMap: cfg.ZoneMap},
+		Encode:       cfg.Encode,
+		Exec: exec.ExecOptions{Parallelism: cfg.Parallelism, MorselSize: cfg.MorselSize,
+			ZoneMap: cfg.ZoneMap, Kernels: cfg.Kernels},
 	})
 	sales, err := workload.Sales(rand.New(rand.NewSource(42)), cfg.Rows)
 	if err != nil {
@@ -151,6 +170,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if err := eng.Register(sales); err != nil {
 		return nil, err
+	}
+	for _, ev := range cfg.Faults {
+		if ev.At < 0 {
+			cfg.logf("chaos    setup disarm %s", ev.Site)
+			fault.Disable(ev.Site)
+		}
 	}
 	scfg := server.Config{
 		MaxInFlight:  4,
@@ -204,6 +229,9 @@ func Run(cfg Config) (*Report, error) {
 	}
 	var timeline []action
 	for _, ev := range cfg.Faults {
+		if ev.At < 0 {
+			continue // setup-phase event, already handled
+		}
 		timeline = append(timeline, action{ev.At, ev.Site, ev.Spec})
 		if ev.For > 0 {
 			timeline = append(timeline, action{ev.At + ev.For, ev.Site, ""})

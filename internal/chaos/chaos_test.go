@@ -120,6 +120,53 @@ func TestChaosCrackedMode(t *testing.T) {
 	}
 }
 
+// TestChaosKernelEncoded sends the traffic through the typed-kernel scan
+// over an encoded (dictionary/RLE) demo table, while faults fire in the
+// two seams this PR adds: kernel dispatch (per query, mid-run) and column
+// encoding (setup phase, via a negative-At event — an injected encode
+// error must fall back to the plain representation and the load must still
+// succeed). The standing invariants apply unchanged: every query
+// classified, no leaks, faults actually fired.
+func TestChaosKernelEncoded(t *testing.T) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			faults := append(schedule(),
+				FaultEvent{At: -1, Site: "storage/segment-encode", Spec: "error"},
+				FaultEvent{At: 0, Site: "exec/kernel-dispatch", Spec: "error(0.2)"},
+			)
+			rep, err := Run(Config{
+				Seed:             seed,
+				Clients:          3,
+				QueriesPerClient: 8,
+				Rows:             10_000,
+				ZoneMap:          true,
+				Kernels:          true,
+				Encode:           true,
+				Timeout:          120 * time.Millisecond,
+				Faults:           faults,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("chaos violations:\n  %s", strings.Join(rep.Violations, "\n  "))
+			}
+			if rep.Issued == 0 {
+				t.Fatal("no queries issued")
+			}
+			if st := rep.FaultStats["storage/segment-encode"]; st.Fires == 0 {
+				t.Fatalf("setup-phase encode fault never fired: %+v", rep.FaultStats)
+			}
+			var fires int64
+			for _, st := range rep.FaultStats {
+				fires += st.Fires
+			}
+			t.Logf("seed %d: issued=%d outcomes=%+v fires=%d", seed, rep.Issued, rep.Outcomes, fires)
+		})
+	}
+}
+
 // TestChaosShardFleet runs the chaos mix against a coordinator over an
 // in-process worker fleet while the shard seams fault: flaky scatter
 // RPCs, slow worker execution, and a mid-run hard kill of one worker.

@@ -101,6 +101,13 @@ type Options struct {
 	// DegradeGrace is the time budget for computing the approximate
 	// fallback answer after the exact deadline fired (default 2s).
 	DegradeGrace time.Duration
+	// Encode enables compressed column encodings at registration: columns
+	// the heuristics select (low-cardinality strings, clustered ints) are
+	// dictionary- or run-length-coded via storage.EncodeTable, unlocking
+	// the code-space and per-run predicate fast paths. Encoding is an
+	// optimization only — a failed encode keeps the plain table and the
+	// load still succeeds.
+	Encode bool
 }
 
 func (o *Options) fill() {
@@ -160,9 +167,23 @@ func New(opt Options) *Engine {
 	}
 }
 
-// Register adds an in-memory table.
+// Register adds an in-memory table, applying the column-encoding
+// heuristics first when Options.Encode is set. An encode error (for
+// example one injected at the storage/segment-encode seam) falls back to
+// the plain representation: encoding never fails a load.
 func (e *Engine) Register(t *storage.Table) error {
-	return e.cat.Register(t)
+	return e.cat.Register(e.maybeEncode(t))
+}
+
+func (e *Engine) maybeEncode(t *storage.Table) *storage.Table {
+	if !e.opt.Encode {
+		return t
+	}
+	enc, _, err := storage.EncodeTable(t, storage.EncodeOptions{})
+	if err != nil {
+		return t
+	}
+	return enc
 }
 
 // Replace registers a table, overwriting any previous registration under
@@ -170,7 +191,7 @@ func (e *Engine) Register(t *storage.Table) error {
 // from the old data. Shard workers use it when a re-partition reassigns
 // their slice of a table.
 func (e *Engine) Replace(t *storage.Table) {
-	e.cat.Replace(t)
+	e.cat.Replace(e.maybeEncode(t))
 	e.mu.Lock()
 	delete(e.cracked, t.Name())
 	delete(e.crackedF, t.Name())
@@ -209,7 +230,7 @@ func (e *Engine) LoadCSV(name, path string) error {
 	if err != nil {
 		return err
 	}
-	return e.cat.Register(t)
+	return e.Register(t)
 }
 
 // AttachCSV registers a CSV file for in-situ (NoDB-style) querying: no
@@ -672,11 +693,18 @@ func (e *Engine) crackIndex(table string, t *storage.Table, col string) (*crack.
 	if err != nil {
 		return nil, err
 	}
-	ic, ok := c.(*storage.IntColumn)
-	if !ok {
+	var vals []int64
+	switch ic := c.(type) {
+	case *storage.IntColumn:
+		vals = ic.V
+	case *storage.RLEIntColumn:
+		// Cracking reorganizes its own copy of the values, which defeats the
+		// run-length representation anyway — decode once and crack that.
+		vals = ic.Decode().V
+	default:
 		return nil, fmt.Errorf("core: cracking needs an INT column, %q is %v", col, c.Type())
 	}
-	ix := crack.New(ic.V, e.opt.CrackOptions)
+	ix := crack.New(vals, e.opt.CrackOptions)
 	byCol[col] = ix
 	return ix, nil
 }

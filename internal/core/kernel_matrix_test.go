@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dex/internal/exec"
+	"dex/internal/storage"
+	"dex/internal/workload"
+)
+
+// mkMatrixEngine is mkParEngine with the full option surface: parallel
+// execution plus the kernels and encode toggles.
+func mkMatrixEngine(t *testing.T, rows int, kernels, encode bool) *Engine {
+	t.Helper()
+	e := New(Options{
+		Seed:   1,
+		Encode: encode,
+		Exec:   exec.ExecOptions{Parallelism: 4, MorselSize: 512, ZoneMap: true, Kernels: kernels},
+	})
+	rng := rand.New(rand.NewSource(2))
+	sales, err := workload.Sales(rng, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(sales); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineKernelEncodeMatrixOracle extends the concurrent parity
+// harness to the full matrix: engines with kernels on/off × encodings
+// on/off answer the same query mix — exact and cracked modes, under
+// concurrency (run with -race) — and every answer must match the plain
+// sequential engine. With Encode on, the sales dimension columns are
+// dictionary-coded, so string-equality predicates go through code-space
+// evaluation end to end.
+func TestEngineKernelEncodeMatrixOracle(t *testing.T) {
+	const rows = 20_000
+	ref := mkParEngine(t, rows, exec.ExecOptions{Parallelism: 1})
+	queries := []struct {
+		sql  string
+		mode Mode
+	}{
+		{"SELECT count(*) FROM sales WHERE qty >= 3 AND qty < 7", Cracked},
+		{"SELECT count(*) FROM sales WHERE qty >= 3 AND qty < 7", Exact},
+		{"SELECT region, sum(amount) FROM sales WHERE qty >= 2 AND qty < 8 GROUP BY region ORDER BY region", Cracked},
+		{"SELECT count(*) FROM sales WHERE region = 'east'", Exact},
+		{"SELECT quarter, count(*) FROM sales WHERE product <> 'p00' GROUP BY quarter ORDER BY quarter", Exact},
+		{"SELECT sum(amount), avg(amount), min(amount), max(amount) FROM sales WHERE amount >= 60 AND amount < 120", Exact},
+		{"SELECT amount, qty FROM sales WHERE amount >= 100 ORDER BY amount DESC LIMIT 20", Cracked},
+		{"SELECT region, quarter, count(*) FROM sales WHERE qty > 4 GROUP BY region, quarter ORDER BY region, quarter", Exact},
+	}
+	oracle := make([]*storage.Table, len(queries))
+	for i, q := range queries {
+		res, err := ref.SQL(q.sql, Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[i] = res
+	}
+	for _, kernels := range []bool{false, true} {
+		for _, encode := range []bool{false, true} {
+			name := fmt.Sprintf("kernels=%v/encode=%v", kernels, encode)
+			t.Run(name, func(t *testing.T) {
+				e := mkMatrixEngine(t, rows, kernels, encode)
+				const goroutines = 6
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < 2*len(queries); i++ {
+							qi := (g + i) % len(queries)
+							res, err := e.SQL(queries[qi].sql, queries[qi].mode)
+							if err != nil {
+								errs <- fmt.Errorf("%s: %v", queries[qi].sql, err)
+								return
+							}
+							if err := tablesMatch(oracle[qi], res); err != nil {
+								errs <- fmt.Errorf("%s: %v", queries[qi].sql, err)
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCrackedOverRLEColumn pins the encoded-column cracking seam: a
+// run-length-coded int column must still build an adaptive index (the
+// engine decodes it once) and answer range probes exactly.
+func TestCrackedOverRLEColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 6000
+	bucket := make([]int64, n)
+	v := int64(0)
+	for i := range bucket {
+		if rng.Intn(5) == 0 {
+			v = rng.Int63n(50)
+		}
+		bucket[i] = v
+	}
+	amounts := make([]float64, n)
+	for i := range amounts {
+		amounts[i] = rng.Float64() * 200
+	}
+	tab, err := storage.FromColumns("clustered", storage.Schema{
+		{Name: "bucket", Type: storage.TInt},
+		{Name: "amount", Type: storage.TFloat},
+	}, []storage.Column{storage.EncodeRLE(bucket), &storage.FloatColumn{V: amounts}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Seed: 1, Exec: exec.ExecOptions{Parallelism: 4, MorselSize: 512, Kernels: true}})
+	if err := e.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustColumn(t, e, "clustered", "bucket").(*storage.RLEIntColumn); !ok {
+		t.Fatal("bucket column should still be RLE-coded after registration")
+	}
+	for i := 0; i < 8; i++ {
+		lo := rng.Int63n(40)
+		hi := lo + 1 + rng.Int63n(10)
+		sql := fmt.Sprintf("SELECT count(*) FROM clustered WHERE bucket >= %d AND bucket < %d", lo, hi)
+		want, err := e.SQL(sql, Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.SQL(sql, Cracked)
+		if err != nil {
+			t.Fatalf("%s (cracked): %v", sql, err)
+		}
+		if want.Row(0)[0].I != got.Row(0)[0].I {
+			t.Fatalf("%s: cracked %d != exact %d", sql, got.Row(0)[0].I, want.Row(0)[0].I)
+		}
+	}
+	if pieces, cracks, ok := e.CrackStats("clustered", "bucket"); !ok || pieces < 2 || cracks < 1 {
+		t.Fatalf("crack stats = %d,%d,%v — index never built over the RLE column", pieces, cracks, ok)
+	}
+}
+
+func mustColumn(t *testing.T, e *Engine, table, col string) storage.Column {
+	t.Helper()
+	tab, err := e.cat.Get(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tab.ColumnByName(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

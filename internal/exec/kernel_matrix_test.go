@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dex/internal/expr"
+	"dex/internal/fault"
+	"dex/internal/storage"
+)
+
+// encodeParityTable force-encodes the parity table's encodable columns —
+// d as run-length, s as dictionary — sharing k and x. The heuristics are
+// deliberately bypassed: the matrix tests representation semantics, not
+// compression policy.
+func encodeParityTable(t *testing.T, tbl *storage.Table) *storage.Table {
+	t.Helper()
+	cols := make([]storage.Column, tbl.NumCols())
+	for i := 0; i < tbl.NumCols(); i++ {
+		switch cc := tbl.Column(i).(type) {
+		case *storage.StringColumn:
+			cols[i] = storage.EncodeDict(cc.V)
+		case *storage.IntColumn:
+			if tbl.Schema()[i].Name == "d" {
+				cols[i] = storage.EncodeRLE(cc.V)
+			} else {
+				cols[i] = cc
+			}
+		default:
+			cols[i] = cc
+		}
+	}
+	enc, err := storage.FromColumns(tbl.Name(), tbl.Schema(), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestKernelEncodingParityMatrix is the full-matrix extension of the E26
+// parity harness: sequential plain execution is the oracle, and every
+// combination of kernels on/off × encodings on/off (× zone maps, which
+// must compose) over random tables and queries must match it exactly.
+func TestKernelEncodingParityMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 120; iter++ {
+		rows := []int{0, 1, 2, 13, 100, 1000}[rng.Intn(6)]
+		nanFrac := []float64{0, 0.05, 0.5}[rng.Intn(3)]
+		tbl := randParityTable(rng, rows, nanFrac)
+		enc := encodeParityTable(t, tbl)
+		q := randQuery(rng)
+		base := ExecOptions{
+			Parallelism: 2 + rng.Intn(6),
+			MorselSize:  []int{1, 3, 16, 64}[rng.Intn(4)],
+			ZoneMap:     iter%2 == 0,
+		}
+		oracle, oracleErr := Execute(tbl, q)
+		arms := []struct {
+			name    string
+			tbl     *storage.Table
+			kernels bool
+		}{
+			{"plain+kernels", tbl, true},
+			{"encoded+generic", enc, false},
+			{"encoded+kernels", enc, true},
+		}
+		for _, arm := range arms {
+			opt := base
+			opt.Kernels = arm.kernels
+			got, err := ExecuteOpts(arm.tbl, q, opt)
+			label := fmt.Sprintf("iter=%d arm=%s rows=%d zone=%v par=%d morsel=%d q=%s",
+				iter, arm.name, rows, base.ZoneMap, base.Parallelism, base.MorselSize, q)
+			if (oracleErr == nil) != (err == nil) {
+				t.Fatalf("%s: error mismatch oracle=%v got=%v", label, oracleErr, err)
+			}
+			if oracleErr != nil {
+				continue
+			}
+			requireSameTable(t, label, oracle, got)
+		}
+	}
+}
+
+// TestSelPoolReset pins the pooled-buffer reset fix at both levels: the
+// getSel contract (a claimed buffer always has length zero, whatever its
+// previous life held), and end to end — a short low-selectivity query
+// immediately after a long high-selectivity one cannot observe stale rows.
+func TestSelPoolReset(t *testing.T) {
+	buf := getSel()
+	*buf = append(*buf, 7, 8, 9)
+	putSel(buf)
+	again := getSel()
+	if len(*again) != 0 {
+		t.Fatalf("pooled buffer claimed with %d stale entries", len(*again))
+	}
+	putSel(again)
+
+	rng := rand.New(rand.NewSource(41))
+	long := randParityTable(rng, 40000, 0)
+	short := randParityTable(rng, 37, 0)
+	opt := ExecOptions{Parallelism: 4, MorselSize: 512, Kernels: true}
+	// Long morsels, everything selected: every pooled buffer fills up.
+	q := Query{Select: []SelectItem{{Col: "k"}}, Where: expr.Cmp("d", expr.GE, storage.Int(0))}
+	if _, err := ExecuteOpts(long, q, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Short morsels, few rows selected: stale tails would surface as extra
+	// rows versus the sequential oracle.
+	q2 := Query{Select: []SelectItem{{Col: "k"}}, Where: expr.Cmp("d", expr.EQ, storage.Int(3))}
+	opt2 := opt
+	opt2.MorselSize = 8
+	want, err := Execute(short, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteOpts(short, q2, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTable(t, "short after long", want, got)
+}
+
+// TestSelPoolNoLeak: every buffer claimed during a query returns to the
+// pool — on success, on a mid-scan injected error, and on cancellation by
+// deadline while morsels are in flight.
+func TestSelPoolNoLeak(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(43))
+	tbl := randParityTable(rng, 30000, 0)
+	q := Query{Select: []SelectItem{{Col: "k"}}, Where: expr.Cmp("k", expr.GE, storage.Int(-500))}
+	opt := ExecOptions{Parallelism: 4, MorselSize: 256, Kernels: true}
+
+	baseline := selOutstanding.Load()
+	if _, err := ExecuteOpts(tbl, q, opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := selOutstanding.Load(); got != baseline {
+		t.Fatalf("success path: %d buffers outstanding", got-baseline)
+	}
+
+	// A one-shot scan fault: one morsel errors, the others' buffers must
+	// still come back.
+	if err := fault.Enable("exec/scan", "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteOpts(tbl, q, opt); err == nil {
+		t.Fatal("expected injected scan error")
+	}
+	fault.Disable("exec/scan")
+	if got := selOutstanding.Load(); got != baseline {
+		t.Fatalf("error path: %d buffers outstanding", got-baseline)
+	}
+
+	// Cancellation mid-scan: per-morsel latency makes the deadline expire
+	// while workers hold claimed buffers.
+	if err := fault.Enable("exec/scan", "latency(2ms)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Millisecond)
+	defer cancel()
+	if _, err := ExecuteCtx(ctx, tbl, q, opt); err == nil {
+		t.Fatal("expected deadline error")
+	}
+	fault.Disable("exec/scan")
+	if got := selOutstanding.Load(); got != baseline {
+		t.Fatalf("cancellation path: %d buffers outstanding", got-baseline)
+	}
+}
+
+// TestKernelDispatchFailpoint: an armed exec/kernel-dispatch site fails
+// kernel queries (and only kernel queries — the generic path has no such
+// seam).
+func TestKernelDispatchFailpoint(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(47))
+	tbl := randParityTable(rng, 200, 0)
+	q := Query{Select: []SelectItem{{Col: "k"}}, Where: expr.Cmp("k", expr.GT, storage.Int(0))}
+	if err := fault.Enable("exec/kernel-dispatch", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteOpts(tbl, q, ExecOptions{Kernels: true}); err == nil {
+		t.Fatal("expected injected dispatch error")
+	}
+	if _, err := ExecuteOpts(tbl, q, ExecOptions{}); err != nil {
+		t.Fatalf("generic path must not hit the kernel seam: %v", err)
+	}
+	// Fallback predicates skip the seam too: dispatch never happened.
+	qf := Query{Select: []SelectItem{{Col: "k"}}, Where: expr.Like("s", "re%")}
+	if _, err := ExecuteOpts(tbl, qf, ExecOptions{Kernels: true}); err != nil {
+		t.Fatalf("fallback predicate must not hit the kernel seam: %v", err)
+	}
+}

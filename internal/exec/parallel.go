@@ -62,6 +62,11 @@ type ExecOptions struct {
 	// zonemap.go). Off by default so the zone-map-off path is bit-for-bit
 	// the pre-zone-map scan.
 	ZoneMap bool
+	// Kernels enables typed predicate kernels: specializable WHERE clauses
+	// compile to raw-slice scan loops (see kernel.go), everything else
+	// falls back to the generic path. Off by default so the kernels-off
+	// path is bit-for-bit the pre-kernel scan.
+	Kernels bool
 }
 
 func (o ExecOptions) pool() *par.Pool {
@@ -115,7 +120,17 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 	}
 	n := t.NumRows()
 	scanSp := sp.Child("scan")
-	sel, zskipped, err := filterPar(t, q.Where, pool, tr, opt.ZoneMap)
+	var (
+		sel      []int
+		zskipped int64
+		kinfo    kernelInfo
+		err      error
+	)
+	if opt.Kernels {
+		sel, zskipped, kinfo, err = filterKernel(t, q.Where, pool, tr, opt.ZoneMap)
+	} else {
+		sel, zskipped, err = filterPar(t, q.Where, pool, tr, opt.ZoneMap)
+	}
 	if scanSp != nil {
 		scanSp.SetInt("rows_in", int64(n))
 		scanSp.SetInt("rows_out", int64(len(sel)))
@@ -123,6 +138,14 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 		scanSp.SetInt("workers", int64(pool.WorkersFor(n)))
 		if opt.ZoneMap {
 			scanSp.SetInt("zone_skipped", zskipped)
+		}
+		if opt.Kernels {
+			scanSp.SetBool("kernel", kinfo.used)
+			if kinfo.used {
+				scanSp.SetInt("kernel_leaves", int64(kinfo.leaves))
+			} else if kinfo.fallback != "" {
+				scanSp.SetStr("kernel_fallback", kinfo.fallback)
+			}
 		}
 		scanSp.End()
 	}

@@ -433,6 +433,25 @@ func evalCmp(t *storage.Table, p *Pred, lo, hi int) ([]bool, error) {
 			}
 			return out, nil
 		}
+	case *storage.DictColumn:
+		// Evaluate the predicate once per dictionary entry, then match rows
+		// on codes. Boxed Compare keeps cross-type semantics identical to the
+		// plain StringColumn paths (typed fast path and generic alike).
+		match := dictMatch(cc, p.Op, p.Val)
+		for i, code := range cc.Codes()[lo:hi] {
+			out[i] = match[code]
+		}
+		return out, nil
+	case *storage.RLEIntColumn:
+		// Evaluate once per run; accept or reject the whole overlap.
+		cc.ForEachRun(lo, hi, func(x int64, rlo, rhi int) {
+			if rleVerdict(p.Op, x, p.Val) {
+				for i := rlo; i < rhi; i++ {
+					out[i-lo] = true
+				}
+			}
+		})
+		return out, nil
 	}
 	// Generic slow path for cross-type comparisons.
 	for i := lo; i < hi; i++ {
@@ -451,6 +470,18 @@ func evalLike(t *storage.Table, p *Pred, lo, hi int) ([]bool, error) {
 	if sc, ok := c.(*storage.StringColumn); ok {
 		for i, s := range sc.V[lo:hi] {
 			out[i] = likeMatch(s, pat)
+		}
+		return out, nil
+	}
+	if dc, ok := c.(*storage.DictColumn); ok {
+		// Match the pattern once per dictionary entry, then map codes.
+		dict := dc.Dict()
+		match := make([]bool, len(dict))
+		for code, s := range dict {
+			match[code] = likeMatch(s, pat)
+		}
+		for i, code := range dc.Codes()[lo:hi] {
+			out[i] = match[code]
 		}
 		return out, nil
 	}

@@ -29,6 +29,7 @@ var knownSites = []string{
 	"cache/put",
 	"client/transport",
 	"crack/escalate",
+	"exec/kernel-dispatch",
 	"exec/scan",
 	"par/claim",
 	"rawload/read",
@@ -38,6 +39,7 @@ var knownSites = []string{
 	"shard/exec",
 	"shard/rpc",
 	"storage/csv-read",
+	"storage/segment-encode",
 	"storage/zonemap-build",
 }
 

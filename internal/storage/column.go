@@ -168,6 +168,15 @@ func Floats(c Column) []float64 {
 			out[i] = float64(v)
 		}
 		return out
+	case *RLEIntColumn:
+		out := make([]float64, 0, cc.Len())
+		cc.ForEachRun(0, cc.Len(), func(v int64, lo, hi int) {
+			f := float64(v)
+			for i := lo; i < hi; i++ {
+				out = append(out, f)
+			}
+		})
+		return out
 	default:
 		return nil
 	}

@@ -1,0 +1,374 @@
+// Compressed column encodings: dictionary coding for low-cardinality string
+// columns and run-length coding for clustered integer columns. Both
+// implement the Column interface, so every existing operator works on them
+// unchanged through Value/Gather — the wins come from the typed fast paths
+// in internal/expr (predicates evaluated once per dictionary code or per
+// run, not per row) and the predicate kernels, which match on codes and
+// accept or reject whole runs.
+//
+// Encoding is lossless and positional: Decode() reproduces the original
+// column bit for bit, and row i of the encoded column is row i of the
+// plain one. EncodeTable applies per-column heuristics (cardinality for
+// dictionaries, average run length for RLE) so a column is only encoded
+// when the representation actually compresses.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"dex/internal/fault"
+)
+
+// fpEncode injects faults into the column-encode path: it is hit once per
+// column that the heuristics select for encoding. Encoding is an
+// optimization, so callers (core.Engine.Register) treat an error here as
+// "keep the plain column", never as a load failure.
+var fpEncode = fault.Register("storage/segment-encode")
+
+// DictColumn is a dictionary-coded string column: a sorted dictionary of
+// distinct values plus one int32 code per row. Because the dictionary is
+// sorted at build time, code order equals value order until an Append
+// introduces a new value; predicates are evaluated once per dictionary
+// entry and matched on codes either way.
+type DictColumn struct {
+	dict  []string
+	index map[string]int32
+	codes []int32
+}
+
+// EncodeDict dictionary-codes a string slice. The dictionary is built
+// sorted so equal inputs yield identical code assignments regardless of
+// row order.
+func EncodeDict(v []string) *DictColumn {
+	index := make(map[string]int32)
+	for _, s := range v {
+		if _, ok := index[s]; !ok {
+			index[s] = 0 // placeholder; codes assigned after the sort
+		}
+	}
+	dict := make([]string, 0, len(index))
+	for s := range index {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	for i, s := range dict {
+		index[s] = int32(i)
+	}
+	codes := make([]int32, len(v))
+	for i, s := range v {
+		codes[i] = index[s]
+	}
+	return &DictColumn{dict: dict, index: index, codes: codes}
+}
+
+// Type implements Column.
+func (c *DictColumn) Type() Type { return TString }
+
+// Len implements Column.
+func (c *DictColumn) Len() int { return len(c.codes) }
+
+// Value implements Column.
+func (c *DictColumn) Value(i int) Value { return String_(c.dict[c.codes[i]]) }
+
+// Append implements Column. A value not yet in the dictionary extends it
+// (the new code sorts after every existing one, so earlier codes stay
+// valid; the dictionary is merely no longer sorted).
+func (c *DictColumn) Append(v Value) error {
+	if v.Typ != TString {
+		return fmt.Errorf("append %v to TEXT column: %w", v.Typ, ErrTypeMismatch)
+	}
+	code, ok := c.index[v.S]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, v.S)
+		c.index[v.S] = code
+	}
+	c.codes = append(c.codes, code)
+	return nil
+}
+
+// Gather implements Column: codes are gathered, the dictionary is shared.
+func (c *DictColumn) Gather(sel []int) Column {
+	out := make([]int32, len(sel))
+	for i, p := range sel {
+		out[i] = c.codes[p]
+	}
+	return &DictColumn{dict: c.dict, index: c.index, codes: out}
+}
+
+// Slice implements Column: codes are copied, the dictionary is shared.
+func (c *DictColumn) Slice(lo, hi int) Column {
+	out := make([]int32, hi-lo)
+	copy(out, c.codes[lo:hi])
+	return &DictColumn{dict: c.dict, index: c.index, codes: out}
+}
+
+// Card returns the dictionary size (distinct values ever seen).
+func (c *DictColumn) Card() int { return len(c.dict) }
+
+// Dict returns the dictionary, code-ordered. Callers must not mutate it.
+func (c *DictColumn) Dict() []string { return c.dict }
+
+// Codes returns the per-row codes. Callers must not mutate them.
+func (c *DictColumn) Codes() []int32 { return c.codes }
+
+// Code returns the code for value s and whether s is in the dictionary.
+func (c *DictColumn) Code(s string) (int32, bool) {
+	code, ok := c.index[s]
+	return code, ok
+}
+
+// Decode materializes the column back to a plain StringColumn.
+func (c *DictColumn) Decode() *StringColumn {
+	out := make([]string, len(c.codes))
+	for i, code := range c.codes {
+		out[i] = c.dict[code]
+	}
+	return &StringColumn{V: out}
+}
+
+// RLEIntColumn is a run-length-coded int64 column: maximal runs of equal
+// values stored as (value, cumulative exclusive end) pairs. Row i lives in
+// the first run whose end exceeds i. Sorted or value-clustered columns
+// (dates, bucketed dimensions) compress dramatically; predicates are
+// evaluated once per run.
+type RLEIntColumn struct {
+	vals []int64
+	ends []int
+}
+
+// EncodeRLE run-length-codes an int64 slice.
+func EncodeRLE(v []int64) *RLEIntColumn {
+	c := &RLEIntColumn{}
+	for i := 0; i < len(v); {
+		j := i + 1
+		for j < len(v) && v[j] == v[i] {
+			j++
+		}
+		c.vals = append(c.vals, v[i])
+		c.ends = append(c.ends, j)
+		i = j
+	}
+	return c
+}
+
+// Type implements Column.
+func (c *RLEIntColumn) Type() Type { return TInt }
+
+// Len implements Column.
+func (c *RLEIntColumn) Len() int {
+	if len(c.ends) == 0 {
+		return 0
+	}
+	return c.ends[len(c.ends)-1]
+}
+
+// run returns the index of the run containing row i.
+func (c *RLEIntColumn) run(i int) int { return sort.SearchInts(c.ends, i+1) }
+
+// Value implements Column (binary search per call; tight loops should use
+// the run accessors or the typed fast paths in internal/expr).
+func (c *RLEIntColumn) Value(i int) Value { return Int(c.vals[c.run(i)]) }
+
+// Append implements Column: equal to the last value extends the final run,
+// anything else starts a new one.
+func (c *RLEIntColumn) Append(v Value) error {
+	if v.Typ != TInt {
+		return fmt.Errorf("append %v to INT column: %w", v.Typ, ErrTypeMismatch)
+	}
+	if n := len(c.vals); n > 0 && c.vals[n-1] == v.I {
+		c.ends[n-1]++
+		return nil
+	}
+	c.vals = append(c.vals, v.I)
+	c.ends = append(c.ends, c.Len()+1)
+	return nil
+}
+
+// Gather implements Column. Gathered positions are arbitrary, so the
+// result materializes as a plain IntColumn.
+func (c *RLEIntColumn) Gather(sel []int) Column {
+	out := make([]int64, len(sel))
+	r := 0
+	for i, p := range sel {
+		if r >= len(c.ends) || p < startOf(c.ends, r) || p >= c.ends[r] {
+			r = c.run(p)
+		}
+		out[i] = c.vals[r]
+	}
+	return &IntColumn{V: out}
+}
+
+// startOf returns the first row of run r.
+func startOf(ends []int, r int) int {
+	if r == 0 {
+		return 0
+	}
+	return ends[r-1]
+}
+
+// Slice implements Column, materializing the range as a plain IntColumn.
+func (c *RLEIntColumn) Slice(lo, hi int) Column {
+	out := make([]int64, 0, hi-lo)
+	c.ForEachRun(lo, hi, func(v int64, rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			out = append(out, v)
+		}
+	})
+	return &IntColumn{V: out}
+}
+
+// Runs returns the number of runs.
+func (c *RLEIntColumn) Runs() int { return len(c.vals) }
+
+// RunValues returns the per-run values. Callers must not mutate them.
+func (c *RLEIntColumn) RunValues() []int64 { return c.vals }
+
+// RunEnds returns the cumulative exclusive run ends. Callers must not
+// mutate them.
+func (c *RLEIntColumn) RunEnds() []int { return c.ends }
+
+// ForEachRun calls fn once per run overlapping [lo, hi), with the
+// overlapped sub-range. It is the whole-run accept/reject primitive the
+// predicate paths build on.
+func (c *RLEIntColumn) ForEachRun(lo, hi int, fn func(v int64, lo, hi int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.Len() {
+		hi = c.Len()
+	}
+	if lo >= hi {
+		return
+	}
+	for r := c.run(lo); r < len(c.ends) && lo < hi; r++ {
+		end := c.ends[r]
+		if end > hi {
+			end = hi
+		}
+		fn(c.vals[r], lo, end)
+		lo = c.ends[r]
+	}
+}
+
+// Decode materializes the column back to a plain IntColumn.
+func (c *RLEIntColumn) Decode() *IntColumn {
+	out := make([]int64, 0, c.Len())
+	c.ForEachRun(0, c.Len(), func(v int64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out = append(out, v)
+		}
+	})
+	return &IntColumn{V: out}
+}
+
+// EncodeOptions tunes the per-column encoding heuristics.
+type EncodeOptions struct {
+	// MaxDictCard is the largest dictionary a string column may need to be
+	// dictionary-coded (default 4096). Columns must also repeat: a column
+	// whose values are mostly distinct stays plain.
+	MaxDictCard int
+	// MinAvgRun is the smallest average run length at which an int column
+	// is run-length-coded (default 2: the encoded form must be no larger
+	// than the plain one).
+	MinAvgRun float64
+}
+
+func (o *EncodeOptions) fill() {
+	if o.MaxDictCard <= 0 {
+		o.MaxDictCard = 4096
+	}
+	if o.MinAvgRun <= 0 {
+		o.MinAvgRun = 2
+	}
+}
+
+// EncodeStats reports what EncodeTable did.
+type EncodeStats struct {
+	Dict  int // columns dictionary-coded
+	RLE   int // columns run-length-coded
+	Plain int // columns left as-is
+}
+
+// EncodeColumn applies the encoding heuristics to one column, returning
+// the encoded column and true, or (nil, false) when the column should stay
+// plain. Already-encoded columns report (nil, false).
+func EncodeColumn(c Column, opt EncodeOptions) (Column, bool, error) {
+	opt.fill()
+	switch cc := c.(type) {
+	case *StringColumn:
+		n := len(cc.V)
+		if n == 0 {
+			return nil, false, nil
+		}
+		distinct := make(map[string]bool, opt.MaxDictCard+1)
+		for _, s := range cc.V {
+			distinct[s] = true
+			if len(distinct) > opt.MaxDictCard {
+				return nil, false, nil
+			}
+		}
+		if 2*len(distinct) > n {
+			return nil, false, nil // barely repeats: coding would not compress
+		}
+		if err := fpEncode.Hit(); err != nil {
+			return nil, false, err
+		}
+		return EncodeDict(cc.V), true, nil
+	case *IntColumn:
+		n := len(cc.V)
+		if n == 0 {
+			return nil, false, nil
+		}
+		runs := 1
+		for i := 1; i < n; i++ {
+			if cc.V[i] != cc.V[i-1] {
+				runs++
+			}
+		}
+		if float64(n) < opt.MinAvgRun*float64(runs) {
+			return nil, false, nil
+		}
+		if err := fpEncode.Hit(); err != nil {
+			return nil, false, err
+		}
+		return EncodeRLE(cc.V), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// EncodeTable returns a new table over the same schema with every column
+// the heuristics select replaced by its encoded form; untouched columns
+// are shared, not copied. Row identity and query results are unchanged —
+// only the physical representation (and the predicate fast paths it
+// unlocks) differ.
+func EncodeTable(t *Table, opt EncodeOptions) (*Table, EncodeStats, error) {
+	var st EncodeStats
+	cols := make([]Column, t.NumCols())
+	for i := range cols {
+		c := t.Column(i)
+		enc, ok, err := EncodeColumn(c, opt)
+		if err != nil {
+			return nil, st, fmt.Errorf("encode column %q: %w", t.Schema()[i].Name, err)
+		}
+		if !ok {
+			cols[i] = c
+			st.Plain++
+			continue
+		}
+		cols[i] = enc
+		switch enc.(type) {
+		case *DictColumn:
+			st.Dict++
+		case *RLEIntColumn:
+			st.RLE++
+		}
+	}
+	out, err := FromColumns(t.Name(), t.Schema(), cols)
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

@@ -118,6 +118,30 @@ func BuildZoneMap(c Column, morsel int) (*ZoneMap, error) {
 			z.fmin[m], z.fmax[m] = mn, mx
 		}
 		return z, nil
+	case *RLEIntColumn:
+		// Run-length columns summarize per run, not per row: each morsel's
+		// bounds fold over the runs overlapping it, so the build cost is
+		// O(runs + morsels) rather than O(rows).
+		z := &ZoneMap{morsel: morsel, n: n, kind: TInt,
+			imin: make([]int64, len(chunks)), imax: make([]int64, len(chunks))}
+		for m, r := range chunks {
+			first := true
+			var mn, mx int64
+			cc.ForEachRun(r.Lo, r.Hi, func(v int64, _, _ int) {
+				if first {
+					mn, mx, first = v, v, false
+					return
+				}
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			})
+			z.imin[m], z.imax[m] = mn, mx
+		}
+		return z, nil
 	default:
 		return nil, nil
 	}
