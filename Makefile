@@ -55,7 +55,9 @@ bench-kernels:
 
 # Regenerate the distributed scatter/gather baseline (E32) at full size —
 # the sales table hash-partitioned across 1/2/4 dexd worker processes over
-# loopback TCP, plus the worker-kill degradation demo — and refresh the
+# loopback TCP (healing enabled, as deployed), plus the worker-kill
+# degradation demo and its heal: the killed worker restarts blank and the
+# coordinator re-stages it back to exactly full coverage — and refresh the
 # committed JSON artifact.
 bench-shard:
 	$(GO) run ./cmd/experiments -run E32 -json BENCH_shard.json
@@ -74,6 +76,7 @@ metrics-smoke:
 # Multi-process cluster smoke: spawns a dexd worker fleet plus a
 # coordinator over loopback TCP, runs one query per execution mode,
 # checks the scatter/gather count against placed rows, kills a worker,
-# and verifies honest degraded coverage.
+# verifies honest degraded coverage, then restarts the worker blank and
+# gates on the healer restoring coverage to exactly 1.0.
 cluster-smoke:
 	$(GO) run ./cmd/dexcluster -smoke

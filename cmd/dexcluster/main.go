@@ -13,7 +13,10 @@
 // -smoke runs the CI drill instead of serving: one query per execution
 // mode through the full coordinator/worker stack, then a shard kill and
 // a degradation check (degraded:true with an accurate coverage
-// fraction), exiting non-zero on any failure.
+// fraction); with -heal (the default) the killed worker is then
+// restarted blank and the drill gates on the healer returning coverage
+// to exactly 1.0 with the full count restored. Exits non-zero on any
+// failure.
 package main
 
 import (
@@ -50,6 +53,9 @@ func main() {
 	col := flag.String("col", "amount", "partition column")
 	addr := flag.String("addr", ":8080", "coordinator HTTP listen address")
 	smoke := flag.Bool("smoke", false, "run the cluster smoke drill and exit")
+	heal := flag.Bool("heal", true, "re-stage or re-partition lost shards automatically")
+	healInterval := flag.Duration("heal-interval", 500*time.Millisecond, "how often the healer re-checks lost shards")
+	repartitionAfter := flag.Duration("repartition-after", 10*time.Second, "how long a shard stays lost before survivors adopt its rows (<0 = never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dexcluster ", log.LstdFlags)
@@ -69,8 +75,11 @@ func main() {
 	logger.Printf("spawned %d worker processes: %v", *shards, fleet.Addrs)
 
 	coord, err := shard.New(shard.Config{
-		Spec:    shard.Spec{Table: *kind, Column: *col, Scheme: sc},
-		Workers: fleet.Addrs,
+		Spec:             shard.Spec{Table: *kind, Column: *col, Scheme: sc},
+		Workers:          fleet.Addrs,
+		Heal:             *heal,
+		HealInterval:     *healInterval,
+		RepartitionAfter: *repartitionAfter,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -89,7 +98,7 @@ func main() {
 	svc := server.New(eng, server.Config{Log: logger, Shard: coord})
 
 	if *smoke {
-		if err := runSmoke(svc, fleet, snap.Rows); err != nil {
+		if err := runSmoke(svc, fleet, snap.Rows, *heal); err != nil {
 			logger.Fatalf("SMOKE FAIL: %v", err)
 		}
 		logger.Printf("SMOKE OK")
@@ -111,8 +120,10 @@ func main() {
 }
 
 // runSmoke drives the coordinator HTTP surface end to end: one query per
-// execution mode, then a worker kill and a degradation check.
-func runSmoke(svc *server.Server, fleet *shard.ProcFleet, totalRows int64) error {
+// execution mode, then a worker kill and a degradation check, and — with
+// healing on — a blank restart of the killed worker followed by a gate on
+// coverage returning to exactly 1.0 with the full count restored.
+func runSmoke(svc *server.Server, fleet *shard.ProcFleet, totalRows int64, heal bool) error {
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	cl := ts.Client()
@@ -178,11 +189,39 @@ func runSmoke(svc *server.Server, fleet *shard.ProcFleet, totalRows int64) error
 				return fmt.Errorf("coverage %v does not match surviving rows %d/%d (%v)",
 					res.Coverage, got, totalRows, wantCov)
 			}
-			return nil
+			break
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("killed shard never degraded a query")
 		}
+	}
+	if !heal {
+		return nil
+	}
+
+	// Restart the worker blank on its old address: the coordinator's healer
+	// must re-stage its partition and return the fleet to exactly full
+	// coverage — no coordinator restart, full counts again.
+	if err := fleet.Restart(0); err != nil {
+		return fmt.Errorf("restart worker 0: %w", err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		res, err := query("SELECT count(*) FROM sales", "exact")
+		if err != nil {
+			return fmt.Errorf("post-restart query: %w", err)
+		}
+		if !res.Degraded && res.Coverage == 1 {
+			if got := toI64(res.Rows[0][0]); got != totalRows {
+				return fmt.Errorf("healed count %d != placed rows %d", got, totalRows)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet never healed to full coverage (degraded=%v coverage=%v)",
+				res.Degraded, res.Coverage)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

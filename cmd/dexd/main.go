@@ -89,6 +89,9 @@ func main() {
 	shardScheme := flag.String("shard-scheme", "hash", "partition scheme (hash|range)")
 	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-shard, per-attempt deadline")
 	shardRetries := flag.Int("shard-retries", 1, "retry budget for retryable shard failures")
+	heal := flag.Bool("heal", true, "re-stage or re-partition lost shards automatically (coordinator only)")
+	healInterval := flag.Duration("heal-interval", 500*time.Millisecond, "how often the healer re-checks lost shards")
+	repartitionAfter := flag.Duration("repartition-after", 10*time.Second, "how long a shard stays lost before survivors adopt its rows (<0 = never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dexd ", log.LstdFlags)
@@ -187,10 +190,13 @@ func main() {
 			logger.Fatal(err)
 		}
 		coord, err := shard.New(shard.Config{
-			Spec:         shard.Spec{Table: kind, Column: *shardCol, Scheme: scheme},
-			Workers:      strings.Split(*shardWorkers, ","),
-			ShardTimeout: *shardTimeout,
-			Retries:      *shardRetries,
+			Spec:             shard.Spec{Table: kind, Column: *shardCol, Scheme: scheme},
+			Workers:          strings.Split(*shardWorkers, ","),
+			ShardTimeout:     *shardTimeout,
+			Retries:          *shardRetries,
+			Heal:             *heal,
+			HealInterval:     *healInterval,
+			RepartitionAfter: *repartitionAfter,
 		})
 		if err != nil {
 			logger.Fatal(err)

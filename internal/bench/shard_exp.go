@@ -46,6 +46,9 @@ type e32Baseline struct {
 	Cells      []e32Cell `json:"cells"`
 	KillShards int       `json:"kill_demo_shards"`
 	KillCov    float64   `json:"kill_demo_coverage"`
+	// HealMS is how long the healer took to restore coverage to exactly
+	// 1.0 after the killed worker came back blank.
+	HealMS float64 `json:"kill_demo_heal_ms"`
 }
 
 // runE32 measures the distributed execution path the way the scatter/
@@ -104,15 +107,18 @@ func runE32(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "single-core host: shard counts isolate protocol overhead, not parallel CPU\n\n")
 	tab.Fprint(w)
 
-	// Degradation demo: kill one of 3 workers and show the query still
-	// answers with the surviving fraction as coverage.
-	kcov, err := runE32Kill(rows, seed)
+	// Degradation + healing demo: kill one of 3 workers, show the query
+	// still answers with the surviving fraction as coverage, then restart
+	// the worker blank and time the healer restoring exactly full coverage.
+	kcov, healMS, err := runE32Kill(rows, seed)
 	if err != nil {
 		return fmt.Errorf("E32 kill demo: %w", err)
 	}
 	base.KillShards = 3
 	base.KillCov = kcov
+	base.HealMS = healMS
 	fmt.Fprintf(w, "\nkill demo: 1 of 3 workers killed -> count(*) degraded, coverage=%.3f (never extrapolated)\n", kcov)
+	fmt.Fprintf(w, "heal demo: worker restarted blank -> re-staged, coverage=1.000 after %.0f ms\n", healMS)
 
 	if cfg.JSONPath != "" {
 		blob, err := json.MarshalIndent(base, "", "  ")
@@ -132,8 +138,10 @@ func runE32(w io.Writer, cfg Config) error {
 func startFleet(cfg Config, n, rows int) (*shard.Coordinator, bool, func(), error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	// Healing stays on for every measured cell: the parity gates certify
+	// that the healer's background probes never disturb a healthy fleet.
 	if cfg.Quick {
-		f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: n, Rows: rows, Seed: cfg.Seed})
+		f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: n, Rows: rows, Seed: cfg.Seed, Heal: true})
 		if err != nil {
 			return nil, false, nil, err
 		}
@@ -146,6 +154,7 @@ func startFleet(cfg Config, n, rows int) (*shard.Coordinator, bool, func(), erro
 	coord, err := shard.New(shard.Config{
 		Spec:    shard.Spec{Table: "sales", Column: "amount", Scheme: shard.Hash, Shards: n},
 		Workers: pf.Addrs,
+		Heal:    true,
 	})
 	if err != nil {
 		pf.Close()
@@ -224,14 +233,19 @@ func runE32Cell(cfg Config, n, rows, clients, perClient int) (*e32Cell, error) {
 	}, nil
 }
 
-// runE32Kill demonstrates graceful degradation on an in-process fleet
-// (kill semantics are identical over the wire; in-process keeps the demo
-// deterministic and cheap).
-func runE32Kill(rows int, seed int64) (float64, error) {
+// runE32Kill demonstrates graceful degradation and self-healing on an
+// in-process fleet (kill semantics are identical over the wire;
+// in-process keeps the demo deterministic and cheap): the kill drops
+// coverage to the exact surviving fraction, the blank restart triggers a
+// re-stage, and the healer must return coverage to exactly 1.0.
+func runE32Kill(rows int, seed int64) (cov, healMS float64, err error) {
 	ctx := context.Background()
-	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{Shards: 3, Rows: rows, Seed: seed})
+	f, err := shard.StartLocalFleet(ctx, shard.FleetConfig{
+		Shards: 3, Rows: rows, Seed: seed,
+		Heal: true, HealInterval: 25 * time.Millisecond, RepartitionAfter: -1,
+	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	snap := f.Coord.Snapshot()
@@ -239,14 +253,36 @@ func runE32Kill(rows int, seed int64) (float64, error) {
 	st := exec.Query{Select: []exec.SelectItem{{Col: "*", Agg: exec.AggCount}}}
 	res, err := f.Coord.Execute(ctx, "sales", st, core.Exact)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if !res.Degraded || res.Coverage >= 1 || res.Coverage <= 0 {
-		return 0, fmt.Errorf("kill demo: degraded=%v coverage=%v", res.Degraded, res.Coverage)
+		return 0, 0, fmt.Errorf("kill demo: degraded=%v coverage=%v", res.Degraded, res.Coverage)
 	}
 	want := float64(snap.Rows-snap.Shards[0].Rows) / float64(snap.Rows)
 	if res.Coverage != want {
-		return 0, fmt.Errorf("kill demo: coverage %v, want surviving fraction %v", res.Coverage, want)
+		return 0, 0, fmt.Errorf("kill demo: coverage %v, want surviving fraction %v", res.Coverage, want)
 	}
-	return res.Coverage, nil
+
+	if err := f.RestartShard(0); err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	for deadline := t0.Add(30 * time.Second); f.Coord.Coverage() != 1; {
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("heal demo: coverage stuck at %v", f.Coord.Coverage())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	healMS = float64(time.Since(t0).Microseconds()) / 1e3
+	healed, err := f.Coord.Execute(ctx, "sales", st, core.Exact)
+	if err != nil {
+		return 0, 0, err
+	}
+	if healed.Degraded || healed.Coverage != 1 {
+		return 0, 0, fmt.Errorf("heal demo: degraded=%v coverage=%v after heal", healed.Degraded, healed.Coverage)
+	}
+	if got := healed.Table.Column(0).Value(0).AsInt(); got != int64(rows) {
+		return 0, 0, fmt.Errorf("heal demo: count %d != %d after heal", got, rows)
+	}
+	return res.Coverage, healMS, nil
 }

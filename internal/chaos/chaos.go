@@ -13,6 +13,10 @@
 //  3. The server drains cleanly mid-chaos: Drain — exactly what dexd runs
 //     on SIGTERM — returns with zero queries in flight while faults are
 //     still firing.
+//  4. The fleet heals: when a sharded run schedules a worker kill and a
+//     blank restart with the coordinator's healer enabled, coverage must
+//     return to exactly 1.0 after the workload — full answers, no
+//     coordinator restart.
 //
 // Everything is seeded: the workload streams, the retry jitter, and the
 // failpoint decision streams all derive from Config.Seed, so a failing
@@ -80,6 +84,16 @@ type Config struct {
 	// KillShardAt, when > 0 (requires Shards), hard-kills one worker at
 	// that offset — the crash the degradation contract is about.
 	KillShardAt time.Duration
+	// RestartShardAt, when > 0 (requires KillShardAt), brings the killed
+	// worker back — blank — at that offset, the crash-and-rejoin shape the
+	// coordinator's healer re-stages.
+	RestartShardAt time.Duration
+	// Heal enables the coordinator's self-healing state machine; with a
+	// kill and restart scheduled, the run gains a fourth invariant: the
+	// fleet must return to exactly full coverage after the workload ends.
+	Heal             bool
+	HealInterval     time.Duration
+	RepartitionAfter time.Duration
 }
 
 // Outcome buckets: every issued query must land in exactly one.
@@ -107,7 +121,12 @@ type Report struct {
 	WallS      float64                     `json:"wall_s"`
 	Goroutines [2]int                      `json:"goroutines"` // [baseline, settled]
 	FaultStats map[string]fault.PointStats `json:"fault_stats"`
-	Violations []string                    `json:"violations"`
+	// Coverage and Heals describe the fleet after the run when a sharded
+	// run scheduled a kill: final healthy-placement fraction and completed
+	// heal operations by kind.
+	Coverage   float64          `json:"coverage,omitempty"`
+	Heals      map[string]int64 `json:"heals,omitempty"`
+	Violations []string         `json:"violations"`
 }
 
 func (c *Config) fill() {
@@ -189,9 +208,12 @@ func Run(cfg Config) (*Report, error) {
 	var fleet *shard.LocalFleet
 	if cfg.Shards > 0 {
 		fleet, err = shard.StartLocalFleet(context.Background(), shard.FleetConfig{
-			Shards: cfg.Shards,
-			Rows:   cfg.Rows,
-			Seed:   42, // same generator seed as the local sales table
+			Shards:           cfg.Shards,
+			Rows:             cfg.Rows,
+			Seed:             42, // same generator seed as the local sales table
+			Heal:             cfg.Heal,
+			HealInterval:     cfg.HealInterval,
+			RepartitionAfter: cfg.RepartitionAfter,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: fleet: %w", err)
@@ -266,7 +288,9 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}()
 
-	// Mid-run shard kill: a hard worker crash, not a graceful exit.
+	// Mid-run shard kill: a hard worker crash, not a graceful exit. With
+	// RestartShardAt set, the same worker comes back blank later — the
+	// kill→re-join shape whose healing invariant is checked after the run.
 	if fleet != nil && cfg.KillShardAt > 0 {
 		victim := int(cfg.Seed) % cfg.Shards
 		if victim < 0 {
@@ -280,6 +304,18 @@ func Run(cfg Config) (*Report, error) {
 				cfg.logf("chaos %8s kill   shard %d", time.Since(start).Round(time.Millisecond), victim)
 				fleet.KillShard(victim)
 			case <-stopSched:
+				return
+			}
+			if cfg.RestartShardAt <= cfg.KillShardAt {
+				return
+			}
+			// The restart is not cancelled by the workload ending: the heal
+			// invariant needs the worker back even if every client finished
+			// while it was down.
+			time.Sleep(cfg.RestartShardAt - cfg.KillShardAt)
+			cfg.logf("chaos %8s restart shard %d (blank)", time.Since(start).Round(time.Millisecond), victim)
+			if err := fleet.RestartShard(victim); err != nil {
+				cfg.logf("chaos: restart shard %d: %v", victim, err)
 			}
 		}()
 	}
@@ -429,6 +465,32 @@ func Run(cfg Config) (*Report, error) {
 		violate("post-run /admin/slow fetch failed: %v", err)
 	}
 	scrapeCl.HTTP.CloseIdleConnections()
+
+	// Invariant 4 (healing): with the healer on and a kill→restart
+	// scheduled, the fleet must return to exactly full coverage. The poll
+	// issues real coordinator queries so a crash no client happened to
+	// observe still gets classified (lost) and healed, and so the final
+	// answer is checked end to end: complete, not degraded, coverage 1.
+	if fleet != nil && cfg.KillShardAt > 0 {
+		if cfg.Heal && cfg.RestartShardAt > cfg.KillShardAt {
+			healed := false
+			countQ := exec.Query{Select: []exec.SelectItem{{Col: "*", Agg: exec.AggCount}}}
+			for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+				res, err := fleet.Coord.Execute(context.Background(), fleet.Coord.Table(), countQ, core.Exact)
+				if err == nil && !res.Degraded && res.Coverage == 1 && fleet.Coord.Coverage() == 1 {
+					healed = true
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if !healed {
+				violate("fleet did not heal to full coverage after kill+restart")
+			}
+		}
+		snap := fleet.Coord.Snapshot()
+		rep.Coverage = snap.Coverage
+		rep.Heals = snap.Heals
+	}
 
 	// Invariant 3: if a drain was scheduled it must have finished cleanly
 	// with no queries left in flight.

@@ -219,6 +219,55 @@ func TestChaosShardFleet(t *testing.T) {
 	}
 }
 
+// TestChaosFleetHeals is the kill→re-join soak: one worker is hard-killed
+// mid-run and restarted blank while transport faults keep firing, with
+// the coordinator's healer on. On top of the standing invariants (every
+// query classified, goroutines settle), Run checks invariant 4: the fleet
+// must return to exactly full coverage, so the report carries a non-empty
+// heal ledger and coverage 1.
+func TestChaosFleetHeals(t *testing.T) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			faults := []FaultEvent{
+				{At: 0, Site: "exec/scan", Spec: "latency(10ms,0.3)", For: 900 * time.Millisecond},
+				{At: 5 * time.Millisecond, Site: "shard/rpc", Spec: "error(0.1)", For: 400 * time.Millisecond},
+			}
+			rep, err := Run(Config{
+				Seed:             seed,
+				Clients:          3,
+				QueriesPerClient: 12,
+				Rows:             10_000,
+				Timeout:          250 * time.Millisecond,
+				Faults:           faults,
+				Shards:           3,
+				KillShardAt:      30 * time.Millisecond,
+				RestartShardAt:   250 * time.Millisecond,
+				Heal:             true,
+				HealInterval:     20 * time.Millisecond,
+				RepartitionAfter: -1, // the worker comes back: restage, don't repartition
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("chaos violations:\n  %s", strings.Join(rep.Violations, "\n  "))
+			}
+			if rep.Coverage != 1 {
+				t.Fatalf("final coverage %v, want exactly 1", rep.Coverage)
+			}
+			var heals int64
+			for _, n := range rep.Heals {
+				heals += n
+			}
+			if heals == 0 {
+				t.Fatalf("fleet healed with an empty heal ledger: %+v", rep.Heals)
+			}
+			t.Logf("seed %d: issued=%d outcomes=%+v heals=%v", seed, rep.Issued, rep.Outcomes, rep.Heals)
+		})
+	}
+}
+
 // TestChaosDrainMidRun adds invariant 3: a drain (the SIGTERM path)
 // initiated while faults fire must complete with nothing in flight, and
 // the clients must see clean 503s afterwards — all still classified.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -156,6 +157,9 @@ func New(opt Options) *Engine {
 	if opt.Exec.Scanned == nil {
 		opt.Exec.Scanned = new(atomic.Int64)
 	}
+	if opt.Exec.ZoneSkipped == nil {
+		opt.Exec.ZoneSkipped = new(atomic.Int64)
+	}
 	return &Engine{
 		opt:      opt,
 		cat:      catalog.New(),
@@ -206,6 +210,25 @@ func (e *Engine) Replace(t *storage.Table) {
 // watch stop.
 func (e *Engine) RowsScanned() int64 {
 	return e.opt.Exec.Scanned.Load()
+}
+
+// ZoneSkipped returns the engine's cumulative zone-map skip count: morsels
+// the pruner proved disjoint from a range predicate and never scanned.
+// Always 0 with zone maps off.
+func (e *Engine) ZoneSkipped() int64 {
+	return e.opt.Exec.ZoneSkipped.Load()
+}
+
+// TableRows reports the row count of a registered in-memory table, or ok
+// false when no such table exists. Shard workers answer the coordinator's
+// Stats probe with it, so the healer can tell a worker that still holds
+// its partition from a blank restart.
+func (e *Engine) TableRows(name string) (int64, bool) {
+	t, err := e.cat.Get(name)
+	if err != nil {
+		return 0, false
+	}
+	return int64(t.NumRows()), true
 }
 
 // ParseMode parses a mode name (exact|cracked|approx|online).
@@ -725,6 +748,41 @@ func (e *Engine) CrackStats(table, col string) (pieces, cracks int, ok bool) {
 		}
 	}
 	return 0, 0, false
+}
+
+// CrackIndexStat describes one adaptive index in CrackIndexes.
+type CrackIndexStat struct {
+	Table  string
+	Column string
+	Pieces int
+	Cracks int
+}
+
+// CrackIndexes lists every crack index the engine has built so far, in
+// deterministic (table, column) order — the shard Stats probe and
+// /admin/stats enumerate them without knowing which columns queries
+// happened to crack.
+func (e *Engine) CrackIndexes() []CrackIndexStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []CrackIndexStat
+	for table, byCol := range e.cracked {
+		for col, ix := range byCol {
+			out = append(out, CrackIndexStat{Table: table, Column: col, Pieces: ix.NumPieces(), Cracks: ix.Cracks()})
+		}
+	}
+	for table, byCol := range e.crackedF {
+		for col, ix := range byCol {
+			out = append(out, CrackIndexStat{Table: table, Column: col, Pieces: ix.NumPieces(), Cracks: ix.Cracks()})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Table != out[b].Table {
+			return out[a].Table < out[b].Table
+		}
+		return out[a].Column < out[b].Column
+	})
+	return out
 }
 
 // approxShape converts an exec.Query into the single-aggregate aqp.Query

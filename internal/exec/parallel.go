@@ -56,6 +56,11 @@ type ExecOptions struct {
 	// with morsel granularity while execution is in flight, so a stalled
 	// counter means a stalled (or cancelled) query.
 	Scanned *atomic.Int64
+	// ZoneSkipped, when non-nil, accumulates the number of morsels the
+	// zone-map pruner skipped (always 0 with ZoneMap off). Like Scanned it
+	// may be shared across queries; /admin/stats and the shard Stats probe
+	// read it to make pruning effectiveness observable.
+	ZoneSkipped *atomic.Int64
 	// ZoneMap enables zone-map scan skipping: the filtered scan consults
 	// lazily-built per-morsel min/max summaries and skips morsels whose
 	// value range cannot intersect a recognized range predicate (see
@@ -130,6 +135,9 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 		sel, zskipped, kinfo, err = filterKernel(t, q.Where, pool, tr, opt.ZoneMap)
 	} else {
 		sel, zskipped, err = filterPar(t, q.Where, pool, tr, opt.ZoneMap)
+	}
+	if opt.ZoneSkipped != nil && zskipped > 0 {
+		opt.ZoneSkipped.Add(zskipped)
 	}
 	if scanSp != nil {
 		scanSp.SetInt("rows_in", int64(n))

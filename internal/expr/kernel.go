@@ -3,8 +3,10 @@
 // them — onto the concrete column representations of one table, and Run
 // then evaluates a row range with zero boxed Eval calls: the first leaf
 // scans raw values into a selection vector, each further leaf refines that
-// vector in place. Predicates the compiler cannot lower (OR, NOT, LIKE,
-// plain string columns, cross-type comparisons) report a fallback reason
+// vector in place. LIKE lowers too when its column is dictionary-encoded:
+// the pattern runs once per distinct entry and rows reduce to a code
+// lookup. Predicates the compiler cannot lower (OR, NOT, LIKE on plain
+// string columns, cross-type comparisons) report a fallback reason
 // and the caller uses the generic FilterRange path, which stays the
 // semantic oracle: for every input, Run(lo, hi, nil) must equal
 // FilterRange(t, p, lo, hi). The differential fuzzer in kernel_fuzz_test.go
@@ -287,17 +289,37 @@ func flattenAnd(p *Pred, out *[]*Pred) string {
 	case KNot:
 		return "negation"
 	case KLike:
-		return "like pattern"
+		// Lowerable when the column turns out to be dictionary-encoded
+		// (compileLeaf decides); plain string columns still fall back.
+		*out = append(*out, p)
+		return ""
 	default:
 		return "unknown predicate kind"
 	}
 }
 
-// compileLeaf binds one comparison to a column's storage.
+// compileLeaf binds one comparison or LIKE leaf to a column's storage.
 func compileLeaf(t *storage.Table, p *Pred) (kernelLeaf, string) {
 	c, err := t.ColumnByName(p.Col)
 	if err != nil {
 		return kernelLeaf{}, "unknown column"
+	}
+	if p.Kind == KLike {
+		// LIKE compiles only against a dictionary: the pattern is matched
+		// once per distinct entry — the same per-code verdict table
+		// evalLike builds — and the scan degenerates to a kDict code
+		// lookup. Row-at-a-time pattern matching over a plain string
+		// column has no typed fast path, so it keeps the generic reason.
+		dc, ok := c.(*storage.DictColumn)
+		if !ok {
+			return kernelLeaf{}, "like pattern"
+		}
+		dict, pat := dc.Dict(), p.Val.S
+		match := make([]bool, len(dict))
+		for code, s := range dict {
+			match[code] = likeMatch(s, pat)
+		}
+		return kernelLeaf{kind: kDict, op: EQ, col: p.Col, codes: dc.Codes(), match: match}, ""
 	}
 	switch cc := c.(type) {
 	case *storage.IntColumn:

@@ -40,6 +40,9 @@ var (
 	fzFloats = []float64{0, 1.5, -2.75, 100, math.NaN(), math.Inf(1),
 		math.Inf(-1), float64(1 << 53), 42}
 	fzLabels = []string{"", "a", "oak", "zzz"}
+	// LIKE pattern pool: exact, empty, %-only, prefix/suffix/infix, single
+	// byte wildcards, and patterns no label matches.
+	fzPatterns = []string{"", "%", "oak", "o%", "%k", "%a%", "_", "__k", "%z%z%", "a_"}
 )
 
 // fzTables decodes one table's worth of data, returning the plain and the
@@ -87,11 +90,17 @@ func fzTables(t *testing.T, f *fzReader) (plain, enc *storage.Table) {
 
 // fzPred decodes a specializable predicate: comparison leaves on the four
 // columns (constants restricted per column so compilation always succeeds
-// on both representations) combined with conjunctions.
+// on both representations) plus LIKE leaves on the dict-coded column,
+// combined with conjunctions.
 func fzPred(f *fzReader, depth int) *Pred {
 	kind := f.draw(4)
 	if depth == 0 || kind < 2 {
 		col := []string{"k", "x", "s", "r"}[f.draw(4)]
+		if col == "s" && f.draw(3) == 0 {
+			// LIKE specializes on the encoded table's dict column; the plain
+			// table's string column falls back, which the harness tolerates.
+			return Like("s", fzPatterns[f.draw(len(fzPatterns))])
+		}
 		op := kernelOps[f.draw(len(kernelOps))]
 		var v storage.Value
 		switch col {

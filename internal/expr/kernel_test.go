@@ -122,7 +122,12 @@ func TestKernelConjunctionParity(t *testing.T) {
 		And(Cmp("k", GT, storage.Int(0)), Cmp("r", LE, storage.Int(10))), // RLE leaf moved first
 		And(Cmp("r", GE, storage.Int(5)), Cmp("r", LT, storage.Int(15))), // RLE scan + RLE refine
 		And(True(), Cmp("x", GE, storage.Float(10)), And(Cmp("s", NE, storage.String_("ash")), True())),
-		And(), // empty conjunction: matches everything
+		And(),             // empty conjunction: matches everything
+		Like("s", "%a%"),  // dict LIKE: per-code verdicts
+		Like("s", "_ak"),  // dict LIKE with single-byte wildcard
+		Like("s", "pine"), // dict LIKE matching no entry
+		And(Cmp("k", GT, storage.Int(0)), Like("s", "c%")),  // dict LIKE as refine leaf
+		And(Like("s", "%h"), Cmp("r", LE, storage.Int(10))), // dict LIKE behind RLE-first reorder
 	}
 	for _, p := range preds {
 		requireKernelParity(t, tab, p)
@@ -142,12 +147,15 @@ func TestKernelFallbacks(t *testing.T) {
 		{True(), "trivial predicate"},
 		{Or(Cmp("k", EQ, storage.Int(1)), Cmp("k", EQ, storage.Int(2))), "disjunction"},
 		{Not(Cmp("k", EQ, storage.Int(1))), "negation"},
-		{Like("s", "%a%"), "like pattern"},
+		// LIKE on a dict column compiles now; the plain string column "p"
+		// pins the remaining fallback.
+		{Like("p", "%a%"), "like pattern"},
 		{Cmp("p", EQ, storage.String_("p0001")), "string column"},
 		{Cmp("k", EQ, storage.String_("7")), "cross-type compare"},
 		{Cmp("x", EQ, storage.String_("7")), "cross-type compare"},
 		{Cmp("nope", EQ, storage.Int(1)), "unknown column"},
-		{And(Cmp("k", GT, storage.Int(0)), Like("s", "a%")), "like pattern"},
+		{And(Cmp("k", GT, storage.Int(0)), Like("p", "a%")), "like pattern"},
+		{Like("nope", "a%"), "unknown column"},
 	}
 	for _, c := range cases {
 		if k, reason := CompileKernel(tab, c.p); k != nil || reason != c.reason {

@@ -55,6 +55,11 @@ const (
 	// MsgPing / MsgPong are the liveness probe.
 	MsgPing
 	MsgPong
+	// MsgStats asks the worker for its engine-level counters; MsgStatsAck
+	// answers. The healer uses it both as a liveness probe and to decide
+	// whether a reachable worker still holds its staged partition.
+	MsgStats
+	MsgStatsAck
 )
 
 // Error codes carried by ErrorMsg. The coordinator's retry policy keys
@@ -70,6 +75,12 @@ const (
 	// CodeInternal marks an infrastructure failure (including injected
 	// faults): retryable.
 	CodeInternal = "internal"
+	// CodeUnknownTable marks a query against a table the worker has not
+	// registered — the signature of a restarted, blank worker. It is
+	// deliberately its own code: retrying cannot help (the table stays
+	// missing until someone re-stages it), so the coordinator classifies
+	// it non-retryable and heals the shard instead.
+	CodeUnknownTable = "unknown_table"
 )
 
 // Hello is the connection opener.
@@ -116,6 +127,12 @@ type Partition struct {
 	Index  int       `json:"index"`
 	Count  int       `json:"count"`
 	Bounds []float64 `json:"bounds,omitempty"`
+	// Owned lists every partition index this worker keeps. Empty means
+	// just Index — the healthy one-partition-per-worker layout. After a
+	// repartition heal a survivor adopts a dead peer's partition, so its
+	// Owned carries several indices; the worker keeps the union of their
+	// rows.
+	Owned []int `json:"owned,omitempty"`
 }
 
 // Query submits one query against a registered table.
@@ -166,6 +183,38 @@ type Ping struct {
 // Pong answers a Ping.
 type Pong struct {
 	ID uint64 `json:"id"`
+}
+
+// Stats asks the worker for its engine-level counters.
+type Stats struct {
+	ID uint64 `json:"id"`
+}
+
+// TableStat is one registered (queryable) table in a WorkerStats reply.
+type TableStat struct {
+	Name string `json:"name"`
+	Rows int64  `json:"rows"`
+}
+
+// CrackStat reports one shard-local crack index.
+type CrackStat struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Pieces int    `json:"pieces"`
+	Cracks int64  `json:"cracks"`
+}
+
+// WorkerStats answers a Stats probe with the worker's shard-local
+// counters: the crack/zone-map numbers the coordinator's stats section
+// was blind to, plus the registered tables the healer compares against
+// the placement map to tell a healthy worker from a blank restart.
+type WorkerStats struct {
+	ID          uint64      `json:"id"`
+	Shard       int         `json:"shard"`
+	RowsScanned int64       `json:"rows_scanned"`
+	ZoneSkipped int64       `json:"zone_skipped"`
+	Tables      []TableStat `json:"tables,omitempty"`
+	Cracks      []CrackStat `json:"cracks,omitempty"`
 }
 
 // ---- wire encodings ----

@@ -113,9 +113,10 @@ func writeProm(b *bytes.Buffer, snap StatsSnapshot, hists map[string]*metrics.Lo
 }
 
 // writeShardProm renders the coordinator's per-shard families: rows
-// placed, query/error/retry counters and RPC latency histograms labelled
-// by shard id, plus the fleet-level gather (merge) histogram and
-// distributed-query outcome counters.
+// placed, healing state and heal counters, worker-local scan/zone/crack
+// counters, query/error/retry counters and RPC latency histograms
+// labelled by shard id, plus the fleet-level coverage gauge, gather
+// (merge) histogram and distributed-query outcome counters.
 func writeShardProm(b *bytes.Buffer, snap *shard.Snapshot, coord *shard.Coordinator) {
 	head := func(name, help, typ string) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -139,6 +140,32 @@ func writeShardProm(b *bytes.Buffer, snap *shard.Snapshot, coord *shard.Coordina
 	head("dex_shard_rows", "Rows placed on each shard by the partitioner.", "gauge")
 	for _, sh := range snap.Shards {
 		fmt.Fprintf(b, "dex_shard_rows{shard=\"%d\"} %d\n", sh.Shard, sh.Rows)
+	}
+	head("dex_shard_state", "Healing state per shard: 0 healthy, 1 lost, 2 restaging, 3 repartitioned.", "gauge")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_state{shard=\"%d\"} %d\n", sh.Shard, stateOrdinal(sh.State))
+	}
+	head("dex_shard_coverage", "Fraction of placed rows currently on healthy shards (1 = full answers).", "gauge")
+	fmt.Fprintf(b, "dex_shard_coverage %s\n", fmtFloat(snap.Coverage))
+	head("dex_shard_heals_total", "Completed heal operations by kind.", "counter")
+	for _, kind := range []string{"reattach", "restage", "repartition", "rejoin"} {
+		fmt.Fprintf(b, "dex_shard_heals_total{kind=%q} %d\n", kind, snap.Heals[kind])
+	}
+	head("dex_shard_worker_rows_scanned_total", "Rows visited by predicate evaluation on each worker (last probe).", "counter")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_worker_rows_scanned_total{shard=\"%d\"} %d\n", sh.Shard, sh.RowsScanned)
+	}
+	head("dex_shard_worker_zone_skipped_total", "Rows skipped by zone-map pruning on each worker (last probe).", "counter")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_worker_zone_skipped_total{shard=\"%d\"} %d\n", sh.Shard, sh.ZoneSkipped)
+	}
+	head("dex_shard_crack_pieces", "Crack-index pieces held by each worker (last probe).", "gauge")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_crack_pieces{shard=\"%d\"} %d\n", sh.Shard, sh.CrackPieces)
+	}
+	head("dex_shard_cracks_total", "Crack operations performed by each worker (last probe).", "counter")
+	for _, sh := range snap.Shards {
+		fmt.Fprintf(b, "dex_shard_cracks_total{shard=\"%d\"} %d\n", sh.Shard, sh.Cracks)
 	}
 	head("dex_shard_rpc_total", "Per-shard query RPC attempts.", "counter")
 	for _, sh := range snap.Shards {
@@ -164,6 +191,21 @@ func writeShardProm(b *bytes.Buffer, snap *shard.Snapshot, coord *shard.Coordina
 	}
 	head("dex_shard_gather_duration_seconds", "Partial-merge (gather) latency at the coordinator.", "histogram")
 	histogram("dex_shard_gather_duration_seconds", "", gather)
+}
+
+// stateOrdinal maps the coordinator's shard-state names onto stable
+// numeric levels for the dex_shard_state gauge.
+func stateOrdinal(state string) int {
+	switch state {
+	case "lost":
+		return 1
+	case "restaging":
+		return 2
+	case "repartitioned":
+		return 3
+	default: // healthy (and any future state defaults to healthy/0)
+		return 0
+	}
 }
 
 func fmtFloat(v float64) string {

@@ -181,6 +181,13 @@ func TestServerShardMetrics(t *testing.T) {
 		`dex_shard_queries_total{outcome="ok"}`,
 		"dex_shard_gather_duration_seconds_count",
 		`dex_shard_rpc_duration_seconds_bucket{shard="0",le="+Inf"}`,
+		`dex_shard_state{shard="0"} 0`,
+		"dex_shard_coverage 1",
+		`dex_shard_heals_total{kind="restage"}`,
+		`dex_shard_worker_rows_scanned_total{shard="0"}`,
+		`dex_shard_worker_zone_skipped_total{shard="2"}`,
+		`dex_shard_crack_pieces{shard="1"}`,
+		`dex_shard_cracks_total{shard="0"}`,
 	} {
 		if !strings.Contains(expo, want) {
 			t.Fatalf("exposition missing %q", want)
@@ -200,6 +207,15 @@ func TestServerShardMetrics(t *testing.T) {
 		if s.Queries == 0 {
 			t.Fatalf("shard %d answered no RPCs: %+v", s.Shard, s)
 		}
+		if s.State != "healthy" {
+			t.Fatalf("shard %d state %q in a healthy fleet", s.Shard, s.State)
+		}
+		if s.RowsScanned == 0 {
+			t.Fatalf("shard %d reports no worker-local scans: %+v", s.Shard, s)
+		}
+	}
+	if st.Shard.Coverage != 1 {
+		t.Fatalf("healthy fleet coverage %v, want 1", st.Shard.Coverage)
 	}
 	if placed != st.Shard.Rows || placed != 10_000 {
 		t.Fatalf("placement accounts for %d of %d rows", placed, st.Shard.Rows)

@@ -275,6 +275,24 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
+// Stats round-trips a counters probe. The healer uses it both as a
+// liveness check (it redials like any call) and to see whether the
+// worker still holds its staged partition or came back blank.
+func (c *Client) Stats(ctx context.Context) (protocol.WorkerStats, error) {
+	payload, typ, err := c.call(ctx, protocol.MsgStats, func(id uint64) any { return protocol.Stats{ID: id} })
+	if err != nil {
+		return protocol.WorkerStats{}, err
+	}
+	if typ != protocol.MsgStatsAck {
+		return protocol.WorkerStats{}, fmt.Errorf("%w: shard %d: unexpected stats reply type %d", ErrTransport, c.Shard, typ)
+	}
+	var st protocol.WorkerStats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return protocol.WorkerStats{}, fmt.Errorf("%w: shard %d: malformed stats reply", ErrTransport, c.Shard)
+	}
+	return st, nil
+}
+
 // Query executes one pushed query on the worker's partition and decodes
 // the partial result. The shard/rpc failpoint fires once per attempt.
 func (c *Client) Query(ctx context.Context, table, mode string, q exec.Query, timeout time.Duration) (*storage.Table, error) {

@@ -39,6 +39,22 @@ type Config struct {
 	// (default 1). Only transport errors and worker-internal failures
 	// retry; user errors and per-shard deadline overruns do not.
 	Retries int
+	// Heal enables the self-healing state machine: a shard that fails
+	// past retries (transport, or the typed unknown-table error a blank
+	// restarted worker returns) is marked lost and skipped by queries
+	// while a background healer re-stages its partitions onto the
+	// (re)started worker — or, past RepartitionAfter, re-partitions them
+	// across the survivors — driving coverage back to exactly 1.0 without
+	// a coordinator restart. Off by default: a non-healing fleet degrades
+	// forever, exactly as before.
+	Heal bool
+	// HealInterval is the healer's probe cadence (default 500ms).
+	HealInterval time.Duration
+	// RepartitionAfter is how long a lost worker may stay unreachable
+	// before the healer re-partitions its rows across the survivors
+	// (default 10s; negative never re-partitions — the healer then only
+	// waits for the worker to come back).
+	RepartitionAfter time.Duration
 }
 
 // Result is one distributed answer.
@@ -61,9 +77,27 @@ type Coordinator struct {
 	clients []*Client
 
 	mu        sync.Mutex
-	placement []int64 // rows kept per shard
+	placement []int64 // rows currently placed per shard (Σ partRows over owned)
 	total     int64
 	schema    storage.Schema
+	// Healing state (all guarded by mu): the per-shard state machine,
+	// which partition indices each shard owns, the static per-partition
+	// row counts from Bootstrap, and the Load that staged the source —
+	// the provenance the healer replays to re-stage a shard.
+	states    []ShardState
+	lostSince []time.Time
+	owned     [][]int
+	partRows  []int64
+	load      protocol.Load
+	booted    bool
+
+	statsMu   sync.Mutex
+	lastStats []protocol.WorkerStats
+	haveStats []bool
+
+	healStop  chan struct{}
+	healWG    sync.WaitGroup
+	closeOnce sync.Once
 
 	met *coordMetrics
 }
@@ -78,6 +112,7 @@ type coordMetrics struct {
 	errors   []int64
 	retries  []int64
 	outcomes map[string]int64
+	heals    map[string]int64
 }
 
 // New builds a coordinator over a fleet of worker addresses. Call
@@ -100,15 +135,26 @@ func New(cfg Config) (*Coordinator, error) {
 	} else if cfg.Retries == 0 {
 		cfg.Retries = 1
 	}
+	if cfg.HealInterval <= 0 {
+		cfg.HealInterval = 500 * time.Millisecond
+	}
+	if cfg.RepartitionAfter == 0 {
+		cfg.RepartitionAfter = 10 * time.Second
+	}
 	c := &Coordinator{
 		cfg:       cfg,
 		placement: make([]int64, len(cfg.Workers)),
+		states:    make([]ShardState, len(cfg.Workers)),
+		lostSince: make([]time.Time, len(cfg.Workers)),
+		owned:     make([][]int, len(cfg.Workers)),
+		healStop:  make(chan struct{}),
 		met: &coordMetrics{
 			rpc:      make([]*metrics.LogHist, len(cfg.Workers)),
 			gather:   metrics.NewLogHist(),
 			errors:   make([]int64, len(cfg.Workers)),
 			retries:  make([]int64, len(cfg.Workers)),
 			outcomes: map[string]int64{},
+			heals:    map[string]int64{},
 		},
 	}
 	for i, addr := range cfg.Workers {
@@ -128,8 +174,11 @@ func (c *Coordinator) Schema() storage.Schema {
 	return c.schema
 }
 
-// Close tears down the worker connections (the workers keep running).
+// Close stops the healer and tears down the worker connections (the
+// workers keep running).
 func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.healStop) })
+	c.healWG.Wait()
 	for _, cl := range c.clients {
 		cl.Close()
 	}
@@ -173,7 +222,22 @@ func (c *Coordinator) Bootstrap(ctx context.Context, load protocol.Load) error {
 		c.total += k
 	}
 	c.schema = schemas[0]
+	// Record the provenance the healer replays: the Load that staged the
+	// source, the static per-partition row counts, and the 1:1 bootstrap
+	// ownership (shard i owns partition index i).
+	c.load = load
+	c.partRows = append([]int64(nil), kept...)
+	for i := range c.owned {
+		c.owned[i] = []int{i}
+		c.states[i] = StateHealthy
+	}
+	booted := c.booted
+	c.booted = true
 	c.mu.Unlock()
+	if c.cfg.Heal && !booted {
+		c.healWG.Add(1)
+		go c.healLoop()
+	}
 	return nil
 }
 
@@ -215,6 +279,17 @@ func (c *Coordinator) Execute(ctx context.Context, table string, q exec.Query, m
 	schema := c.schema
 	placement := append([]int64(nil), c.placement...)
 	total := c.total
+	var skip []bool
+	if c.cfg.Heal {
+		// Non-healthy shards are never queried: a lost worker would burn
+		// the attempt budget, and a restaging one may hold a partial or
+		// duplicate slice mid-swap. The healer is the only path back to
+		// StateHealthy.
+		skip = make([]bool, len(c.clients))
+		for i, st := range c.states {
+			skip[i] = st != StateHealthy
+		}
+	}
 	c.mu.Unlock()
 	if schema == nil {
 		return Result{}, errors.New("shard: coordinator not bootstrapped")
@@ -232,6 +307,10 @@ func (c *Coordinator) Execute(ctx context.Context, table string, q exec.Query, m
 	shardErrs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
 	for i, cl := range c.clients {
+		if skip != nil && skip[i] {
+			shardErrs[i] = fmt.Errorf("shard %d: %w", i, errShardNotHealthy)
+			continue
+		}
 		wg.Add(1)
 		go func(i int, cl *Client) {
 			defer wg.Done()
@@ -249,12 +328,30 @@ func (c *Coordinator) Execute(ctx context.Context, table string, q exec.Query, m
 	var failures []error
 	for i, p := range parts {
 		if shardErrs[i] != nil {
+			if errors.Is(shardErrs[i], errShardNotHealthy) {
+				// A skipped shard that owns no rows (its partitions were
+				// adopted by survivors) subtracts nothing from coverage and
+				// is not a failure; one that still owns rows degrades the
+				// answer like any lost shard.
+				if placement[i] > 0 {
+					failures = append(failures, shardErrs[i])
+				}
+				continue
+			}
 			var re *RemoteError
 			if errors.As(shardErrs[i], &re) && re.Code == protocol.CodeBadQuery {
 				// Deterministic query error: every shard would refuse it the
 				// same way. Surface it instead of degrading around it.
 				c.countOutcome("failed")
 				return Result{}, fmt.Errorf("shard: %s", re.Msg)
+			}
+			// Transport failures past retries and the typed unknown-table
+			// error (a blank restarted worker) hand the shard to the healer;
+			// worker-side cancellations are the query's own deadline, not a
+			// sick shard.
+			if errors.Is(shardErrs[i], ErrTransport) ||
+				(errors.As(shardErrs[i], &re) && re.Code == protocol.CodeUnknownTable) {
+				c.markLost(i)
 			}
 			failures = append(failures, shardErrs[i])
 			continue
@@ -349,16 +446,24 @@ func (c *Coordinator) countOutcome(o string) {
 
 // ---- observability ----
 
-// ShardStat is one shard's snapshot row.
+// ShardStat is one shard's snapshot row. The worker-local counters
+// (rows scanned, zone-map skips, crack pieces/cracks) come from the
+// best-effort Stats probe: a dead worker keeps its last-known numbers.
 type ShardStat struct {
-	Shard   int     `json:"shard"`
-	Addr    string  `json:"addr"`
-	Rows    int64   `json:"rows"`
-	Queries int64   `json:"queries"`
-	Errors  int64   `json:"errors"`
-	Retries int64   `json:"retries"`
-	P50MS   float64 `json:"p50_ms"`
-	P95MS   float64 `json:"p95_ms"`
+	Shard       int     `json:"shard"`
+	Addr        string  `json:"addr"`
+	State       string  `json:"state"`
+	Owned       []int   `json:"owned,omitempty"`
+	Rows        int64   `json:"rows"`
+	Queries     int64   `json:"queries"`
+	Errors      int64   `json:"errors"`
+	Retries     int64   `json:"retries"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	RowsScanned int64   `json:"rows_scanned"`
+	ZoneSkipped int64   `json:"zone_skipped"`
+	CrackPieces int64   `json:"crack_pieces"`
+	Cracks      int64   `json:"cracks"`
 }
 
 // Snapshot is the coordinator's /admin/stats section.
@@ -367,16 +472,26 @@ type Snapshot struct {
 	Column      string           `json:"column"`
 	Scheme      string           `json:"scheme"`
 	Rows        int64            `json:"rows"`
+	Coverage    float64          `json:"coverage"`
 	Shards      []ShardStat      `json:"shards"`
 	Outcomes    map[string]int64 `json:"outcomes"`
+	Heals       map[string]int64 `json:"heals,omitempty"`
 	GatherP95MS float64          `json:"gather_p95_ms"`
 }
 
-// Snapshot renders the coordinator's counters.
+// Snapshot renders the coordinator's counters, refreshing the per-worker
+// stats from reachable workers first (bounded, parallel, best-effort).
 func (c *Coordinator) Snapshot() Snapshot {
+	workers := c.refreshWorkerStats(context.Background())
 	c.mu.Lock()
 	placement := append([]int64(nil), c.placement...)
+	states := append([]ShardState(nil), c.states...)
+	owned := make([][]int, len(c.owned))
+	for i, ow := range c.owned {
+		owned[i] = append([]int(nil), ow...)
+	}
 	total := c.total
+	coverage := c.coverageLocked()
 	c.mu.Unlock()
 	c.met.mu.Lock()
 	defer c.met.mu.Unlock()
@@ -385,26 +500,77 @@ func (c *Coordinator) Snapshot() Snapshot {
 		Column:      c.cfg.Spec.Column,
 		Scheme:      c.cfg.Spec.Scheme.String(),
 		Rows:        total,
+		Coverage:    coverage,
 		Outcomes:    map[string]int64{},
+		Heals:       map[string]int64{},
 		GatherP95MS: c.met.gather.Quantile(0.95) * 1e3,
 	}
 	for k, v := range c.met.outcomes {
 		snap.Outcomes[k] = v
 	}
+	for k, v := range c.met.heals {
+		snap.Heals[k] = v
+	}
 	for i, cl := range c.clients {
 		h := c.met.rpc[i]
-		snap.Shards = append(snap.Shards, ShardStat{
+		st := ShardStat{
 			Shard:   i,
 			Addr:    cl.Addr,
+			State:   states[i].String(),
+			Owned:   owned[i],
 			Rows:    placement[i],
 			Queries: h.N(),
 			Errors:  c.met.errors[i],
 			Retries: c.met.retries[i],
 			P50MS:   h.Quantile(0.5) * 1e3,
 			P95MS:   h.Quantile(0.95) * 1e3,
-		})
+		}
+		if i < len(workers) {
+			ws := workers[i]
+			st.RowsScanned = ws.RowsScanned
+			st.ZoneSkipped = ws.ZoneSkipped
+			for _, ci := range ws.Cracks {
+				st.CrackPieces += int64(ci.Pieces)
+				st.Cracks += ci.Cracks
+			}
+		}
+		snap.Shards = append(snap.Shards, st)
 	}
 	return snap
+}
+
+// refreshWorkerStats probes every worker for its shard-local counters
+// under one shared probe budget and merges the answers into the
+// last-known cache — an unreachable worker keeps its final numbers.
+func (c *Coordinator) refreshWorkerStats(ctx context.Context) []protocol.WorkerStats {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	fresh := make([]protocol.WorkerStats, len(c.clients))
+	ok := make([]bool, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			if st, err := cl.Stats(ctx); err == nil {
+				fresh[i], ok[i] = st, true
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.lastStats == nil {
+		c.lastStats = make([]protocol.WorkerStats, len(c.clients))
+		c.haveStats = make([]bool, len(c.clients))
+	}
+	for i := range fresh {
+		if ok[i] {
+			c.lastStats[i] = fresh[i]
+			c.haveStats[i] = true
+		}
+	}
+	return append([]protocol.WorkerStats(nil), c.lastStats...)
 }
 
 // Histograms returns deep copies of the per-shard RPC histograms and the

@@ -26,6 +26,11 @@ type FleetConfig struct {
 	// ShardTimeout and Retries pass through to the coordinator.
 	ShardTimeout time.Duration
 	Retries      int
+	// Heal, HealInterval and RepartitionAfter pass through to the
+	// coordinator's self-healing state machine.
+	Heal             bool
+	HealInterval     time.Duration
+	RepartitionAfter time.Duration
 }
 
 func (c *FleetConfig) defaults() {
@@ -52,6 +57,8 @@ func (c *FleetConfig) defaults() {
 type LocalFleet struct {
 	Coord   *Coordinator
 	Workers []*Worker
+	addrs   []string
+	seed    int64
 	killed  []bool
 }
 
@@ -59,7 +66,7 @@ type LocalFleet struct {
 // coordinator over them and bootstraps the demo table.
 func StartLocalFleet(ctx context.Context, cfg FleetConfig) (*LocalFleet, error) {
 	cfg.defaults()
-	f := &LocalFleet{killed: make([]bool, cfg.Shards)}
+	f := &LocalFleet{killed: make([]bool, cfg.Shards), seed: cfg.Seed}
 	addrs := make([]string, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -72,11 +79,15 @@ func StartLocalFleet(ctx context.Context, cfg FleetConfig) (*LocalFleet, error) 
 		f.Workers = append(f.Workers, w)
 		addrs[i] = lis.Addr().String()
 	}
+	f.addrs = addrs
 	coord, err := New(Config{
-		Spec:         Spec{Table: cfg.Table, Column: cfg.Column, Scheme: cfg.Scheme, Shards: cfg.Shards},
-		Workers:      addrs,
-		ShardTimeout: cfg.ShardTimeout,
-		Retries:      cfg.Retries,
+		Spec:             Spec{Table: cfg.Table, Column: cfg.Column, Scheme: cfg.Scheme, Shards: cfg.Shards},
+		Workers:          addrs,
+		ShardTimeout:     cfg.ShardTimeout,
+		Retries:          cfg.Retries,
+		Heal:             cfg.Heal,
+		HealInterval:     cfg.HealInterval,
+		RepartitionAfter: cfg.RepartitionAfter,
 	})
 	if err != nil {
 		f.Close()
@@ -99,6 +110,26 @@ func (f *LocalFleet) KillShard(i int) {
 	}
 	f.killed[i] = true
 	f.Workers[i].Close()
+}
+
+// RestartShard brings a killed worker back on its original address —
+// blank, exactly like a restarted dexd process: staged tables, crack
+// indexes and samples are gone until the coordinator's healer re-stages
+// it. Without healing the restarted worker answers queries with the
+// typed unknown-table error and the fleet keeps degrading.
+func (f *LocalFleet) RestartShard(i int) error {
+	if i < 0 || i >= len(f.Workers) || !f.killed[i] {
+		return fmt.Errorf("shard: restart: worker %d is not killed", i)
+	}
+	lis, err := net.Listen("tcp", f.addrs[i])
+	if err != nil {
+		return fmt.Errorf("shard: restart worker %d: %w", i, err)
+	}
+	w := NewWorker(f.seed)
+	w.Start(lis)
+	f.Workers[i] = w
+	f.killed[i] = false
+	return nil
 }
 
 // Close tears down the coordinator and every still-running worker.

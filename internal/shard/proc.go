@@ -20,6 +20,7 @@ import (
 const (
 	workerEnv     = "DEX_SHARD_WORKER"
 	workerSeedEnv = "DEX_SHARD_SEED"
+	workerAddrEnv = "DEX_SHARD_ADDR"
 	readyPrefix   = "DEX_SHARD_READY "
 )
 
@@ -39,7 +40,14 @@ func MaybeWorkerProcess() {
 }
 
 func runWorkerProcess(seed int64) error {
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	// A restarted worker pins its predecessor's address (workerAddrEnv)
+	// so the coordinator's existing client redials straight into it; a
+	// fresh worker takes any free port.
+	addr := os.Getenv(workerAddrEnv)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -59,6 +67,7 @@ func runWorkerProcess(seed int64) error {
 // binary.
 type ProcFleet struct {
 	Addrs []string
+	seed  int64
 	procs []*os.Process
 	pipes []io.WriteCloser
 }
@@ -66,48 +75,75 @@ type ProcFleet struct {
 // SpawnWorkers starts n worker processes and waits for each to announce
 // its address. The caller's binary must call MaybeWorkerProcess in main.
 func SpawnWorkers(n int, seed int64) (*ProcFleet, error) {
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, err
+	f := &ProcFleet{
+		Addrs: make([]string, n),
+		seed:  seed,
+		procs: make([]*os.Process, n),
+		pipes: make([]io.WriteCloser, n),
 	}
-	f := &ProcFleet{}
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(),
-			workerEnv+"=1",
-			workerSeedEnv+"="+strconv.FormatInt(seed, 10),
-		)
-		stdin, err := cmd.StdinPipe()
-		if err != nil {
+		if err := f.spawn(i, ""); err != nil {
 			f.Close()
 			return nil, err
 		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("shard: spawn worker %d: %w", i, err)
-		}
-		f.procs = append(f.procs, cmd.Process)
-		f.pipes = append(f.pipes, stdin)
-		addr, err := readReady(stdout, 10*time.Second)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("shard: worker %d: %w", i, err)
-		}
-		f.Addrs = append(f.Addrs, addr)
-		// Reap the child when it exits so it never zombies; drain stdout so
-		// the child can't block on a full pipe.
-		go func(c *exec.Cmd, r io.Reader) {
-			io.Copy(io.Discard, r)
-			c.Wait()
-		}(cmd, stdout)
 	}
 	return f, nil
+}
+
+// spawn starts worker slot i, optionally pinning its listen address.
+func (f *ProcFleet) spawn(i int, addr string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		workerEnv+"=1",
+		workerSeedEnv+"="+strconv.FormatInt(f.seed, 10),
+	)
+	if addr != "" {
+		cmd.Env = append(cmd.Env, workerAddrEnv+"="+addr)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("shard: spawn worker %d: %w", i, err)
+	}
+	f.procs[i] = cmd.Process
+	f.pipes[i] = stdin
+	got, err := readReady(stdout, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("shard: worker %d: %w", i, err)
+	}
+	f.Addrs[i] = got
+	// Reap the child when it exits so it never zombies; drain stdout so
+	// the child can't block on a full pipe.
+	go func(c *exec.Cmd, r io.Reader) {
+		io.Copy(io.Discard, r)
+		c.Wait()
+	}(cmd, stdout)
+	return nil
+}
+
+// Restart re-spawns a killed worker slot on its original address — a
+// blank process, exactly the restart-after-crash shape the healer
+// re-stages. The coordinator's client redials the same address on its
+// next call.
+func (f *ProcFleet) Restart(i int) error {
+	if i < 0 || i >= len(f.procs) {
+		return fmt.Errorf("shard: restart: no worker slot %d", i)
+	}
+	if f.procs[i] != nil {
+		return fmt.Errorf("shard: restart: worker %d is still running", i)
+	}
+	return f.spawn(i, f.Addrs[i])
 }
 
 // readReady scans the child's stdout for its ready line.

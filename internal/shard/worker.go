@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"dex/internal/core"
+	"dex/internal/exec"
 	"dex/internal/fault"
 	"dex/internal/protocol"
 	"dex/internal/storage"
@@ -44,10 +46,13 @@ type Worker struct {
 // NewWorker builds an empty worker around a seeded engine. Degradation
 // stays off on workers: the fleet-level contract (partial results with a
 // coverage fraction) lives at the coordinator, and a silently sampled
-// shard partial would corrupt an exact merge.
+// shard partial would corrupt an exact merge. Zone maps and typed
+// kernels stay on: both are semantics-preserving scan optimizations
+// (certified bit-identical by the differential fuzzer), and their
+// counters feed the Stats probe.
 func NewWorker(seed int64) *Worker {
 	return &Worker{
-		eng:    core.New(core.Options{Seed: seed}),
+		eng:    core.New(core.Options{Seed: seed, Exec: exec.ExecOptions{ZoneMap: true, Kernels: true}}),
 		staged: map[string]*storage.Table{},
 		kept:   map[string]int{},
 		shard:  -1,
@@ -159,6 +164,11 @@ func (w *Worker) serveConn(connCtx context.Context, conn *protocol.Conn) {
 			var m protocol.Ping
 			if json.Unmarshal(payload, &m) == nil {
 				conn.Send(protocol.MsgPong, protocol.Pong{ID: m.ID})
+			}
+		case protocol.MsgStats:
+			var m protocol.Stats
+			if json.Unmarshal(payload, &m) == nil {
+				conn.Send(protocol.MsgStatsAck, w.stats(m.ID))
 			}
 		case protocol.MsgLoad:
 			var m protocol.Load
@@ -276,6 +286,17 @@ func (w *Worker) handlePartition(m protocol.Partition) (int64, protocol.WireTabl
 	if m.Index < 0 || m.Index >= m.Count {
 		return 0, none, fmt.Errorf("partition index %d out of range [0,%d)", m.Index, m.Count)
 	}
+	owned := m.Owned
+	if len(owned) == 0 {
+		owned = []int{m.Index}
+	}
+	own := make(map[int]bool, len(owned))
+	for _, ix := range owned {
+		if ix < 0 || ix >= m.Count {
+			return 0, none, fmt.Errorf("owned partition %d out of range [0,%d)", ix, m.Count)
+		}
+		own[ix] = true
+	}
 	w.mu.Lock()
 	src, ok := w.staged[m.Table]
 	w.mu.Unlock()
@@ -299,7 +320,7 @@ func (w *Worker) handlePartition(m protocol.Partition) (int64, protocol.WireTabl
 	}
 	var sel []int
 	for i := 0; i < col.Len(); i++ {
-		if spec.ShardOf(col.Value(i)) == m.Index {
+		if own[spec.ShardOf(col.Value(i))] {
 			sel = append(sel, i)
 		}
 	}
@@ -310,6 +331,38 @@ func (w *Worker) handlePartition(m protocol.Partition) (int64, protocol.WireTabl
 	w.kept[m.Table] = len(sel)
 	w.mu.Unlock()
 	return int64(len(sel)), protocol.FromTable(src.Gather(nil)), nil
+}
+
+// stats snapshots the worker's engine counters for a Stats probe: the
+// registered (partitioned) tables with their row counts — what the
+// healer compares against the placement map — plus the shard-local
+// scan/crack/zone-map counters the coordinator's stats section surfaces.
+func (w *Worker) stats(id uint64) protocol.WorkerStats {
+	w.mu.Lock()
+	shard := w.shard
+	names := make([]string, 0, len(w.kept))
+	for name := range w.kept {
+		names = append(names, name)
+	}
+	w.mu.Unlock()
+	sort.Strings(names)
+	st := protocol.WorkerStats{
+		ID:          id,
+		Shard:       shard,
+		RowsScanned: w.eng.RowsScanned(),
+		ZoneSkipped: w.eng.ZoneSkipped(),
+	}
+	for _, name := range names {
+		if rows, ok := w.eng.TableRows(name); ok {
+			st.Tables = append(st.Tables, protocol.TableStat{Name: name, Rows: rows})
+		}
+	}
+	for _, ci := range w.eng.CrackIndexes() {
+		st.Cracks = append(st.Cracks, protocol.CrackStat{
+			Table: ci.Table, Column: ci.Column, Pieces: ci.Pieces, Cracks: int64(ci.Cracks),
+		})
+	}
+	return st
 }
 
 // handleQuery executes one pushed query and replies with the partial
@@ -356,6 +409,12 @@ func (w *Worker) handleQuery(ctx context.Context, conn *protocol.Conn, m protoco
 			w.sendErr(conn, m.ID, protocol.CodeCanceled, err.Error())
 		case errors.Is(err, fault.ErrInjected):
 			w.sendErr(conn, m.ID, protocol.CodeInternal, err.Error())
+		case errors.Is(err, core.ErrNoSuchTable):
+			// The signature of a restarted, blank worker: the table is gone
+			// until the coordinator re-stages it. Its own code keeps the
+			// coordinator from either retrying (it cannot help) or failing
+			// the whole query as a user error (it is not one).
+			w.sendErr(conn, m.ID, protocol.CodeUnknownTable, err.Error())
 		default:
 			// The engine's remaining errors are query errors by
 			// construction — deterministic on every shard, so retrying or
