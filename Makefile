@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-kernels bench bench-concurrency bench-idebench bench-kernels bench-shard chaos metrics-smoke cluster-smoke
+.PHONY: all build test race vet fmt-check fuzz fuzz-kernels fuzz-aggkernels bench bench-concurrency bench-idebench bench-kernels bench-aggkernels bench-shard chaos metrics-smoke cluster-smoke
 
 all: vet fmt-check build test
 
@@ -32,6 +32,12 @@ fuzz:
 fuzz-kernels:
 	$(GO) test -fuzz=FuzzKernelVsGeneric -fuzztime=60s -run '^$$' ./internal/expr/
 
+# Differential fuzz of the typed aggregation kernels: random agg/group-by
+# queries over plain + dict/RLE twin tables (NaN/±Inf, int64 extremes,
+# fused and fallback WHERE shapes), oracle = sequential generic execution.
+fuzz-aggkernels:
+	$(GO) test -fuzz=FuzzAggKernelVsGeneric -fuzztime=60s -run '^$$' ./internal/exec/
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./internal/bench/
 
@@ -52,6 +58,13 @@ bench-idebench:
 # comparisons — and refresh the committed JSON artifact.
 bench-kernels:
 	$(GO) run ./cmd/experiments -run E33 -json BENCH_kernels.json
+
+# Regenerate the typed-aggregation baseline (E34) — generic vs predicate
+# kernels vs the fused filter→aggregate pipeline, scalar selectivity sweep
+# plus dict/int/RLE group-bys — merging the agg section into the committed
+# BENCH_kernels.json (E33's scan/encoded sections are preserved).
+bench-aggkernels:
+	$(GO) run ./cmd/experiments -run E34 -json BENCH_kernels.json
 
 # Regenerate the distributed scatter/gather baseline (E32) at full size —
 # the sales table hash-partitioned across 1/2/4 dexd worker processes over

@@ -95,6 +95,7 @@ func main() {
 	drainAt := flag.Duration("drain-at", 0, "initiate a drain (the SIGTERM path) at this offset (0 = no drain)")
 	zonemap := flag.Bool("zonemap", false, "enable zone-map scan skipping in the engine under test")
 	kernels := flag.Bool("kernels", false, "enable typed predicate kernels in the engine under test")
+	aggKernels := flag.Bool("agg-kernels", false, "enable typed aggregation kernels in the engine under test")
 	encode := flag.Bool("encode", false, "dictionary/RLE-encode the demo table at load")
 	flag.Var(&faults, "fault", "AT:SITE=SPEC[:FOR] schedule entry (repeatable; default standing schedule)")
 	jsonOut := flag.String("json", "", "write all reports as JSON to this file")
@@ -128,6 +129,7 @@ func main() {
 			DrainAt:          *drainAt,
 			ZoneMap:          *zonemap,
 			Kernels:          *kernels,
+			AggKernels:       *aggKernels,
 			Encode:           *encode,
 		}
 		if !*quiet {

@@ -7,7 +7,7 @@
 //	dexd [-addr :8080] [-load name=path.csv]... [-demo sales -rows 1000000]
 //	     [-max-inflight N] [-max-queue N] [-queue-timeout 2s]
 //	     [-default-timeout 30s] [-cache-rows 1000000]
-//	     [-parallel N] [-morsel N] [-zonemap] [-kernels] [-encode] [-seed 1] [-drain-timeout 30s]
+//	     [-parallel N] [-morsel N] [-zonemap] [-kernels] [-agg-kernels] [-encode] [-seed 1] [-drain-timeout 30s]
 //	     [-slowms 500] [-slow-ring 64] [-pprof] [-reqlog]
 //
 // Observability: /metrics serves Prometheus text exposition, /admin/slow
@@ -69,6 +69,7 @@ func main() {
 	morsel := flag.Int("morsel", 0, "rows per parallel scheduling unit (0 = default)")
 	zonemap := flag.Bool("zonemap", true, "zone-map scan skipping on range predicates")
 	kernels := flag.Bool("kernels", true, "typed predicate kernels for specializable WHERE clauses")
+	aggKernels := flag.Bool("agg-kernels", true, "typed aggregation kernels and the fused filter\u2192aggregate pipeline")
 	encode := flag.Bool("encode", true, "dictionary/RLE-encode loaded columns when profitable")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	maxQueue := flag.Int("max-queue", 0, "max queries waiting for a slot (0 = 2x max-inflight, -1 = none)")
@@ -125,7 +126,7 @@ func main() {
 
 	eng := core.New(core.Options{
 		Seed:         *seed,
-		Exec:         exec.ExecOptions{Parallelism: *parallel, MorselSize: *morsel, ZoneMap: *zonemap, Kernels: *kernels},
+		Exec:         exec.ExecOptions{Parallelism: *parallel, MorselSize: *morsel, ZoneMap: *zonemap, Kernels: *kernels, AggKernels: *aggKernels},
 		Degrade:      *degrade,
 		DegradeGrace: *degradeGrace,
 		Encode:       *encode,

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"dex/internal/exec"
+	"dex/internal/expr"
+	"dex/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E34",
+		Title:  "Typed aggregation kernels and the fused filter→aggregate pipeline",
+		Source: "vectorized aggregation (MonetDB/X100, CIDR 2005); morsel-driven pipelining (HyPer, SIGMOD 2014)",
+		Run:    runE34,
+	})
+}
+
+// AggScalarCell is one selectivity point of the scalar-aggregate
+// comparison: generic accumulation, predicate kernels with generic
+// accumulation (the PR8 baseline), and the fused typed pipeline.
+type AggScalarCell struct {
+	Query            string  `json:"query"` // "sum-dense" or "sum-cmp"
+	Selectivity      float64 `json:"selectivity"`
+	GenericMS        float64 `json:"generic_ms"`
+	KernelsMS        float64 `json:"kernels_ms"` // predicate kernels only: the PR8 baseline
+	FusedMS          float64 `json:"fused_ms"`   // predicate + aggregation kernels, fused
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic"`
+	SpeedupVsKernels float64 `json:"speedup_vs_kernels"`
+	FusedRowsPS      float64 `json:"fused_rows_per_sec"`
+}
+
+// AggGroupCell is one group-by shape of the same three-arm comparison.
+type AggGroupCell struct {
+	Name             string  `json:"name"` // "dict-group", "int-group", "rle-group"
+	Groups           int     `json:"groups"`
+	GenericMS        float64 `json:"generic_ms"`
+	KernelsMS        float64 `json:"kernels_ms"`
+	FusedMS          float64 `json:"fused_ms"`
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic"`
+	SpeedupVsKernels float64 `json:"speedup_vs_kernels"`
+}
+
+// AggKernelBench is the E34 section of BENCH_kernels.json.
+type AggKernelBench struct {
+	Rows   int             `json:"rows"`
+	Seed   int64           `json:"seed"`
+	Scalar []AggScalarCell `json:"scalar"`
+	Group  []AggGroupCell  `json:"group"`
+}
+
+// loadKernelBench reads an existing BENCH_kernels.json so E33 and E34 can
+// each rewrite their own section without clobbering the other's. A missing
+// or unreadable file just yields the zero value.
+func loadKernelBench(path string) KernelBench {
+	var res KernelBench
+	if path == "" {
+		return res
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return res
+	}
+	_ = json.Unmarshal(blob, &res)
+	return res
+}
+
+func writeKernelBench(w io.Writer, path string, res KernelBench) error {
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", path)
+	return nil
+}
+
+// runE34 measures the typed aggregation kernels over the E33 table, three
+// arms per shape: generic sequential execution, predicate kernels with
+// generic accumulation (exactly the PR8 configuration — the filter is
+// vectorized but every accumulated value is boxed through storage.Value),
+// and the fused pipeline (typed per-morsel accumulation over pooled
+// selection buffers, no global selection vector, no boxing). Scalar SUMs
+// sweep the selectivity dial from dense to 1%; the group-bys compare the
+// dict-indexed, int-hashed and run-aware accumulators. The headline
+// expectation is >=2x over the PR8 baseline on low-selectivity SUM and on
+// the dictionary group-by, where per-row interface boxing dominates the
+// baseline profile.
+func runE34(w io.Writer, cfg Config) error {
+	n := cfg.Scale(2_000_000, 100, 20_000)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tab, err := kernelBenchTable(rng, n)
+	if err != nil {
+		return err
+	}
+	encTab, st, err := storage.EncodeTable(tab, storage.EncodeOptions{})
+	if err != nil {
+		return err
+	}
+	reps := 5
+	if cfg.Quick {
+		reps = 3
+	}
+	generic := exec.ExecOptions{Parallelism: 1}
+	kernels := exec.ExecOptions{Parallelism: 1, Kernels: true}
+	fused := exec.ExecOptions{Parallelism: 1, Kernels: true, AggKernels: true}
+	measure := func(t *storage.Table, q exec.Query, opt exec.ExecOptions) (time.Duration, error) {
+		if _, err := exec.ExecuteOpts(t, q, opt); err != nil { // warm
+			return 0, err
+		}
+		return medianTime(reps, func() error {
+			_, e := exec.ExecuteOpts(t, q, opt)
+			return e
+		})
+	}
+	res := AggKernelBench{Rows: n, Seed: cfg.Seed}
+	fmt.Fprintf(w, "rows=%d reps=%d encoded: dict=%d rle=%d plain=%d (sequential)\n\n",
+		n, reps, st.Dict, st.RLE, st.Plain)
+
+	scalarTbl := NewTable("query", "sel%", "generic", "kernels", "fused", "vs-generic", "vs-kernels", "Mrows/s")
+	scalars := []struct {
+		name string
+		sel  float64 // percent; <0 means no WHERE
+	}{
+		{"sum-dense", -1},
+		{"sum-cmp", 90},
+		{"sum-cmp", 50},
+		{"sum-cmp", 10},
+		{"sum-cmp", 1},
+	}
+	for _, sc := range scalars {
+		q := exec.Query{Select: []exec.SelectItem{
+			{Col: "amount", Agg: exec.AggSum},
+			{Col: "amount", Agg: exec.AggAvg},
+			{Col: "*", Agg: exec.AggCount},
+		}}
+		sel := 1.0
+		if sc.sel >= 0 {
+			q.Where = expr.Cmp("v", expr.LT, storage.Float(sc.sel))
+			sel = sc.sel / 100
+		}
+		dg, err := measure(tab, q, generic)
+		if err != nil {
+			return err
+		}
+		dk, err := measure(tab, q, kernels)
+		if err != nil {
+			return err
+		}
+		df, err := measure(tab, q, fused)
+		if err != nil {
+			return err
+		}
+		cell := AggScalarCell{
+			Query:            sc.name,
+			Selectivity:      sel,
+			GenericMS:        float64(dg) / 1e6,
+			KernelsMS:        float64(dk) / 1e6,
+			FusedMS:          float64(df) / 1e6,
+			SpeedupVsGeneric: float64(dg) / float64(df),
+			SpeedupVsKernels: float64(dk) / float64(df),
+			FusedRowsPS:      float64(n) / df.Seconds(),
+		}
+		res.Scalar = append(res.Scalar, cell)
+		scalarTbl.Row(sc.name, sel*100, dg, dk, df,
+			cell.SpeedupVsGeneric, cell.SpeedupVsKernels, cell.FusedRowsPS/1e6)
+	}
+	scalarTbl.Fprint(w)
+
+	fmt.Fprintln(w)
+	groupTbl := NewTable("shape", "groups", "generic", "kernels", "fused", "vs-generic", "vs-kernels")
+	groups := []struct {
+		name   string
+		tbl    *storage.Table
+		col    string
+		groups int
+	}{
+		{"dict-group", encTab, "cat", 8},  // array-indexed per-code accumulators
+		{"int-group", tab, "grp", 100},    // raw-int64-hashed accumulators
+		{"rle-group", encTab, "grp", 100}, // run-aware key cursor
+	}
+	for _, g := range groups {
+		q := exec.Query{
+			Select: []exec.SelectItem{
+				{Col: g.col},
+				{Col: "amount", Agg: exec.AggSum},
+				{Col: "*", Agg: exec.AggCount},
+			},
+			GroupBy: []string{g.col},
+		}
+		dg, err := measure(g.tbl, q, generic)
+		if err != nil {
+			return err
+		}
+		dk, err := measure(g.tbl, q, kernels)
+		if err != nil {
+			return err
+		}
+		df, err := measure(g.tbl, q, fused)
+		if err != nil {
+			return err
+		}
+		cell := AggGroupCell{
+			Name:             g.name,
+			Groups:           g.groups,
+			GenericMS:        float64(dg) / 1e6,
+			KernelsMS:        float64(dk) / 1e6,
+			FusedMS:          float64(df) / 1e6,
+			SpeedupVsGeneric: float64(dg) / float64(df),
+			SpeedupVsKernels: float64(dk) / float64(df),
+		}
+		res.Group = append(res.Group, cell)
+		groupTbl.Row(g.name, g.groups, dg, dk, df, cell.SpeedupVsGeneric, cell.SpeedupVsKernels)
+	}
+	groupTbl.Fprint(w)
+
+	if cfg.JSONPath != "" {
+		full := loadKernelBench(cfg.JSONPath)
+		full.Agg = &res
+		if full.Rows == 0 { // no prior E33 artifact at this path
+			full.Rows, full.Seed = n, cfg.Seed
+		}
+		return writeKernelBench(w, cfg.JSONPath, full)
+	}
+	return nil
+}

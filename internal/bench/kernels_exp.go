@@ -1,11 +1,9 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"time"
 
 	"dex/internal/exec"
@@ -44,12 +42,15 @@ type KernelEncodedCell struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// KernelBench is the machine-readable E33 artifact.
+// KernelBench is the machine-readable BENCH_kernels.json artifact: E33
+// owns the scan/encoded sections, E34 the agg section, and each rewrites
+// only its own (loadKernelBench carries the other across).
 type KernelBench struct {
 	Rows    int                 `json:"rows"`
 	Seed    int64               `json:"seed"`
 	Scan    []KernelScanCell    `json:"scan"`
 	Encoded []KernelEncodedCell `json:"encoded"`
+	Agg     *AggKernelBench     `json:"agg,omitempty"`
 }
 
 // kernelBenchTable builds the E33 table: a uniform float selectivity dial,
@@ -196,14 +197,8 @@ func runE33(w io.Writer, cfg Config) error {
 	encTbl.Fprint(w)
 
 	if cfg.JSONPath != "" {
-		blob, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "\nwrote %s\n", cfg.JSONPath)
+		res.Agg = loadKernelBench(cfg.JSONPath).Agg
+		return writeKernelBench(w, cfg.JSONPath, res)
 	}
 	return nil
 }

@@ -74,6 +74,7 @@ type Config struct {
 	MorselSize  int
 	ZoneMap     bool        // enable zone-map scan skipping in the engine
 	Kernels     bool        // enable typed predicate kernels in the engine
+	AggKernels  bool        // enable typed aggregation kernels / fused pipeline
 	Encode      bool        // dictionary/RLE-encode the demo table at load
 	Log         *log.Logger // optional narration of the fault schedule
 	// Shards, when > 0, runs the server as a coordinator over an
@@ -181,7 +182,7 @@ func Run(cfg Config) (*Report, error) {
 		DegradeGrace: time.Second,
 		Encode:       cfg.Encode,
 		Exec: exec.ExecOptions{Parallelism: cfg.Parallelism, MorselSize: cfg.MorselSize,
-			ZoneMap: cfg.ZoneMap, Kernels: cfg.Kernels},
+			ZoneMap: cfg.ZoneMap, Kernels: cfg.Kernels, AggKernels: cfg.AggKernels},
 	})
 	sales, err := workload.Sales(rand.New(rand.NewSource(42)), cfg.Rows)
 	if err != nil {

@@ -142,6 +142,7 @@ func TestChaosKernelEncoded(t *testing.T) {
 				Rows:             10_000,
 				ZoneMap:          true,
 				Kernels:          true,
+				AggKernels:       true,
 				Encode:           true,
 				Timeout:          120 * time.Millisecond,
 				Faults:           faults,

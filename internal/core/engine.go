@@ -160,6 +160,12 @@ func New(opt Options) *Engine {
 	if opt.Exec.ZoneSkipped == nil {
 		opt.Exec.ZoneSkipped = new(atomic.Int64)
 	}
+	if opt.Exec.AggKernelHits == nil {
+		opt.Exec.AggKernelHits = new(atomic.Int64)
+	}
+	if opt.Exec.AggKernelFallbacks == nil {
+		opt.Exec.AggKernelFallbacks = new(atomic.Int64)
+	}
 	return &Engine{
 		opt:      opt,
 		cat:      catalog.New(),
@@ -217,6 +223,20 @@ func (e *Engine) RowsScanned() int64 {
 // Always 0 with zone maps off.
 func (e *Engine) ZoneSkipped() int64 {
 	return e.opt.Exec.ZoneSkipped.Load()
+}
+
+// AggKernelHits returns the engine's cumulative count of aggregate queries
+// answered by the typed accumulation kernels. Always 0 with agg kernels
+// off.
+func (e *Engine) AggKernelHits() int64 {
+	return e.opt.Exec.AggKernelHits.Load()
+}
+
+// AggKernelFallbacks returns the cumulative count of aggregate queries
+// that requested agg kernels but fell back to generic accumulation
+// (multi-column groups, wide dictionaries, string inputs).
+func (e *Engine) AggKernelFallbacks() int64 {
+	return e.opt.Exec.AggKernelFallbacks.Load()
 }
 
 // TableRows reports the row count of a registered in-memory table, or ok

@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAggKernelEncodingParityMatrix mirrors TestKernelEncodingParityMatrix
+// for the aggregation layer: sequential generic execution on the plain
+// table is the oracle, and agg kernels × predicate kernels × encodings ×
+// zone maps × parallelism must match it on random tables and queries.
+// randQuery draws scalar aggregates, group-bys (including multi-column,
+// which falls back) and plain projections, so the dispatch boundary is
+// crossed both ways. Runs under -race in CI: the worker-local group
+// accumulators and morsel-indexed partials are exactly the state the race
+// detector watches.
+func TestAggKernelEncodingParityMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 120; iter++ {
+		rows := []int{0, 1, 2, 13, 100, 1000}[rng.Intn(6)]
+		nanFrac := []float64{0, 0.05, 0.5}[rng.Intn(3)]
+		tbl := randParityTable(rng, rows, nanFrac)
+		enc := encodeParityTable(t, tbl)
+		q := randQuery(rng)
+		base := ExecOptions{
+			Parallelism: 2 + rng.Intn(6),
+			MorselSize:  []int{1, 3, 16, 64}[rng.Intn(4)],
+			ZoneMap:     iter%2 == 0,
+			AggKernels:  true,
+		}
+		oracle, oracleErr := Execute(tbl, q)
+		for _, arm := range []struct {
+			name    string
+			seq     bool
+			enc     bool
+			kernels bool
+		}{
+			{"plain+agg", false, false, false},
+			{"plain+agg+kernels", false, false, true},
+			{"plain+agg+seq", true, false, false},
+			{"encoded+agg", false, true, false},
+			{"encoded+agg+kernels", false, true, true},
+		} {
+			opt := base
+			opt.Kernels = arm.kernels
+			if arm.seq {
+				opt.Parallelism = 1
+			}
+			in := tbl
+			if arm.enc {
+				in = enc
+			}
+			got, err := ExecuteOpts(in, q, opt)
+			label := fmt.Sprintf("iter=%d arm=%s rows=%d nan=%.2f zone=%v par=%d morsel=%d q=%s",
+				iter, arm.name, rows, nanFrac, base.ZoneMap, opt.Parallelism, base.MorselSize, q)
+			if (oracleErr == nil) != (err == nil) {
+				t.Fatalf("%s: error mismatch oracle=%v got=%v", label, oracleErr, err)
+			}
+			if oracleErr != nil {
+				continue
+			}
+			requireSameTable(t, label, oracle, got)
+		}
+	}
+}

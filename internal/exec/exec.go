@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dex/internal/expr"
@@ -458,21 +459,51 @@ func newGroupTable() *groupTable {
 	return &groupTable{groups: make(map[string]*groupEntry)}
 }
 
+// keyAppender returns a function appending the column's row to a group
+// key buffer. Key building is the generic group-by's hot loop, so the
+// common representations skip boxing: int and float columns render digits
+// straight from the raw slice, dict columns append the code (codes and
+// values are 1:1, so code keys group identically). Only other columns pay
+// Value(row).String().
+func keyAppender(gc storage.Column) func(b []byte, row int) []byte {
+	switch c := gc.(type) {
+	case *storage.IntColumn:
+		v := c.V
+		return func(b []byte, row int) []byte { return strconv.AppendInt(b, v[row], 10) }
+	case *storage.DictColumn:
+		codes := c.Codes()
+		return func(b []byte, row int) []byte { return strconv.AppendInt(b, int64(codes[row]), 10) }
+	case *storage.FloatColumn:
+		v := c.V
+		return func(b []byte, row int) []byte { return strconv.AppendFloat(b, v[row], 'g', -1, 64) }
+	default:
+		return func(b []byte, row int) []byte { return append(b, gc.Value(row).String()...) }
+	}
+}
+
 // accumulate feeds rows sel[lo:hi] into the table. The recorded first-seen
 // position is the index into sel, which totally orders groups exactly as a
 // sequential scan of the whole selection vector would first meet them.
+//
+// The key buffer is reused across rows, and the map probe goes through the
+// zero-copy string(keyBuf) lookup — a key string is allocated only when a
+// group is first seen.
 func (gt *groupTable) accumulate(groupCols, inputs []storage.Column, q Query, sel []int, lo, hi int) {
-	var keyBuf strings.Builder
+	appenders := make([]func(b []byte, row int) []byte, len(groupCols))
+	for i, gc := range groupCols {
+		appenders[i] = keyAppender(gc)
+	}
+	var keyBuf []byte
 	for idx := lo; idx < hi; idx++ {
 		row := sel[idx]
-		keyBuf.Reset()
-		for _, gc := range groupCols {
-			keyBuf.WriteString(gc.Value(row).String())
-			keyBuf.WriteByte('\x00')
+		keyBuf = keyBuf[:0]
+		for _, ap := range appenders {
+			keyBuf = ap(keyBuf, row)
+			keyBuf = append(keyBuf, '\x00')
 		}
-		k := keyBuf.String()
-		e, ok := gt.groups[k]
+		e, ok := gt.groups[string(keyBuf)]
 		if !ok {
+			k := string(keyBuf)
 			key := make([]storage.Value, len(groupCols))
 			for i, gc := range groupCols {
 				key[i] = gc.Value(row)
@@ -529,6 +560,17 @@ func groupBy(t *storage.Table, sel []int, q Query) (*storage.Table, error) {
 // buildGroupOutput renders a finished group table, one row per group in
 // first-seen order.
 func buildGroupOutput(t *storage.Table, q Query, inputs []storage.Column, gt *groupTable) (*storage.Table, error) {
+	entries := make([]*groupEntry, 0, len(gt.order))
+	for _, k := range gt.order {
+		entries = append(entries, gt.groups[k])
+	}
+	return buildGroupEntries(t, q, inputs, entries)
+}
+
+// buildGroupEntries renders group entries as an output table, one row per
+// entry in the given order. Both group-by implementations — the generic
+// hash table and the typed group kernels — end here.
+func buildGroupEntries(t *storage.Table, q Query, inputs []storage.Column, entries []*groupEntry) (*storage.Table, error) {
 	// Build output schema: group columns keep their type; aggregates typed
 	// by function.
 	schema := make(storage.Schema, len(q.Select))
@@ -565,8 +607,7 @@ func buildGroupOutput(t *storage.Table, q Query, inputs []storage.Column, gt *gr
 			}
 		}
 	}
-	for _, k := range gt.order {
-		e := gt.groups[k]
+	for _, e := range entries {
 		for i := range q.Select {
 			var v storage.Value
 			if gi := groupIdx[i]; gi >= 0 {

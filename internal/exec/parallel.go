@@ -72,6 +72,20 @@ type ExecOptions struct {
 	// falls back to the generic path. Off by default so the kernels-off
 	// path is bit-for-bit the pre-kernel scan.
 	Kernels bool
+	// AggKernels enables typed aggregation kernels and the fused
+	// filter→aggregate pipeline (see aggkernel.go): aggregate queries
+	// accumulate over raw column slices, and when the WHERE clause also
+	// compiles the filter feeds the accumulator per morsel through pooled
+	// buffers — no global selection vector. Independent of Kernels: the
+	// aggregate side compiles its own predicate kernel. Off by default so
+	// the agg-kernels-off path is bit-for-bit the prior pipeline.
+	AggKernels bool
+	// AggKernelHits / AggKernelFallbacks, when non-nil, count aggregate
+	// queries dispatched to the typed path vs falling back to the generic
+	// operators (with AggKernels off neither moves). Shared across queries
+	// like Scanned; /admin/stats and /metrics read them.
+	AggKernelHits      *atomic.Int64
+	AggKernelFallbacks *atomic.Int64
 }
 
 func (o ExecOptions) pool() *par.Pool {
@@ -124,6 +138,20 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 		sp = trace.FromContext(ctx)
 	}
 	n := t.NumRows()
+	aggFallback := ""
+	if opt.AggKernels && (q.HasAggregates() || len(q.GroupBy) > 0) {
+		ak, reason := compileAggKernel(t, q)
+		if ak != nil {
+			if opt.AggKernelHits != nil {
+				opt.AggKernelHits.Add(1)
+			}
+			return executeAggKernel(t, q, ak, pool, tr, opt, sp)
+		}
+		aggFallback = reason
+		if opt.AggKernelFallbacks != nil {
+			opt.AggKernelFallbacks.Add(1)
+		}
+	}
 	scanSp := sp.Child("scan")
 	var (
 		sel      []int
@@ -165,11 +193,19 @@ func ExecuteCtx(ctx context.Context, t *storage.Table, q Query, opt ExecOptions)
 	case q.HasAggregates() && len(q.GroupBy) == 0:
 		st := sp.Child("aggregate")
 		st.SetInt("rows_in", int64(len(sel)))
+		if opt.AggKernels {
+			st.SetBool("agg_kernel", false)
+			st.SetStr("agg_kernel_fallback", aggFallback)
+		}
 		out, err = scalarAggregatePar(t, sel, q, pool, tr)
 		st.End()
 	case len(q.GroupBy) > 0:
 		st := sp.Child("group_by")
 		st.SetInt("rows_in", int64(len(sel)))
+		if opt.AggKernels {
+			st.SetBool("agg_kernel", false)
+			st.SetStr("agg_kernel_fallback", aggFallback)
+		}
 		out, err = groupByPar(t, sel, q, pool, tr)
 		if err == nil {
 			st.SetInt("groups", int64(out.NumRows()))

@@ -629,20 +629,15 @@ func (l *kernelLeaf) test(i int) bool {
 // reads. The common kinds use the same branch-free advance as scan.
 func (l *kernelLeaf) refine(sel []int) []int {
 	if l.kind == kRLE {
-		// Candidates ascend, so one forward walk over the runs covers them
-		// all; the verdict is recomputed only when the run changes.
+		// Candidates ascend, so the cursor's forward walk covers them all;
+		// the verdict is recomputed only when the run changes.
 		out := sel[:0]
-		vals, ends := l.rle.RunValues(), l.rle.RunEnds()
-		r, have, ok := 0, false, false
+		cur := l.rle.Cursor()
+		last, ok := -1, false
 		for _, p := range sel {
-			for r < len(ends) && p >= ends[r] {
-				r, have = r+1, false
-			}
-			if r >= len(ends) {
-				break
-			}
-			if !have {
-				ok, have = l.runVerdict(vals[r]), true
+			x := cur.At(p)
+			if r := cur.Run(); r != last {
+				ok, last = l.runVerdict(x), r
 			}
 			if ok {
 				out = append(out, p)

@@ -80,7 +80,7 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 		Seed:    cfg.Seed,
 		Degrade: true,
 		Encode:  true,
-		Exec:    exec.ExecOptions{ZoneMap: true, Kernels: true},
+		Exec:    exec.ExecOptions{ZoneMap: true, Kernels: true, AggKernels: true},
 	})
 	sales, err := workload.Sales(rand.New(rand.NewSource(cfg.Seed)), cfg.Rows)
 	if err != nil {

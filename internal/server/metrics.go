@@ -60,6 +60,11 @@ func writeProm(b *bytes.Buffer, snap StatsSnapshot, hists map[string]*metrics.Lo
 	head("dex_rows_scanned_total", "Rows visited by predicate evaluation and aggregate accumulation.", "counter")
 	fmt.Fprintf(b, "dex_rows_scanned_total %d\n", snap.RowsScanned)
 
+	head("dex_agg_kernel_used_total", "Aggregate queries answered by the typed accumulation kernels.", "counter")
+	fmt.Fprintf(b, "dex_agg_kernel_used_total %d\n", snap.AggKernelHits)
+	head("dex_agg_kernel_fallback_total", "Aggregate queries that requested agg kernels but fell back to generic accumulation.", "counter")
+	fmt.Fprintf(b, "dex_agg_kernel_fallback_total %d\n", snap.AggKernelFallbacks)
+
 	head("dex_sessions_created_total", "Sessions created.", "counter")
 	fmt.Fprintf(b, "dex_sessions_created_total %d\n", snap.Sessions.Created)
 	head("dex_sessions_ended_total", "Sessions ended.", "counter")

@@ -18,7 +18,7 @@ import (
 // matching /admin/stats snapshot.
 func scrape(t *testing.T) (string, StatsSnapshot) {
 	t.Helper()
-	ts, cl, srv, _ := newTestService(t, 20_000, Config{CacheRows: 1 << 20}, exec.ExecOptions{Parallelism: 1})
+	ts, cl, srv, _ := newTestService(t, 20_000, Config{CacheRows: 1 << 20}, exec.ExecOptions{Parallelism: 1, AggKernels: true})
 	ctx := context.Background()
 	id, err := cl.CreateSession(ctx)
 	if err != nil {
@@ -111,6 +111,8 @@ func TestMetricsConsistentWithStats(t *testing.T) {
 		`dex_queries_total{outcome="cancelled_internal"}`: snap.Queries.CancelledInternal,
 		"dex_sessions_created_total":                      snap.Sessions.Created,
 		"dex_rows_scanned_total":                          snap.RowsScanned,
+		"dex_agg_kernel_used_total":                       snap.AggKernelHits,
+		"dex_agg_kernel_fallback_total":                   snap.AggKernelFallbacks,
 		"dex_cache_hits_total":                            snap.Cache.Hits,
 		"dex_cache_misses_total":                          snap.Cache.Misses,
 	}
@@ -136,5 +138,11 @@ func TestMetricsConsistentWithStats(t *testing.T) {
 	// The cached series must be present and separate from exact.
 	if !strings.Contains(expo, `dex_query_duration_seconds_count{mode="cached"}`) {
 		t.Error("no cached histogram series in exposition")
+	}
+
+	// The workload's exact-mode aggregates run with agg kernels on, so the
+	// used counter must have moved — the series is live, not just present.
+	if snap.AggKernelHits == 0 {
+		t.Error("agg_kernel_hits still 0 after an aggregate workload with AggKernels on")
 	}
 }

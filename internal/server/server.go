@@ -296,6 +296,8 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Queued = s.adm.queued()
 	snap.Draining = s.draining.Load()
 	snap.RowsScanned = s.eng.RowsScanned()
+	snap.AggKernelHits = s.eng.AggKernelHits()
+	snap.AggKernelFallbacks = s.eng.AggKernelFallbacks()
 	if s.cfg.Shard != nil {
 		ss := s.cfg.Shard.Snapshot()
 		snap.Shard = &ss

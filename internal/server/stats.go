@@ -126,14 +126,19 @@ type CacheStats struct {
 // taken apart bound the work done in between — the signal the cancellation
 // tests use to prove a disconnected query actually stopped.
 type StatsSnapshot struct {
-	Active      int                  `json:"active"`
-	Queued      int                  `json:"queued"`
-	Draining    bool                 `json:"draining"`
-	RowsScanned int64                `json:"rows_scanned"`
-	Queries     QueryStats           `json:"queries"`
-	Sessions    SessionStats         `json:"sessions"`
-	Cache       CacheStats           `json:"cache"`
-	Modes       map[string]ModeStats `json:"modes"`
+	Active      int   `json:"active"`
+	Queued      int   `json:"queued"`
+	Draining    bool  `json:"draining"`
+	RowsScanned int64 `json:"rows_scanned"`
+	// AggKernelHits / AggKernelFallbacks split aggregate queries by whether
+	// the typed accumulation kernels answered them or they fell back to the
+	// generic path (multi-column groups, wide dicts, string agg inputs).
+	AggKernelHits      int64                `json:"agg_kernel_hits"`
+	AggKernelFallbacks int64                `json:"agg_kernel_fallbacks"`
+	Queries            QueryStats           `json:"queries"`
+	Sessions           SessionStats         `json:"sessions"`
+	Cache              CacheStats           `json:"cache"`
+	Modes              map[string]ModeStats `json:"modes"`
 	// Shard is the coordinator's fleet view; absent on non-coordinators.
 	Shard *shard.Snapshot `json:"shard,omitempty"`
 }

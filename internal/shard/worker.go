@@ -52,7 +52,7 @@ type Worker struct {
 // counters feed the Stats probe.
 func NewWorker(seed int64) *Worker {
 	return &Worker{
-		eng:    core.New(core.Options{Seed: seed, Exec: exec.ExecOptions{ZoneMap: true, Kernels: true}}),
+		eng:    core.New(core.Options{Seed: seed, Exec: exec.ExecOptions{ZoneMap: true, Kernels: true, AggKernels: true}}),
 		staged: map[string]*storage.Table{},
 		kept:   map[string]int{},
 		shard:  -1,

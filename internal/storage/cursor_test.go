@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRLECursorMatchesValue drives a cursor through ascending, strided,
+// random and backward position sequences and holds it equal to the
+// binary-searching Value accessor, including positions that cross the
+// forward-walk limit in one jump.
+func TestRLECursorMatchesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 10000)
+	run := int64(0)
+	for i := range vals {
+		if i == 0 || rng.Intn(3) == 0 { // ~3-row runs
+			run = int64(rng.Intn(40))
+		}
+		vals[i] = run
+	}
+	c := EncodeRLE(vals)
+	if c.Len() != len(vals) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(vals))
+	}
+
+	seqs := map[string][]int{
+		"ascending": nil,
+		"strided":   nil,
+		"random":    nil,
+		"backward":  nil,
+	}
+	for i := 0; i < len(vals); i++ {
+		seqs["ascending"] = append(seqs["ascending"], i)
+	}
+	for i := 0; i < len(vals); i += 97 { // crosses many runs per jump
+		seqs["strided"] = append(seqs["strided"], i)
+	}
+	for i := 0; i < 5000; i++ {
+		seqs["random"] = append(seqs["random"], rng.Intn(len(vals)))
+	}
+	for i := len(vals) - 1; i >= 0; i -= 3 {
+		seqs["backward"] = append(seqs["backward"], i)
+	}
+
+	for name, seq := range seqs {
+		cur := c.Cursor()
+		for _, p := range seq {
+			if got, want := cur.At(p), vals[p]; got != want {
+				t.Fatalf("%s: At(%d) = %d, want %d", name, p, got, want)
+			}
+			if got, want := cur.Run(), c.run(p); got != want {
+				t.Fatalf("%s: Run() after At(%d) = %d, want %d", name, p, got, want)
+			}
+		}
+	}
+}
